@@ -1,0 +1,217 @@
+//! E6 + E9 — Projects 6 and 9: collections under synchronisation
+//! strategies.
+//!
+//! Paper rows: "comparing the performance of the different
+//! approaches … different locking mechanisms, such as synchronized,
+//! atomic variables, locks and different types of collections", and
+//! the task-safe wrappers of project 6.
+
+use std::sync::Arc;
+
+use criterion::{BenchmarkId, Criterion};
+use partask::TaskRuntime;
+use taskcol::workload::{run_map_workload, run_queue_workload, MapWorkload};
+use taskcol::{
+    AtomicCounter, ConcurrentStack, MutexCounter, MutexMap, MutexQueue,
+    MutexStack, RwLockMap, SegLockFreeQueue, ShardedCounter, ShardedMap, SharedCounter,
+    SpinStack, TaskAwareQueue, TreiberStack, TwoLockQueue,
+};
+
+fn bench(c: &mut Criterion) {
+    // E9a: counters.
+    {
+        let mut group = c.benchmark_group("E9/counter-4-threads");
+        let hammer = |counter: Arc<dyn SharedCounter>| {
+            let mut joins = Vec::new();
+            for _ in 0..4 {
+                let ctr = Arc::clone(&counter);
+                joins.push(std::thread::spawn(move || {
+                    for _ in 0..5_000 {
+                        ctr.add(1);
+                    }
+                }));
+            }
+            for j in joins {
+                j.join().unwrap();
+            }
+            counter.value()
+        };
+        group.bench_function("mutex", |b| {
+            b.iter(|| hammer(Arc::new(MutexCounter::new())));
+        });
+        group.bench_function("atomic", |b| {
+            b.iter(|| hammer(Arc::new(AtomicCounter::new())));
+        });
+        group.bench_function("sharded", |b| {
+            b.iter(|| hammer(Arc::new(ShardedCounter::new(8))));
+        });
+        group.finish();
+    }
+
+    // E9b: queues (producer/consumer).
+    {
+        let mut group = c.benchmark_group("E9/queue-2p2c");
+        group.bench_function("mutex", |b| {
+            b.iter(|| {
+                let q = Arc::new(MutexQueue::new());
+                run_queue_workload(&q, 2, 1_500)
+            });
+        });
+        group.bench_function("two-lock", |b| {
+            b.iter(|| {
+                let q = Arc::new(TwoLockQueue::new());
+                run_queue_workload(&q, 2, 1_500)
+            });
+        });
+        group.bench_function("lock-free", |b| {
+            b.iter(|| {
+                let q = Arc::new(SegLockFreeQueue::new());
+                run_queue_workload(&q, 2, 1_500)
+            });
+        });
+        group.finish();
+    }
+
+    // E9c: maps across read/write mixes.
+    {
+        let mut group = c.benchmark_group("E9/map");
+        for &(label, read_frac) in &[("read-90", 0.9f64), ("read-50", 0.5)] {
+            let cfg = MapWorkload {
+                threads: 4,
+                ops_per_thread: 3_000,
+                read_fraction: read_frac,
+                ..MapWorkload::default()
+            };
+            group.bench_with_input(BenchmarkId::new("mutex", label), &cfg, |b, cfg| {
+                b.iter(|| {
+                    let m = Arc::new(MutexMap::new());
+                    run_map_workload(&m, cfg)
+                });
+            });
+            group.bench_with_input(BenchmarkId::new("rwlock", label), &cfg, |b, cfg| {
+                b.iter(|| {
+                    let m = Arc::new(RwLockMap::new());
+                    run_map_workload(&m, cfg)
+                });
+            });
+            group.bench_with_input(BenchmarkId::new("sharded", label), &cfg, |b, cfg| {
+                b.iter(|| {
+                    let m = Arc::new(ShardedMap::new(16));
+                    run_map_workload(&m, cfg)
+                });
+            });
+        }
+        group.finish();
+    }
+
+    // E9d: stacks, single-threaded op cost (structure overhead).
+    {
+        let mut group = c.benchmark_group("E9/stack-ops");
+        group.bench_function("mutex", |b| {
+            let s = MutexStack::new();
+            b.iter(|| {
+                for i in 0..1000u64 {
+                    s.push(i);
+                }
+                while s.pop().is_some() {}
+            });
+        });
+        group.bench_function("spin", |b| {
+            let s = SpinStack::new();
+            b.iter(|| {
+                for i in 0..1000u64 {
+                    s.push(i);
+                }
+                while s.pop().is_some() {}
+            });
+        });
+        group.bench_function("treiber", |b| {
+            let s = TreiberStack::new();
+            b.iter(|| {
+                for i in 0..1000u64 {
+                    ConcurrentStack::push(&s, i);
+                }
+                while ConcurrentStack::pop(&s).is_some() {}
+            });
+        });
+        group.finish();
+    }
+
+    // E9e: sorted sets — coarse lock vs hand-over-hand coupling.
+    {
+        use taskcol::{CoarseSet, ConcurrentSet, FineSet};
+        let mut group = c.benchmark_group("E9/set-mixed-ops");
+        let drive = |set: Arc<dyn ConcurrentSet<u64>>| {
+            let mut joins = Vec::new();
+            for t in 0..2u64 {
+                let set = Arc::clone(&set);
+                joins.push(std::thread::spawn(move || {
+                    for i in 0..600u64 {
+                        let key = (i * 7 + t) % 512;
+                        if i % 3 == 0 {
+                            set.remove(&key);
+                        } else {
+                            set.insert(key);
+                        }
+                        set.contains(&key);
+                    }
+                }));
+            }
+            for j in joins {
+                j.join().unwrap();
+            }
+            set.len()
+        };
+        group.bench_function("coarse", |b| {
+            b.iter(|| drive(Arc::new(CoarseSet::new())));
+        });
+        group.bench_function("lock-coupling", |b| {
+            b.iter(|| drive(Arc::new(FineSet::new())));
+        });
+        group.finish();
+    }
+
+    // E6: task-aware queue — help-while-waiting vs plain try loop.
+    {
+        let mut group = c.benchmark_group("E6/task-aware");
+        group.bench_function("pop_wait-helping", |b| {
+            b.iter(|| {
+                let rt = TaskRuntime::builder().workers(1).build();
+                let h = rt.handle();
+                let q: Arc<TaskAwareQueue<u32>> = Arc::new(TaskAwareQueue::new());
+                let consumer = {
+                    let q = Arc::clone(&q);
+                    let h = h.clone();
+                    rt.spawn(move || {
+                        let q2 = Arc::clone(&q);
+                        let _p = h.spawn(move || q2.push(1));
+                        q.pop_wait(&h)
+                    })
+                };
+                let out = consumer.join().unwrap();
+                rt.shutdown();
+                out
+            });
+        });
+        group.bench_function("uncontended-push-pop", |b| {
+            let q: TaskAwareQueue<u32> = TaskAwareQueue::new();
+            b.iter(|| {
+                for i in 0..100 {
+                    q.push(i);
+                }
+                let mut sum = 0u32;
+                while let Some(v) = q.try_pop() {
+                    sum += v;
+                }
+                sum
+            });
+        });
+        group.finish();
+    }
+}
+
+fn main() {
+    let mut c = parc_bench::criterion();
+    bench(&mut c);
+    c.final_summary();
+}

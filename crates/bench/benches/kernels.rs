@@ -1,0 +1,113 @@
+//! E3 — Project 3: computational kernels, sequential vs parallel.
+//!
+//! Paper row: "implementing basic algorithms … FFT, molecular
+//! dynamics, graph processing and linear algebra … the groups compared
+//! Pyjama to parallelisation using standard Java concurrency
+//! libraries" (here: pyjama vs partask vs sequential).
+
+use criterion::{BenchmarkId, Criterion};
+use kernels::{fft, graph, linalg, md};
+use partask::TaskRuntime;
+use pyjama::Team;
+
+fn bench(c: &mut Criterion) {
+    let rt = TaskRuntime::builder().workers(4).build();
+    let team = Team::new(4);
+
+    {
+        let mut group = c.benchmark_group("E3/fft-2048");
+        let signal = fft::test_signal(2048, 3);
+        group.bench_function("sequential", |b| {
+            b.iter(|| {
+                let mut v = signal.clone();
+                fft::fft_seq(&mut v);
+                v
+            });
+        });
+        group.bench_function("pyjama", |b| {
+            b.iter(|| {
+                let mut v = signal.clone();
+                fft::fft_par(&team, &mut v);
+                v
+            });
+        });
+        group.finish();
+    }
+
+    {
+        let mut group = c.benchmark_group("E3/matmul-96");
+        let a = linalg::Matrix::random(96, 96, 5);
+        let bm = linalg::Matrix::random(96, 96, 6);
+        group.bench_function("sequential", |b| {
+            b.iter(|| linalg::matmul_seq(&a, &bm));
+        });
+        group.bench_function("pyjama", |b| {
+            b.iter(|| linalg::matmul_par(&team, &a, &bm));
+        });
+        group.bench_function("partask", |b| {
+            b.iter(|| linalg::matmul_partask(&rt, &a, &bm, 8));
+        });
+        group.finish();
+    }
+
+    {
+        let mut group = c.benchmark_group("E3/pagerank");
+        let g = graph::CsrGraph::random(1000, 5_000, 4);
+        group.bench_function("sequential", |b| {
+            b.iter(|| graph::pagerank_seq(&g, 0.85, 10));
+        });
+        group.bench_function("pyjama", |b| {
+            b.iter(|| graph::pagerank_par(&team, &g, 0.85, 10));
+        });
+        group.finish();
+    }
+
+    {
+        let mut group = c.benchmark_group("E3/md-96");
+        let sys = md::System::new(96, 7);
+        group.bench_function("forces-sequential", |b| {
+            b.iter_batched(
+                || sys.clone(),
+                |mut s| {
+                    s.compute_forces_seq();
+                    s
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+        group.bench_function("forces-pyjama", |b| {
+            b.iter_batched(
+                || sys.clone(),
+                |mut s| {
+                    s.compute_forces_par(&team);
+                    s
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+        group.finish();
+    }
+
+    {
+        // BFS size sweep: frontier-parallel vs sequential.
+        let mut group = c.benchmark_group("E3/bfs");
+        for &n in &[1_000usize, 5_000] {
+            let g = graph::CsrGraph::random(n, n * 8, 11);
+            group.bench_with_input(BenchmarkId::new("sequential", n), &g, |b, g| {
+                b.iter(|| graph::bfs_seq(g, 0));
+            });
+            group.bench_with_input(BenchmarkId::new("pyjama", n), &g, |b, g| {
+                b.iter(|| graph::bfs_par(&team, g, 0));
+            });
+        }
+        group.finish();
+    }
+
+    rt.shutdown();
+}
+
+fn main() {
+    let mut c = parc_bench::criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,78 @@
+//! E8 — Project 8: the cost of each memory-model fix, plus demo
+//! round costs.
+//!
+//! Paper row: "discussing what their respective pros/cons are (for
+//! example, simplicity, performance cost, etc)".
+
+use criterion::Criterion;
+use memmodel::demos::{self, FixStrategy};
+
+fn bench(c: &mut Criterion) {
+    {
+        let mut group = c.benchmark_group("E8/increment-cost");
+        group.bench_function("plain", |b| {
+            b.iter(|| {
+                let mut x = 0u64;
+                for _ in 0..10_000 {
+                    x = std::hint::black_box(x + 1);
+                }
+                x
+            });
+        });
+        group.bench_function("atomic-relaxed", |b| {
+            let x = std::sync::atomic::AtomicU64::new(0);
+            b.iter(|| {
+                for _ in 0..10_000 {
+                    x.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+            });
+        });
+        group.bench_function("atomic-seqcst", |b| {
+            let x = std::sync::atomic::AtomicU64::new(0);
+            b.iter(|| {
+                for _ in 0..10_000 {
+                    x.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                }
+            });
+        });
+        group.bench_function("mutex", |b| {
+            let x = parking_lot::Mutex::new(0u64);
+            b.iter(|| {
+                for _ in 0..10_000 {
+                    *x.lock() += 1;
+                }
+            });
+        });
+        group.finish();
+    }
+
+    {
+        // Cost of a correctly synchronised multi-threaded counter, per
+        // strategy (4 threads x 10k increments per round).
+        let mut group = c.benchmark_group("E8/contended-counter");
+        for fix in [FixStrategy::AtomicRmw, FixStrategy::SeqCst, FixStrategy::Mutex] {
+            group.bench_function(format!("{fix:?}"), |b| {
+                b.iter(|| demos::lost_update_fixed(4, 3_000, fix));
+            });
+        }
+        group.finish();
+    }
+
+    {
+        // Litmus-round throughput (thread spawn + run), SeqCst vs Relaxed.
+        let mut group = c.benchmark_group("E8/store-buffer-round");
+        group.bench_function("relaxed", |b| {
+            b.iter(|| demos::store_buffer(8, std::sync::atomic::Ordering::Relaxed));
+        });
+        group.bench_function("seqcst", |b| {
+            b.iter(|| demos::store_buffer(8, std::sync::atomic::Ordering::SeqCst));
+        });
+        group.finish();
+    }
+}
+
+fn main() {
+    let mut c = parc_bench::criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,53 @@
+//! E7 — Project 7: PDF search granularity and worker-count sweep.
+
+use std::sync::Arc;
+
+use criterion::{BenchmarkId, Criterion};
+use docsearch::corpus::{generate_documents, CorpusConfig};
+use docsearch::{search_documents, Granularity, Query};
+use partask::TaskRuntime;
+
+fn bench(c: &mut Criterion) {
+    let cfg = CorpusConfig {
+        needle_rate: 0.01,
+        ..CorpusConfig::default()
+    };
+    let (docs, _) = generate_documents(20, 8, 12, &cfg);
+    let docs = Arc::new(docs);
+    let query = Query::literal(&cfg.needle);
+
+    {
+        let rt = TaskRuntime::builder().workers(4).build();
+        let mut group = c.benchmark_group("E7/granularity");
+        for g in [
+            Granularity::PerDocument,
+            Granularity::PerChunk(4),
+            Granularity::PerChunk(2),
+            Granularity::PerPage,
+        ] {
+            group.bench_function(BenchmarkId::from_parameter(g.label()), |b| {
+                b.iter(|| search_documents(&rt, &docs, &query, g, None));
+            });
+        }
+        group.finish();
+        rt.shutdown();
+    }
+
+    {
+        let mut group = c.benchmark_group("E7/workers-per-page");
+        for &workers in &[1usize, 2, 4] {
+            let rt = TaskRuntime::builder().workers(workers).build();
+            group.bench_with_input(BenchmarkId::from_parameter(workers), &rt, |b, rt| {
+                b.iter(|| search_documents(rt, &docs, &query, Granularity::PerPage, None));
+            });
+            rt.shutdown();
+        }
+        group.finish();
+    }
+}
+
+fn main() {
+    let mut c = parc_bench::criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,62 @@
+//! E2 — Project 2: parallel quicksort.
+//!
+//! Paper row: "three versions using object-oriented language support
+//! (using Parallel Task, Pyjama and standard Java threads)". Series:
+//! variant × array size, plus std sort as the library baseline.
+
+use criterion::{BenchmarkId, Criterion};
+use parsort::{data, quicksort_partask, quicksort_pyjama, quicksort_seq, quicksort_threads};
+use partask::TaskRuntime;
+use pyjama::Team;
+
+fn bench(c: &mut Criterion) {
+    let rt = TaskRuntime::builder().workers(4).build();
+    let team = Team::new(4);
+    let mut group = c.benchmark_group("E2/quicksort");
+    for &n in &[1_000usize, 10_000, 50_000] {
+        let input = data::random(n, 0x5EED ^ n as u64);
+        group.bench_with_input(BenchmarkId::new("sequential", n), &input, |b, input| {
+            b.iter(|| {
+                let mut v = input.clone();
+                quicksort_seq(&mut v);
+                v
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("partask", n), &input, |b, input| {
+            b.iter(|| {
+                let mut v = input.clone();
+                quicksort_partask(&rt, &mut v);
+                v
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("pyjama", n), &input, |b, input| {
+            b.iter(|| {
+                let mut v = input.clone();
+                quicksort_pyjama(&team, &mut v);
+                v
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("threads", n), &input, |b, input| {
+            b.iter(|| {
+                let mut v = input.clone();
+                quicksort_threads(&mut v, 3);
+                v
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("std-sort", n), &input, |b, input| {
+            b.iter(|| {
+                let mut v = input.clone();
+                v.sort_unstable();
+                v
+            });
+        });
+    }
+    group.finish();
+    rt.shutdown();
+}
+
+fn main() {
+    let mut c = parc_bench::criterion();
+    bench(&mut c);
+    c.final_summary();
+}

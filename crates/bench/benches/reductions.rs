@@ -1,0 +1,105 @@
+//! E5 — Project 5: reductions in Pyjama.
+//!
+//! Paper row: reductions as "an efficient solution to sharing
+//! variables", extended to object-oriented data types. Series: the
+//! reduction clause vs the critical-section baseline, and the OO
+//! reduction family.
+
+use std::collections::{HashMap, HashSet};
+
+use criterion::Criterion;
+use parking_lot::Mutex;
+use pyjama::{MapMerge, Schedule, SetUnion, SumRed, Team, TopK, VecConcat};
+
+fn bench(c: &mut Criterion) {
+    let team = Team::new(4);
+    let n = 20_000usize;
+
+    {
+        let mut group = c.benchmark_group("E5/sum-vs-critical");
+        group.bench_function("reduction-clause", |b| {
+            b.iter(|| team.par_reduce(0..n, Schedule::Static, &SumRed, |i| i as u64));
+        });
+        group.bench_function("critical-section", |b| {
+            // The naive phrasing: every update inside a critical.
+            b.iter(|| {
+                let total = Mutex::new(0u64);
+                team.parallel(|ctx| {
+                    ctx.pfor(0..n, Schedule::Static, |i| {
+                        ctx.critical("sum", || {
+                            *total.lock() += i as u64;
+                        });
+                    });
+                });
+                total.into_inner()
+            });
+        });
+        group.bench_function("per-thread-then-critical", |b| {
+            // The intermediate student solution: accumulate a local
+            // sum over the thread's static share, then one critical
+            // per thread.
+            b.iter(|| {
+                let total = Mutex::new(0u64);
+                team.parallel(|ctx| {
+                    let t = ctx.thread_num();
+                    let k = ctx.num_threads();
+                    let mut local = 0u64;
+                    for i in (n * t / k)..(n * (t + 1) / k) {
+                        local += i as u64;
+                    }
+                    ctx.critical("sum2", || {
+                        *total.lock() += local;
+                    });
+                    ctx.barrier();
+                });
+                total.into_inner()
+            });
+        });
+        group.finish();
+    }
+
+    {
+        let mut group = c.benchmark_group("E5/oo-reductions");
+        group.bench_function("vec-concat", |b| {
+            b.iter(|| -> Vec<u32> {
+                team.par_reduce(0..10_000, Schedule::Static, &VecConcat::new(), |i| {
+                    vec![i as u32]
+                })
+            });
+        });
+        group.bench_function("set-union", |b| {
+            b.iter(|| -> HashSet<u64> {
+                team.par_reduce(0..10_000, Schedule::Dynamic(128), &SetUnion::new(), |i| {
+                    let mut s = HashSet::with_capacity(1);
+                    s.insert((i % 512) as u64);
+                    s
+                })
+            });
+        });
+        group.bench_function("map-merge", |b| {
+            let red = MapMerge::new(|a: u64, bb: u64| a + bb);
+            b.iter(|| -> HashMap<u64, u64> {
+                team.par_reduce(0..10_000, Schedule::Dynamic(128), &red, |i| {
+                    let mut m = HashMap::with_capacity(1);
+                    m.insert((i % 64) as u64, 1);
+                    m
+                })
+            });
+        });
+        group.bench_function("top-16", |b| {
+            let red = TopK::new(16);
+            b.iter(|| -> Vec<u64> {
+                team.par_reduce(0..10_000, Schedule::Static, &red, |i| {
+                    vec![(i as u64).wrapping_mul(0x9E37_79B9) % 100_000]
+                })
+            });
+        });
+        group.finish();
+    }
+}
+
+fn main() {
+    let mut c = parc_bench::criterion();
+    bench(&mut c);
+    c.final_summary();
+}

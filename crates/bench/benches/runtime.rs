@@ -1,0 +1,126 @@
+//! A1 — ablation: partask runtime design choices.
+//!
+//! Spawn/join overhead, work-stealing vs work-sharing scheduling,
+//! dependence-gate overhead and multi-task vs N spawns — the design
+//! points DESIGN.md calls out for the Parallel Task analogue.
+
+use criterion::{BenchmarkId, Criterion};
+use partask::{SchedulerKind, TaskRuntime};
+
+fn bench(c: &mut Criterion) {
+    {
+        // Raw spawn+join round-trip per scheduler.
+        let mut group = c.benchmark_group("A1/spawn-join");
+        for (label, kind) in [
+            ("stealing", SchedulerKind::WorkStealing),
+            ("sharing", SchedulerKind::WorkSharing),
+        ] {
+            let rt = TaskRuntime::builder().workers(2).scheduler(kind).build();
+            group.bench_function(label, |b| {
+                b.iter(|| rt.spawn(|| 1u64).join().unwrap());
+            });
+            rt.shutdown();
+        }
+        group.finish();
+    }
+
+    {
+        // Task storm: 1000 trivial tasks, per scheduler.
+        let mut group = c.benchmark_group("A1/task-storm-1000");
+        for (label, kind) in [
+            ("stealing", SchedulerKind::WorkStealing),
+            ("sharing", SchedulerKind::WorkSharing),
+        ] {
+            let rt = TaskRuntime::builder().workers(2).scheduler(kind).build();
+            group.bench_function(label, |b| {
+                b.iter(|| {
+                    let handles: Vec<_> = (0..1000).map(|i| rt.spawn(move || i)).collect();
+                    handles.into_iter().map(|h| h.join().unwrap()).sum::<i32>()
+                });
+            });
+            rt.shutdown();
+        }
+        group.finish();
+    }
+
+    {
+        // Dependence gate vs free task.
+        let rt = TaskRuntime::builder().workers(2).build();
+        let mut group = c.benchmark_group("A1/dependences");
+        group.bench_function("free-task", |b| {
+            b.iter(|| rt.spawn(|| 1u64).join().unwrap());
+        });
+        group.bench_function("after-one", |b| {
+            b.iter(|| {
+                let a = rt.spawn(|| 1u64);
+                let w = a.watcher();
+                let bt = rt.spawn_after(&[w], || 2u64);
+                a.join().unwrap() + bt.join().unwrap()
+            });
+        });
+        group.bench_function("after-chain-8", |b| {
+            b.iter(|| {
+                let mut prev = rt.spawn(|| 0u64).watcher();
+                let mut last = None;
+                for _ in 0..8 {
+                    let t = rt.spawn_after(&[prev.clone()], || 1u64);
+                    prev = t.watcher();
+                    last = Some(t);
+                }
+                last.unwrap().join().unwrap()
+            });
+        });
+        group.finish();
+        rt.shutdown();
+    }
+
+    {
+        // Multi-task vs N individual spawns for the same work.
+        let rt = TaskRuntime::builder().workers(2).build();
+        let mut group = c.benchmark_group("A1/multi-vs-spawns");
+        for &n in &[8usize, 64] {
+            group.bench_with_input(BenchmarkId::new("multi-task", n), &n, |b, &n| {
+                b.iter(|| {
+                    rt.spawn_multi(n, |i| i as u64)
+                        .join_reduce(0, |a, v| a + v)
+                        .unwrap()
+                });
+            });
+            group.bench_with_input(BenchmarkId::new("n-spawns", n), &n, |b, &n| {
+                b.iter(|| {
+                    let hs: Vec<_> = (0..n).map(|i| rt.spawn(move || i as u64)).collect();
+                    hs.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+                });
+            });
+        }
+        group.finish();
+        rt.shutdown();
+    }
+
+    {
+        // Nested fork/join (helping) depth cost.
+        let rt = TaskRuntime::builder().workers(2).build();
+        let mut group = c.benchmark_group("A1/nested-forkjoin");
+        fn fib(h: &partask::RuntimeHandle, n: u64) -> u64 {
+            if n < 2 {
+                return n;
+            }
+            let h2 = h.clone();
+            let left = h.spawn(move || fib(&h2, n - 1));
+            let right = fib(h, n - 2);
+            left.join().unwrap() + right
+        }
+        let handle = rt.handle();
+        group.bench_function("fib-12", |b| {
+            b.iter(|| fib(&handle, 12));
+        });
+        group.finish();
+        rt.shutdown();
+    }
+}
+
+fn main() {
+    let mut c = parc_bench::criterion();
+    bench(&mut c);
+    c.final_summary();
+}

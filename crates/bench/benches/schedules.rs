@@ -1,0 +1,79 @@
+//! A2 — ablation: pyjama loop schedules on uniform and skewed loops.
+//!
+//! Static wins on uniform work (no coordination); dynamic/guided win
+//! on skewed work (balance) at the price of a shared counter. SpMV
+//! over a skewed matrix is the canonical carrier.
+
+use criterion::{BenchmarkId, Criterion};
+use kernels::sparse::{spmv_par, spmv_seq, CsrMatrix};
+use pyjama::{Schedule, Team};
+
+fn schedules() -> Vec<(&'static str, Schedule)> {
+    vec![
+        ("static", Schedule::Static),
+        ("static-16", Schedule::StaticChunk(16)),
+        ("dynamic-16", Schedule::Dynamic(16)),
+        ("guided-4", Schedule::Guided(4)),
+    ]
+}
+
+fn bench(c: &mut Criterion) {
+    let team = Team::new(4);
+
+    {
+        // Uniform loop: same cost per iteration.
+        let mut group = c.benchmark_group("A2/uniform-loop");
+        let data: Vec<f64> = (0..100_000).map(|i| f64::from(i as u32)).collect();
+        for (label, schedule) in schedules() {
+            group.bench_function(label, |b| {
+                b.iter(|| {
+                    team.par_reduce(0..data.len(), schedule, &pyjama::SumRed, |i| {
+                        data[i].sqrt()
+                    })
+                });
+            });
+        }
+        group.finish();
+    }
+
+    {
+        // Skewed loop: cost grows with the index (triangular work).
+        let mut group = c.benchmark_group("A2/skewed-loop");
+        for (label, schedule) in schedules() {
+            group.bench_function(label, |b| {
+                b.iter(|| {
+                    team.par_reduce(0..1_200usize, schedule, &pyjama::SumRed, |i| {
+                        let mut acc = 0u64;
+                        for k in 0..i {
+                            acc = acc.wrapping_add(k as u64);
+                        }
+                        acc
+                    })
+                });
+            });
+        }
+        group.finish();
+    }
+
+    {
+        // SpMV over a skewed CSR matrix, plus the sequential baseline.
+        let a = CsrMatrix::random_skewed(2_000, 1_000, 6, 6.0, 0xA2);
+        let x: Vec<f64> = (0..1_000).map(|i| (f64::from(i as u32) * 0.01).sin()).collect();
+        let mut group = c.benchmark_group("A2/spmv-skewed");
+        group.bench_function("sequential", |b| {
+            b.iter(|| spmv_seq(&a, &x));
+        });
+        for (label, schedule) in schedules() {
+            group.bench_with_input(BenchmarkId::from_parameter(label), &schedule, |b, &s| {
+                b.iter(|| spmv_par(&team, &a, &x, s));
+            });
+        }
+        group.finish();
+    }
+}
+
+fn main() {
+    let mut c = parc_bench::criterion();
+    bench(&mut c);
+    c.final_summary();
+}

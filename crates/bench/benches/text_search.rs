@@ -1,0 +1,60 @@
+//! E4 — Project 4: folder text search, literal vs regex, worker sweep.
+
+use criterion::{BenchmarkId, Criterion};
+use docsearch::corpus::{generate_tree, CorpusConfig};
+use docsearch::{search_folder, Query, Regex};
+use partask::TaskRuntime;
+
+fn bench(c: &mut Criterion) {
+    let cfg = CorpusConfig {
+        files_per_dir: 8,
+        dirs_per_level: 3,
+        depth: 2,
+        lines_per_file: 40,
+        needle_rate: 0.02,
+        ..CorpusConfig::default()
+    };
+    let (tree, _) = generate_tree(&cfg);
+
+    {
+        let rt = TaskRuntime::builder().workers(4).build();
+        let mut group = c.benchmark_group("E4/query-kind");
+        let literal = Query::literal(&cfg.needle);
+        group.bench_function("literal", |b| {
+            b.iter(|| search_folder(&rt, &tree, &literal, None, None));
+        });
+        let ci = Query::literal_ci(&cfg.needle);
+        group.bench_function("literal-ci", |b| {
+            b.iter(|| search_folder(&rt, &tree, &ci, None, None));
+        });
+        let regex = Query::regex(Regex::new("concurrency (bug|task)").unwrap());
+        group.bench_function("regex-alt", |b| {
+            b.iter(|| search_folder(&rt, &tree, &regex, None, None));
+        });
+        let regex_class = Query::regex(Regex::new(r"\w+ncy b\w+").unwrap());
+        group.bench_function("regex-class", |b| {
+            b.iter(|| search_folder(&rt, &tree, &regex_class, None, None));
+        });
+        group.finish();
+        rt.shutdown();
+    }
+
+    {
+        let mut group = c.benchmark_group("E4/workers");
+        let query = Query::literal(&cfg.needle);
+        for &workers in &[1usize, 2, 4] {
+            let rt = TaskRuntime::builder().workers(workers).build();
+            group.bench_with_input(BenchmarkId::from_parameter(workers), &rt, |b, rt| {
+                b.iter(|| search_folder(rt, &tree, &query, None, None));
+            });
+            rt.shutdown();
+        }
+        group.finish();
+    }
+}
+
+fn main() {
+    let mut c = parc_bench::criterion();
+    bench(&mut c);
+    c.final_summary();
+}

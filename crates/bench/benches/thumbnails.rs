@@ -1,0 +1,66 @@
+//! E1 — Project 1: thumbnail gallery strategies and input-size sweep.
+//!
+//! Paper row: "comparing the performance across a number of Java
+//! parallelisation strategies … investigating different ways to
+//! schedule the workload, and using different image input sizes".
+
+use std::sync::Arc;
+
+use criterion::{BenchmarkId, Criterion};
+use imaging::{gen, render_gallery, GalleryConfig, Strategy};
+use partask::TaskRuntime;
+use pyjama::Team;
+
+fn bench(c: &mut Criterion) {
+    let rt = TaskRuntime::builder().workers(4).build();
+    let team = Team::new(4);
+
+    // Strategy comparison at a fixed gallery.
+    {
+        let images = Arc::new(gen::generate_folder(8, 40, 80, 0xA11));
+        let mut group = c.benchmark_group("E1/strategies");
+        for strategy in [
+            Strategy::Sequential,
+            Strategy::TaskPerImage,
+            Strategy::MultiTask(4),
+            Strategy::PyjamaDynamic(2),
+            Strategy::PyjamaStatic,
+        ] {
+            let cfg = GalleryConfig {
+                thumb_w: 32,
+                thumb_h: 32,
+                strategy,
+                ..GalleryConfig::default()
+            };
+            group.bench_function(BenchmarkId::from_parameter(strategy.label()), |b| {
+                b.iter(|| render_gallery(&images, &cfg, &rt, &team, None));
+            });
+        }
+        group.finish();
+    }
+
+    // Input-size sweep under the dynamic strategy.
+    {
+        let mut group = c.benchmark_group("E1/input-size");
+        for &side in &[32u32, 64, 96] {
+            let images = Arc::new(gen::generate_folder(8, side, side, 0xB22));
+            let cfg = GalleryConfig {
+                thumb_w: 24,
+                thumb_h: 24,
+                strategy: Strategy::PyjamaDynamic(1),
+                ..GalleryConfig::default()
+            };
+            group.bench_with_input(BenchmarkId::from_parameter(side), &images, |b, images| {
+                b.iter(|| render_gallery(images, &cfg, &rt, &team, None));
+            });
+        }
+        group.finish();
+    }
+    rt.shutdown();
+}
+
+fn main() {
+    let mut c = parc_bench::criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,35 @@
+//! E10 — Project 10: the connection-count sweep.
+//!
+//! Paper row: "the question arises how many connections should be
+//! opened at the same time". The curve: steep improvement from 1 to a
+//! handful, an optimum near the server's connection budget, then
+//! degradation from bandwidth thinning + queue penalties.
+
+use std::sync::Arc;
+
+use criterion::{BenchmarkId, Criterion};
+use partask::TaskRuntime;
+use websim::{fetch_all, ServerConfig, SimServer};
+
+fn bench(c: &mut Criterion) {
+    let rt = TaskRuntime::builder().workers(48).build();
+    let server = Arc::new(SimServer::new(ServerConfig {
+        pages: 40,
+        time_scale: 2e-6, // 2 µs per simulated ms keeps rounds short
+        ..ServerConfig::default()
+    }));
+    let mut group = c.benchmark_group("E10/connections");
+    for &k in &[1usize, 2, 4, 8, 16, 24, 32, 48] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| fetch_all(&rt, &server, k));
+        });
+    }
+    group.finish();
+    rt.shutdown();
+}
+
+fn main() {
+    let mut c = parc_bench::criterion();
+    bench(&mut c);
+    c.final_summary();
+}

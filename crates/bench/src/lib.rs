@@ -1,0 +1,34 @@
+//! # parc-bench — the experiment harness
+//!
+//! One Criterion bench target per experiment of EXPERIMENTS.md:
+//!
+//! | target | experiment |
+//! |---|---|
+//! | `thumbnails` | E1 — gallery strategies × input sizes |
+//! | `quicksort` | E2 — sort variants × array sizes |
+//! | `kernels` | E3 — FFT/matmul/PageRank/MD, seq vs parallel |
+//! | `text_search` | E4 — literal vs regex folder search |
+//! | `reductions` | E5 — reduction vs critical-section baseline, OO reductions |
+//! | `collections` | E6+E9 — counters/queues/maps across sync strategies |
+//! | `pdf_search` | E7 — granularity sweep |
+//! | `memmodel` | E8 — cost of each synchronisation fix |
+//! | `websim` | E10 — connection-count sweep |
+//! | `runtime` | A1 — partask spawn/dependence overhead, stealing vs sharing |
+//! | `schedules` | A2 — static/dynamic/guided on uniform and skewed loops |
+//!
+//! Run everything with `cargo bench --workspace`; a single experiment
+//! with e.g. `cargo bench -p parc-bench --bench quicksort`.
+
+use criterion::Criterion;
+
+/// Shared Criterion configuration: short, single-CPU-friendly runs.
+/// Statistical precision is deliberately traded for total wall time —
+/// EXPERIMENTS.md records shapes, not microsecond-exact numbers.
+#[must_use]
+pub fn criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(100))
+        .measurement_time(std::time::Duration::from_millis(300))
+        .configure_from_args()
+}

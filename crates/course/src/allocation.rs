@@ -1,0 +1,246 @@
+//! The first-in-first-served doodle-poll topic allocation
+//! (Section III-D).
+//!
+//! "A doodle poll was released for groups to select which of the 10
+//! topics they wanted. The doodle poll was set up to allow only two
+//! groups per topic, and each group could only make one selection."
+//! Groups arrive in some order (network race) holding a preference
+//! list; each takes its most-preferred topic with remaining capacity.
+//! The simulation measures how fair FIFS turns out across arrival
+//! orders — the property the instructors valued ("worked extremely
+//! well … the fair first-in first-served nature of the process was
+//! appreciated by students").
+
+use parc_util::rng::Xoshiro256;
+
+/// Poll parameters.
+#[derive(Clone, Debug)]
+pub struct AllocationConfig {
+    /// Number of groups (paper: ~60 students / 3 = 20).
+    pub groups: usize,
+    /// Number of topics (paper: 10).
+    pub topics: usize,
+    /// Groups allowed per topic (paper: 2).
+    pub capacity_per_topic: usize,
+    /// Concentration of preferences: 0 = uniform random preference
+    /// lists; larger values make every group prefer the same "hot"
+    /// topics (the realistic case the FIFS poll resolves).
+    pub popularity_skew: f64,
+    /// Seed controlling preferences and arrival order.
+    pub seed: u64,
+}
+
+impl Default for AllocationConfig {
+    fn default() -> Self {
+        Self {
+            groups: 20,
+            topics: 10,
+            capacity_per_topic: 2,
+            popularity_skew: 1.5,
+            seed: 0x751,
+        }
+    }
+}
+
+/// Result of one poll run.
+#[derive(Clone, Debug)]
+pub struct AllocationOutcome {
+    /// `assignment[g]` = topic taken by group `g`.
+    pub assignment: Vec<usize>,
+    /// `choice_rank[g]` = 0-based rank of the taken topic in group
+    /// `g`'s preference list.
+    pub choice_rank: Vec<usize>,
+    /// Remaining capacity per topic after the poll.
+    pub leftover_capacity: Vec<usize>,
+}
+
+impl AllocationOutcome {
+    /// Fraction of groups that got their first choice.
+    #[must_use]
+    pub fn first_choice_rate(&self) -> f64 {
+        let hits = self.choice_rank.iter().filter(|&&r| r == 0).count();
+        hits as f64 / self.choice_rank.len().max(1) as f64
+    }
+
+    /// Fraction of groups that got a top-`k` choice.
+    #[must_use]
+    pub fn top_k_rate(&self, k: usize) -> f64 {
+        let hits = self.choice_rank.iter().filter(|&&r| r < k).count();
+        hits as f64 / self.choice_rank.len().max(1) as f64
+    }
+
+    /// Mean rank of the received choice (0 = everyone got their
+    /// favourite).
+    #[must_use]
+    pub fn mean_rank(&self) -> f64 {
+        self.choice_rank.iter().sum::<usize>() as f64 / self.choice_rank.len().max(1) as f64
+    }
+}
+
+/// Generate each group's preference list. With skew, topic `t` gets
+/// base weight `(topics - t)^skew`, so low-numbered topics are hot.
+fn preferences(cfg: &AllocationConfig, rng: &mut Xoshiro256) -> Vec<Vec<usize>> {
+    (0..cfg.groups)
+        .map(|_| {
+            let mut remaining: Vec<usize> = (0..cfg.topics).collect();
+            let mut prefs = Vec::with_capacity(cfg.topics);
+            while !remaining.is_empty() {
+                let weights: Vec<f64> = remaining
+                    .iter()
+                    .map(|&t| ((cfg.topics - t) as f64).powf(cfg.popularity_skew))
+                    .collect();
+                let pick = rng.choose_weighted(&weights);
+                prefs.push(remaining.remove(pick));
+            }
+            prefs
+        })
+        .collect()
+}
+
+/// Run the poll: groups arrive in a seeded random order; each takes
+/// its most-preferred topic with capacity left.
+///
+/// Panics if total capacity is below the number of groups (the
+/// instructors sized the poll so everyone fits: 10 × 2 = 20).
+#[must_use]
+pub fn run_poll(cfg: &AllocationConfig) -> AllocationOutcome {
+    assert!(
+        cfg.topics * cfg.capacity_per_topic >= cfg.groups,
+        "poll must have capacity for every group"
+    );
+    let mut rng = Xoshiro256::seed_from_u64(cfg.seed);
+    let prefs = preferences(cfg, &mut rng);
+    let mut arrival: Vec<usize> = (0..cfg.groups).collect();
+    rng.shuffle(&mut arrival);
+    let mut capacity = vec![cfg.capacity_per_topic; cfg.topics];
+    let mut assignment = vec![usize::MAX; cfg.groups];
+    let mut choice_rank = vec![usize::MAX; cfg.groups];
+    for &g in &arrival {
+        for (rank, &topic) in prefs[g].iter().enumerate() {
+            if capacity[topic] > 0 {
+                capacity[topic] -= 1;
+                assignment[g] = topic;
+                choice_rank[g] = rank;
+                break;
+            }
+        }
+        assert_ne!(assignment[g], usize::MAX, "capacity proof above");
+    }
+    AllocationOutcome {
+        assignment,
+        choice_rank,
+        leftover_capacity: capacity,
+    }
+}
+
+/// Run the poll across `trials` arrival orders and return the mean
+/// first-choice rate, mean top-3 rate and mean rank — the fairness
+/// summary for the E-ALLOC report.
+#[must_use]
+pub fn fairness_summary(cfg: &AllocationConfig, trials: usize) -> (f64, f64, f64) {
+    assert!(trials > 0);
+    let mut first = 0.0;
+    let mut top3 = 0.0;
+    let mut rank = 0.0;
+    for t in 0..trials {
+        let outcome = run_poll(&AllocationConfig {
+            seed: cfg.seed.wrapping_add(t as u64),
+            ..cfg.clone()
+        });
+        first += outcome.first_choice_rate();
+        top3 += outcome.top_k_rate(3);
+        rank += outcome.mean_rank();
+    }
+    (
+        first / trials as f64,
+        top3 / trials as f64,
+        rank / trials as f64,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_group_assigned_within_capacity() {
+        let outcome = run_poll(&AllocationConfig::default());
+        assert_eq!(outcome.assignment.len(), 20);
+        let mut per_topic = vec![0usize; 10];
+        for &t in &outcome.assignment {
+            per_topic[t] += 1;
+        }
+        assert!(per_topic.iter().all(|&c| c <= 2), "capacity respected");
+        // 20 groups into 10 topics x 2: every slot used.
+        assert!(per_topic.iter().all(|&c| c == 2));
+        assert!(outcome.leftover_capacity.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn uniform_preferences_mostly_first_choice() {
+        let cfg = AllocationConfig {
+            popularity_skew: 0.0,
+            ..AllocationConfig::default()
+        };
+        let (first, top3, _) = fairness_summary(&cfg, 50);
+        assert!(first > 0.55, "uniform demand: most get first choice ({first})");
+        assert!(top3 > 0.75, "top-3 rate {top3} too low for uniform demand");
+    }
+
+    #[test]
+    fn skewed_preferences_reduce_first_choice_rate() {
+        let uniform = fairness_summary(
+            &AllocationConfig {
+                popularity_skew: 0.0,
+                ..AllocationConfig::default()
+            },
+            50,
+        );
+        let skewed = fairness_summary(
+            &AllocationConfig {
+                popularity_skew: 3.0,
+                ..AllocationConfig::default()
+            },
+            50,
+        );
+        assert!(
+            skewed.0 < uniform.0,
+            "contention for hot topics must cost first choices ({} vs {})",
+            skewed.0,
+            uniform.0
+        );
+        assert!(skewed.2 > uniform.2, "mean rank degrades under skew");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = AllocationConfig::default();
+        let a = run_poll(&cfg);
+        let b = run_poll(&cfg);
+        assert_eq!(a.assignment, b.assignment);
+        let c = run_poll(&AllocationConfig {
+            seed: 999,
+            ..cfg
+        });
+        assert_ne!(a.assignment, c.assignment, "different order, different result");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity for every group")]
+    fn undersized_poll_rejected() {
+        let _ = run_poll(&AllocationConfig {
+            groups: 21,
+            ..AllocationConfig::default()
+        });
+    }
+
+    #[test]
+    fn spare_capacity_leaves_leftovers() {
+        let outcome = run_poll(&AllocationConfig {
+            groups: 15,
+            ..AllocationConfig::default()
+        });
+        let leftover: usize = outcome.leftover_capacity.iter().sum();
+        assert_eq!(leftover, 5);
+    }
+}

@@ -1,0 +1,198 @@
+//! The assessment scheme (Section III-C) and a grade ledger.
+
+/// One assessed component.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Component {
+    /// Component name.
+    pub name: &'static str,
+    /// Weight in percent of the final grade.
+    pub weight: f64,
+    /// Is it assessed per group (vs individually)?
+    pub group_work: bool,
+}
+
+/// The course's assessment scheme.
+#[derive(Clone, Debug)]
+pub struct AssessmentScheme {
+    components: Vec<Component>,
+}
+
+impl AssessmentScheme {
+    /// The SoftEng 751 scheme: Test 1 25 %, group seminar 20 %,
+    /// Test 2 10 %, project implementation 25 %, report 20 %.
+    #[must_use]
+    pub fn softeng751() -> Self {
+        Self {
+            components: vec![
+                Component {
+                    name: "Test 1 (core concepts, week 6)",
+                    weight: 25.0,
+                    group_work: false,
+                },
+                Component {
+                    name: "Group seminar (weeks 7-10)",
+                    weight: 20.0,
+                    group_work: true,
+                },
+                Component {
+                    name: "Test 2 (seminar content, week 11)",
+                    weight: 10.0,
+                    group_work: false,
+                },
+                Component {
+                    name: "Project implementation",
+                    weight: 25.0,
+                    group_work: true,
+                },
+                Component {
+                    name: "Project report",
+                    weight: 20.0,
+                    group_work: true,
+                },
+            ],
+        }
+    }
+
+    /// The components.
+    #[must_use]
+    pub fn components(&self) -> &[Component] {
+        &self.components
+    }
+
+    /// Sum of weights (must be 100).
+    #[must_use]
+    pub fn total_weight(&self) -> f64 {
+        self.components.iter().map(|c| c.weight).sum()
+    }
+
+    /// Percentage of the grade that is group work — the paper: "a
+    /// large component of the SoftEng 751 grade" reflects group work,
+    /// with "only 25 % … targeted individual understanding of the
+    /// lecture-style material".
+    #[must_use]
+    pub fn group_weight(&self) -> f64 {
+        self.components
+            .iter()
+            .filter(|c| c.group_work)
+            .map(|c| c.weight)
+            .sum()
+    }
+
+    /// Weighted final mark given per-component marks in `[0, 100]`,
+    /// in component order.
+    #[must_use]
+    pub fn final_mark(&self, marks: &[f64]) -> f64 {
+        assert_eq!(marks.len(), self.components.len(), "one mark per component");
+        assert!(
+            marks.iter().all(|m| (0.0..=100.0).contains(m)),
+            "marks must be percentages"
+        );
+        self.components
+            .iter()
+            .zip(marks)
+            .map(|(c, m)| c.weight / 100.0 * m)
+            .sum()
+    }
+}
+
+/// Per-student marks for a cohort.
+#[derive(Clone, Debug, Default)]
+pub struct GradeLedger {
+    entries: Vec<(String, Vec<f64>)>,
+}
+
+impl GradeLedger {
+    /// Empty ledger.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a student's component marks.
+    pub fn record(&mut self, student: &str, marks: Vec<f64>) {
+        self.entries.push((student.to_string(), marks));
+    }
+
+    /// Number of students.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Final marks under a scheme, in recording order.
+    #[must_use]
+    pub fn final_marks(&self, scheme: &AssessmentScheme) -> Vec<(String, f64)> {
+        self.entries
+            .iter()
+            .map(|(s, marks)| (s.clone(), scheme.final_mark(marks)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_sum_to_100() {
+        let s = AssessmentScheme::softeng751();
+        assert!((s.total_weight() - 100.0).abs() < 1e-12);
+        assert_eq!(s.components().len(), 5);
+    }
+
+    #[test]
+    fn individual_tests_are_35_percent() {
+        // Paper: "only 25% of the grade targeted individual
+        // understanding of the lecture-style material" (Test 1);
+        // Test 2 adds 10% individual, so group work is 65%.
+        let s = AssessmentScheme::softeng751();
+        assert!((s.group_weight() - 65.0).abs() < 1e-12);
+        let test1 = &s.components()[0];
+        assert_eq!(test1.weight, 25.0);
+        assert!(!test1.group_work);
+    }
+
+    #[test]
+    fn final_mark_weighted_correctly() {
+        let s = AssessmentScheme::softeng751();
+        // All 100s -> 100.
+        assert!((s.final_mark(&[100.0; 5]) - 100.0).abs() < 1e-12);
+        // Only Test 1 perfect -> 25.
+        assert!((s.final_mark(&[100.0, 0.0, 0.0, 0.0, 0.0]) - 25.0).abs() < 1e-12);
+        // Mixed.
+        let m = s.final_mark(&[80.0, 70.0, 60.0, 90.0, 75.0]);
+        assert!((m - (20.0 + 14.0 + 6.0 + 22.5 + 15.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "one mark per component")]
+    fn wrong_mark_count_rejected() {
+        let _ = AssessmentScheme::softeng751().final_mark(&[50.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentages")]
+    fn out_of_range_mark_rejected() {
+        let _ = AssessmentScheme::softeng751().final_mark(&[101.0, 0.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn ledger_computes_cohort() {
+        let s = AssessmentScheme::softeng751();
+        let mut ledger = GradeLedger::new();
+        ledger.record("alice", vec![90.0, 85.0, 80.0, 95.0, 88.0]);
+        ledger.record("bob", vec![60.0, 70.0, 65.0, 75.0, 70.0]);
+        let finals = ledger.final_marks(&s);
+        assert_eq!(finals.len(), 2);
+        assert!(finals[0].1 > finals[1].1);
+        assert_eq!(finals[0].0, "alice");
+        assert!(!ledger.is_empty());
+        assert_eq!(ledger.len(), 2);
+    }
+}

@@ -1,0 +1,37 @@
+//! # course — the SoftEng 751 course model
+//!
+//! The paper's own artifacts — not the student projects but the course
+//! machinery Sections II–V describe — modelled executably:
+//!
+//! * [`nexus`] — the research–teaching nexus (**Figure 1**): the
+//!   2×2 of content-emphasis × student-participation, and the
+//!   classification of every SoftEng 751 activity into it;
+//! * [`structure`] — the 12-teaching-week course plan (**Figure 2**)
+//!   with instructor-taught / assessment / project / student-taught
+//!   week roles;
+//! * [`assessment`] — the §III-C grade scheme (Test 1 25 %, seminar
+//!   20 %, Test 2 10 %, implementation 25 %, report 20 %) and a grade
+//!   ledger;
+//! * [`allocation`] — the §III-D first-in-first-served doodle-poll
+//!   topic allocation (60 students, groups of 3, 10 topics × 2
+//!   groups), simulated over arrival orders;
+//! * [`survey`] — the §V-A Likert evaluation aggregation, including a
+//!   synthetic cohort calibrated to the reported 95 % / 92 %
+//!   agreement rates;
+//! * [`repo`] — the version-control contribution assessment of
+//!   §III-C/IV-A: commit logs, contribution shares, peer-evaluation
+//!   aggregation and the equal-or-adjusted marking decision.
+
+pub mod allocation;
+pub mod assessment;
+pub mod nexus;
+pub mod repo;
+pub mod structure;
+pub mod survey;
+
+pub use allocation::{run_poll, AllocationConfig, AllocationOutcome};
+pub use assessment::{AssessmentScheme, GradeLedger};
+pub use nexus::{Activity, NexusQuadrant};
+pub use repo::{decide_marks, Commit, CommitLog, MarkDecision, PeerEvaluation};
+pub use structure::{course_plan, WeekRole};
+pub use survey::{Likert, SurveyQuestion};

@@ -1,0 +1,187 @@
+//! The research–teaching nexus (Figure 1, after Healey 2005).
+//!
+//! Two axes: whether the emphasis is on research *content* or research
+//! *processes/problems*, and whether students are *audience* or
+//! *participants*. The four quadrants and the paper's classification
+//! of each course activity reproduce Figure 1's content.
+
+use std::fmt;
+
+/// The four quadrants of Healey's nexus.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum NexusQuadrant {
+    /// Research-led: curriculum structured around research content;
+    /// students as audience.
+    ResearchLed,
+    /// Research-oriented: emphasis on research processes; students as
+    /// audience.
+    ResearchOriented,
+    /// Research-tutored: students write and discuss papers/essays;
+    /// students as participants, content emphasis.
+    ResearchTutored,
+    /// Research-based: inquiry-based learning; students as
+    /// participants, process emphasis.
+    ResearchBased,
+}
+
+impl NexusQuadrant {
+    /// Are students active participants (vs audience)?
+    #[must_use]
+    pub fn students_participate(self) -> bool {
+        matches!(self, NexusQuadrant::ResearchTutored | NexusQuadrant::ResearchBased)
+    }
+
+    /// Is the emphasis on research content (vs processes/problems)?
+    #[must_use]
+    pub fn content_emphasis(self) -> bool {
+        matches!(self, NexusQuadrant::ResearchLed | NexusQuadrant::ResearchTutored)
+    }
+
+    /// All quadrants.
+    #[must_use]
+    pub fn all() -> [NexusQuadrant; 4] {
+        [
+            NexusQuadrant::ResearchLed,
+            NexusQuadrant::ResearchOriented,
+            NexusQuadrant::ResearchTutored,
+            NexusQuadrant::ResearchBased,
+        ]
+    }
+}
+
+impl fmt::Display for NexusQuadrant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            NexusQuadrant::ResearchLed => "research-led",
+            NexusQuadrant::ResearchOriented => "research-oriented",
+            NexusQuadrant::ResearchTutored => "research-tutored",
+            NexusQuadrant::ResearchBased => "research-based",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A course activity and its place in the nexus.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Activity {
+    /// Activity name.
+    pub name: &'static str,
+    /// Its quadrant.
+    pub quadrant: NexusQuadrant,
+    /// Paper section describing it.
+    pub section: &'static str,
+}
+
+/// The paper's classification of SoftEng 751's activities
+/// (Section III-E): lectures infuse the lab's research (research-led),
+/// the group project is inquiry-based (research-based), seminars and
+/// the report are discussion-driven (research-tutored). The paper
+/// explicitly *omits* research-oriented teaching and argues why.
+#[must_use]
+pub fn softeng751_activities() -> Vec<Activity> {
+    vec![
+        Activity {
+            name: "core-concept lectures with PARC research examples",
+            quadrant: NexusQuadrant::ResearchLed,
+            section: "III-A/III-E",
+        },
+        Activity {
+            name: "in-class programming exercises",
+            quadrant: NexusQuadrant::ResearchLed,
+            section: "III-E",
+        },
+        Activity {
+            name: "group research project on PARC nuggets",
+            quadrant: NexusQuadrant::ResearchBased,
+            section: "III-E/IV",
+        },
+        Activity {
+            name: "group seminars and class discussions",
+            quadrant: NexusQuadrant::ResearchTutored,
+            section: "III-C/III-E",
+        },
+        Activity {
+            name: "project report",
+            quadrant: NexusQuadrant::ResearchTutored,
+            section: "III-C",
+        },
+    ]
+}
+
+/// Render Figure 1 as ASCII: the 2×2 grid with the activity counts of
+/// [`softeng751_activities`] placed into their quadrants.
+#[must_use]
+pub fn render_figure1() -> String {
+    let acts = softeng751_activities();
+    let count = |q: NexusQuadrant| acts.iter().filter(|a| a.quadrant == q).count();
+    let mut out = String::new();
+    out.push_str("                 STUDENTS AS PARTICIPANTS\n");
+    out.push_str("                          |\n");
+    out.push_str(&format!(
+        "   research-tutored [{}]   |   research-based [{}]\n",
+        count(NexusQuadrant::ResearchTutored),
+        count(NexusQuadrant::ResearchBased)
+    ));
+    out.push_str("EMPHASIS ON      ---------+---------      EMPHASIS ON\n");
+    out.push_str("RESEARCH CONTENT          |        RESEARCH PROCESSES\n");
+    out.push_str(&format!(
+        "   research-led [{}]       |   research-oriented [{}]\n",
+        count(NexusQuadrant::ResearchLed),
+        count(NexusQuadrant::ResearchOriented)
+    ));
+    out.push_str("                          |\n");
+    out.push_str("                 STUDENTS AS AUDIENCE\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadrant_axis_properties() {
+        assert!(!NexusQuadrant::ResearchLed.students_participate());
+        assert!(NexusQuadrant::ResearchLed.content_emphasis());
+        assert!(NexusQuadrant::ResearchBased.students_participate());
+        assert!(!NexusQuadrant::ResearchBased.content_emphasis());
+        assert!(NexusQuadrant::ResearchTutored.students_participate());
+        assert!(NexusQuadrant::ResearchTutored.content_emphasis());
+        assert!(!NexusQuadrant::ResearchOriented.students_participate());
+        assert!(!NexusQuadrant::ResearchOriented.content_emphasis());
+    }
+
+    #[test]
+    fn four_distinct_quadrants() {
+        let all = NexusQuadrant::all();
+        let labels: std::collections::HashSet<String> =
+            all.iter().map(ToString::to_string).collect();
+        assert_eq!(labels.len(), 4);
+    }
+
+    #[test]
+    fn paper_omits_research_oriented() {
+        // Section III-E: "the one thing really missing in SoftEng 751
+        // is some explicit emphasis on the research methodology".
+        let acts = softeng751_activities();
+        assert!(acts
+            .iter()
+            .all(|a| a.quadrant != NexusQuadrant::ResearchOriented));
+        // But all three other quadrants are covered ("research-infused").
+        for q in [
+            NexusQuadrant::ResearchLed,
+            NexusQuadrant::ResearchTutored,
+            NexusQuadrant::ResearchBased,
+        ] {
+            assert!(acts.iter().any(|a| a.quadrant == q), "{q} missing");
+        }
+    }
+
+    #[test]
+    fn figure1_renders_counts() {
+        let fig = render_figure1();
+        assert!(fig.contains("research-led [2]"));
+        assert!(fig.contains("research-based [1]"));
+        assert!(fig.contains("research-tutored [2]"));
+        assert!(fig.contains("research-oriented [0]"));
+    }
+}

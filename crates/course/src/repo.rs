@@ -1,0 +1,406 @@
+//! Version-control contribution assessment (Sections III-C and IV-A).
+//!
+//! The paper: "subversion logs were assessed to gauge individual
+//! member contributions. Students were also required to submit peer
+//! evaluations discussing the contributions made by each member; in
+//! most cases, students within a team were awarded equal marks."
+//!
+//! This module models a group's commit log, computes per-member
+//! contribution shares and an imbalance measure (Gini coefficient),
+//! aggregates the peer-evaluation matrix, and combines both into the
+//! equal-or-adjusted marking decision the instructors describe.
+
+use std::collections::HashMap;
+
+use parc_util::rng::Xoshiro256;
+
+/// One commit in a group's repository.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Commit {
+    /// Committing member (index into the group).
+    pub author: usize,
+    /// Teaching week of the commit (1-based).
+    pub week: usize,
+    /// Lines added.
+    pub added: usize,
+    /// Lines removed.
+    pub removed: usize,
+}
+
+impl Commit {
+    /// The size credited to a commit: added + removed/2 (removals
+    /// count, but less — refactoring credit without gaming).
+    #[must_use]
+    pub fn weight(&self) -> f64 {
+        self.added as f64 + self.removed as f64 / 2.0
+    }
+}
+
+/// A group's commit history.
+#[derive(Clone, Debug, Default)]
+pub struct CommitLog {
+    members: usize,
+    commits: Vec<Commit>,
+}
+
+impl CommitLog {
+    /// Empty log for a group of `members`.
+    #[must_use]
+    pub fn new(members: usize) -> Self {
+        assert!(members > 0, "a group needs members");
+        Self {
+            members,
+            commits: Vec::new(),
+        }
+    }
+
+    /// Record a commit. Panics on an unknown author.
+    pub fn commit(&mut self, c: Commit) {
+        assert!(c.author < self.members, "unknown author");
+        self.commits.push(c);
+    }
+
+    /// Number of members.
+    #[must_use]
+    pub fn members(&self) -> usize {
+        self.members
+    }
+
+    /// Number of commits.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.commits.len()
+    }
+
+    /// True when no commits exist.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.commits.is_empty()
+    }
+
+    /// Per-member contribution share (weights normalised to sum 1).
+    /// An empty log yields equal shares — no evidence either way.
+    #[must_use]
+    pub fn shares(&self) -> Vec<f64> {
+        let mut weights = vec![0.0f64; self.members];
+        for c in &self.commits {
+            weights[c.author] += c.weight();
+        }
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return vec![1.0 / self.members as f64; self.members];
+        }
+        weights.iter().map(|w| w / total).collect()
+    }
+
+    /// Gini coefficient of the contribution shares: 0 = perfectly
+    /// equal, →1 = one member did everything.
+    #[must_use]
+    pub fn gini(&self) -> f64 {
+        let mut shares = self.shares();
+        shares.sort_by(f64::total_cmp);
+        let n = shares.len() as f64;
+        let mean = shares.iter().sum::<f64>() / n;
+        if mean <= 0.0 {
+            return 0.0;
+        }
+        let mut abs_diff_sum = 0.0;
+        for &a in &shares {
+            for &b in &shares {
+                abs_diff_sum += (a - b).abs();
+            }
+        }
+        abs_diff_sum / (2.0 * n * n * mean)
+    }
+
+    /// Commits per teaching week — the "project history" view the
+    /// instructors used to administer progress.
+    #[must_use]
+    pub fn weekly_activity(&self) -> HashMap<usize, usize> {
+        let mut weeks = HashMap::new();
+        for c in &self.commits {
+            *weeks.entry(c.week).or_insert(0) += 1;
+        }
+        weeks
+    }
+}
+
+/// Peer-evaluation matrix: `ratings[rater][ratee]` in 1..=5, raters
+/// do not rate themselves (diagonal ignored).
+#[derive(Clone, Debug)]
+pub struct PeerEvaluation {
+    ratings: Vec<Vec<u8>>,
+}
+
+impl PeerEvaluation {
+    /// Build from a square matrix. Panics when not square or when an
+    /// off-diagonal rating is outside 1..=5.
+    #[must_use]
+    pub fn new(ratings: Vec<Vec<u8>>) -> Self {
+        let n = ratings.len();
+        for (i, row) in ratings.iter().enumerate() {
+            assert_eq!(row.len(), n, "matrix must be square");
+            for (j, &r) in row.iter().enumerate() {
+                if i != j {
+                    assert!((1..=5).contains(&r), "rating {r} out of 1..=5");
+                }
+            }
+        }
+        Self { ratings }
+    }
+
+    /// Mean rating received by each member (diagonal excluded).
+    #[must_use]
+    pub fn received_means(&self) -> Vec<f64> {
+        let n = self.ratings.len();
+        (0..n)
+            .map(|ratee| {
+                let (sum, cnt) = (0..n)
+                    .filter(|&rater| rater != ratee)
+                    .fold((0.0, 0usize), |(s, c), rater| {
+                        (s + f64::from(self.ratings[rater][ratee]), c + 1)
+                    });
+                if cnt == 0 {
+                    5.0
+                } else {
+                    sum / cnt as f64
+                }
+            })
+            .collect()
+    }
+}
+
+/// The instructors' marking decision for one group.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MarkDecision {
+    /// Contributions balanced: everyone gets the group mark
+    /// ("in most cases, students within a team were awarded equal
+    /// marks").
+    Equal,
+    /// Evidence of imbalance: per-member multipliers on the group
+    /// mark (ordered by member index, each in `[0.5, 1.0]`).
+    Adjusted(Vec<f64>),
+}
+
+/// Combine commit evidence and peer evaluations into a decision.
+/// Adjustment triggers only when *both* signals agree that someone
+/// under-contributed: commit Gini above `gini_threshold` **and** at
+/// least one member's peer mean below `peer_threshold`.
+#[must_use]
+pub fn decide_marks(
+    log: &CommitLog,
+    peers: &PeerEvaluation,
+    gini_threshold: f64,
+    peer_threshold: f64,
+) -> MarkDecision {
+    let gini = log.gini();
+    let peer_means = peers.received_means();
+    let weakest = peer_means.iter().copied().fold(f64::INFINITY, f64::min);
+    if gini <= gini_threshold || weakest >= peer_threshold {
+        return MarkDecision::Equal;
+    }
+    let shares = log.shares();
+    let fair = 1.0 / log.members() as f64;
+    let multipliers = shares
+        .iter()
+        .zip(&peer_means)
+        .map(|(&share, &peer)| {
+            if share >= fair * 0.5 || peer >= peer_threshold {
+                1.0
+            } else {
+                // Under-contributor on both signals: scale by how far
+                // below the fair share they fell, floored at 0.5.
+                (0.5 + share / fair).min(1.0).max(0.5)
+            }
+        })
+        .collect();
+    MarkDecision::Adjusted(multipliers)
+}
+
+/// Synthesize a group's commit log: `balanced` groups commit evenly;
+/// unbalanced ones concentrate work on member 0. Deterministic per
+/// seed.
+#[must_use]
+pub fn synth_log(members: usize, commits: usize, balanced: bool, seed: u64) -> CommitLog {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let mut log = CommitLog::new(members);
+    for _ in 0..commits {
+        let author = if balanced {
+            rng.gen_range_usize(0..members)
+        } else {
+            // 80 % of commits from member 0.
+            if rng.gen_bool(0.8) {
+                0
+            } else {
+                rng.gen_range_usize(0..members)
+            }
+        };
+        log.commit(Commit {
+            author,
+            week: rng.gen_range_usize(7..15),
+            added: rng.gen_range_usize(5..200),
+            removed: rng.gen_range_usize(0..80),
+        });
+    }
+    log
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_sum_to_one() {
+        let log = synth_log(3, 60, true, 1);
+        let shares = log.shares();
+        assert_eq!(shares.len(), 3);
+        assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_log_gives_equal_shares() {
+        let log = CommitLog::new(4);
+        assert!(log.is_empty());
+        assert_eq!(log.shares(), vec![0.25; 4]);
+        assert!(log.gini() < 1e-12);
+    }
+
+    #[test]
+    fn balanced_gini_low_unbalanced_high() {
+        let balanced = synth_log(3, 120, true, 2);
+        let skewed = synth_log(3, 120, false, 2);
+        assert!(
+            balanced.gini() < 0.25,
+            "balanced gini {} too high",
+            balanced.gini()
+        );
+        assert!(
+            skewed.gini() > balanced.gini() + 0.15,
+            "skewed {} vs balanced {}",
+            skewed.gini(),
+            balanced.gini()
+        );
+    }
+
+    #[test]
+    fn commit_weight_discounts_removals() {
+        let c = Commit {
+            author: 0,
+            week: 9,
+            added: 100,
+            removed: 50,
+        };
+        assert!((c.weight() - 125.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weekly_activity_counts() {
+        let mut log = CommitLog::new(2);
+        for week in [9, 9, 10, 12] {
+            log.commit(Commit {
+                author: 0,
+                week,
+                added: 10,
+                removed: 0,
+            });
+        }
+        let weeks = log.weekly_activity();
+        assert_eq!(weeks[&9], 2);
+        assert_eq!(weeks[&10], 1);
+        assert_eq!(weeks[&12], 1);
+        assert_eq!(log.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown author")]
+    fn unknown_author_rejected() {
+        let mut log = CommitLog::new(2);
+        log.commit(Commit {
+            author: 5,
+            week: 9,
+            added: 1,
+            removed: 0,
+        });
+    }
+
+    #[test]
+    fn peer_means_exclude_self() {
+        // Member 1 rates others 5 but receives 2s.
+        let peers = PeerEvaluation::new(vec![
+            vec![0, 2, 4], // rater 0
+            vec![5, 0, 5], // rater 1
+            vec![5, 2, 0], // rater 2
+        ]);
+        let means = peers.received_means();
+        assert!((means[0] - 5.0).abs() < 1e-12);
+        assert!((means[1] - 2.0).abs() < 1e-12);
+        assert!((means[2] - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of 1..=5")]
+    fn bad_rating_rejected() {
+        let _ = PeerEvaluation::new(vec![vec![0, 9], vec![3, 0]]);
+    }
+
+    #[test]
+    fn balanced_groups_get_equal_marks() {
+        let log = synth_log(3, 100, true, 3);
+        let peers = PeerEvaluation::new(vec![
+            vec![0, 4, 5],
+            vec![5, 0, 4],
+            vec![4, 5, 0],
+        ]);
+        assert_eq!(decide_marks(&log, &peers, 0.3, 3.0), MarkDecision::Equal);
+    }
+
+    #[test]
+    fn double_evidence_triggers_adjustment() {
+        // Member 2 commits almost nothing and gets poor peer ratings.
+        let mut log = CommitLog::new(3);
+        for i in 0..40 {
+            log.commit(Commit {
+                author: i % 2, // members 0 and 1 only
+                week: 9 + i % 5,
+                added: 100,
+                removed: 10,
+            });
+        }
+        log.commit(Commit {
+            author: 2,
+            week: 13,
+            added: 3,
+            removed: 0,
+        });
+        let peers = PeerEvaluation::new(vec![
+            vec![0, 5, 2],
+            vec![5, 0, 1],
+            vec![4, 4, 0],
+        ]);
+        match decide_marks(&log, &peers, 0.3, 3.0) {
+            MarkDecision::Adjusted(mult) => {
+                assert!((mult[0] - 1.0).abs() < 1e-12);
+                assert!((mult[1] - 1.0).abs() < 1e-12);
+                assert!(mult[2] < 1.0 && mult[2] >= 0.5, "got {}", mult[2]);
+            }
+            other => panic!("expected adjustment, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn peer_praise_overrides_low_commits() {
+        // Low committer but peers vouch (e.g. did the report):
+        // no adjustment.
+        let mut log = CommitLog::new(2);
+        for _ in 0..30 {
+            log.commit(Commit {
+                author: 0,
+                week: 10,
+                added: 100,
+                removed: 0,
+            });
+        }
+        let peers = PeerEvaluation::new(vec![vec![0, 5], vec![5, 0]]);
+        assert_eq!(decide_marks(&log, &peers, 0.3, 3.0), MarkDecision::Equal);
+    }
+}

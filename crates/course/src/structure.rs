@@ -1,0 +1,193 @@
+//! The course structure (Figure 2): 6 teaching weeks, a 2-week study
+//! break, 6 more teaching weeks, with each week's use.
+
+use std::fmt;
+
+/// How a course week is used (Figure 2's second column).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum WeekRole {
+    /// Instructor-led teaching (IT).
+    InstructorTaught,
+    /// Assessment (A) — a test.
+    Assessment,
+    /// "Free" project work (P).
+    ProjectWork,
+    /// Student-led teaching (ST) — group seminars.
+    StudentTaught,
+    /// Mid-semester study break.
+    StudyBreak,
+}
+
+impl WeekRole {
+    /// Figure 2's single-letter code.
+    #[must_use]
+    pub fn code(self) -> &'static str {
+        match self {
+            WeekRole::InstructorTaught => "IT",
+            WeekRole::Assessment => "A",
+            WeekRole::ProjectWork => "P",
+            WeekRole::StudentTaught => "ST",
+            WeekRole::StudyBreak => "--",
+        }
+    }
+}
+
+impl fmt::Display for WeekRole {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// One calendar week of the course. A week can serve several uses
+/// (e.g. week 6: test *and* project-topic discussion).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Week {
+    /// Calendar position (1-based, breaks included).
+    pub number: usize,
+    /// Uses of the week.
+    pub roles: Vec<WeekRole>,
+    /// What happens.
+    pub summary: &'static str,
+}
+
+/// The SoftEng 751 plan per Section III-A: essentials of
+/// shared-memory parallel programming in weeks 1–5; week 6 test +
+/// topic discussion; study break; weeks 7–10 group seminars
+/// (examinable) alongside project work; week 11 Test 2; final weeks
+/// dedicated to implementation and report, both due in the last week.
+#[must_use]
+pub fn course_plan() -> Vec<Week> {
+    let mut weeks = Vec::new();
+    for n in 1..=5 {
+        weeks.push(Week {
+            number: n,
+            roles: vec![WeekRole::InstructorTaught],
+            summary: "core shared-memory parallel programming concepts",
+        });
+    }
+    weeks.push(Week {
+        number: 6,
+        roles: vec![WeekRole::Assessment, WeekRole::InstructorTaught],
+        summary: "Test 1 (25%) on weeks 1-5; project topics discussed",
+    });
+    for n in 7..=8 {
+        weeks.push(Week {
+            number: n,
+            roles: vec![WeekRole::StudyBreak],
+            summary: "mid-semester study break",
+        });
+    }
+    for n in 9..=12 {
+        weeks.push(Week {
+            number: n,
+            roles: vec![WeekRole::StudentTaught, WeekRole::ProjectWork],
+            summary: "group seminars (2 x 20min+5 per slot, examinable) + project work",
+        });
+    }
+    weeks.push(Week {
+        number: 13,
+        roles: vec![WeekRole::Assessment, WeekRole::ProjectWork],
+        summary: "Test 2 (10%) on seminar content; project work",
+    });
+    weeks.push(Week {
+        number: 14,
+        roles: vec![WeekRole::ProjectWork],
+        summary: "implementation (25%) and report (20%) due",
+    });
+    weeks
+}
+
+/// Render Figure 2 as an ASCII table.
+#[must_use]
+pub fn render_figure2() -> String {
+    let mut t = parc_util::Table::new(
+        "SoftEng 751 course structure (Figure 2)",
+        &["week", "use", "summary"],
+    );
+    for w in course_plan() {
+        let roles: Vec<&str> = w.roles.iter().map(|r| r.code()).collect();
+        t.row(&[w.number.to_string(), roles.join("+"), w.summary.to_string()]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_has_twelve_teaching_weeks_and_break() {
+        let plan = course_plan();
+        let teaching = plan
+            .iter()
+            .filter(|w| !w.roles.contains(&WeekRole::StudyBreak))
+            .count();
+        let breaks = plan
+            .iter()
+            .filter(|w| w.roles.contains(&WeekRole::StudyBreak))
+            .count();
+        assert_eq!(teaching, 12, "semester = 6 + 6 teaching weeks");
+        assert_eq!(breaks, 2, "2-week study break");
+    }
+
+    #[test]
+    fn first_five_weeks_are_instructor_taught() {
+        let plan = course_plan();
+        for w in &plan[0..5] {
+            assert_eq!(w.roles, vec![WeekRole::InstructorTaught]);
+        }
+    }
+
+    #[test]
+    fn tests_fall_in_weeks_6_and_post_seminars() {
+        let plan = course_plan();
+        let assessments: Vec<usize> = plan
+            .iter()
+            .filter(|w| w.roles.contains(&WeekRole::Assessment))
+            .map(|w| w.number)
+            .collect();
+        assert_eq!(assessments.len(), 2);
+        assert_eq!(assessments[0], 6, "Test 1 concludes the lecture block");
+        // Test 2 follows the four seminar weeks.
+        let last_seminar = plan
+            .iter()
+            .filter(|w| w.roles.contains(&WeekRole::StudentTaught))
+            .map(|w| w.number)
+            .max()
+            .unwrap();
+        assert_eq!(assessments[1], last_seminar + 1);
+    }
+
+    #[test]
+    fn seminar_weeks_are_four() {
+        let n = course_plan()
+            .iter()
+            .filter(|w| w.roles.contains(&WeekRole::StudentTaught))
+            .count();
+        assert_eq!(n, 4, "seminars run weeks 7-10 of teaching");
+    }
+
+    #[test]
+    fn week_numbers_consecutive() {
+        let plan = course_plan();
+        for (i, w) in plan.iter().enumerate() {
+            assert_eq!(w.number, i + 1);
+        }
+    }
+
+    #[test]
+    fn figure2_renders() {
+        let fig = render_figure2();
+        assert!(fig.contains("Test 1"));
+        assert!(fig.contains("ST+P"));
+        assert!(fig.contains("IT"));
+    }
+
+    #[test]
+    fn codes_roundtrip() {
+        assert_eq!(WeekRole::InstructorTaught.to_string(), "IT");
+        assert_eq!(WeekRole::StudentTaught.code(), "ST");
+        assert_eq!(WeekRole::Assessment.code(), "A");
+        assert_eq!(WeekRole::ProjectWork.code(), "P");
+    }
+}

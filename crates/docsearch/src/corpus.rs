@@ -1,0 +1,216 @@
+//! Deterministic text-corpus generation.
+//!
+//! Replaces the "folder of text files" / "number of PDF files" inputs
+//! with seeded synthetic prose. A fixed word list plus a small set of
+//! planted *needle* phrases gives the search tests exact expected
+//! counts to assert against.
+
+use parc_util::rng::Xoshiro256;
+
+use crate::paged::Document;
+use crate::vfs::{Dir, TextFile};
+
+/// The corpus vocabulary (common English filler).
+pub const WORDS: &[&str] = &[
+    "the", "of", "and", "a", "to", "in", "is", "you", "that", "it", "he", "was", "for", "on",
+    "are", "as", "with", "his", "they", "at", "be", "this", "have", "from", "or", "one", "had",
+    "by", "word", "but", "not", "what", "all", "were", "we", "when", "your", "can", "said",
+    "there", "use", "an", "each", "which", "she", "do", "how", "their", "if", "will", "up",
+    "other", "about", "out", "many", "then", "them", "these", "so", "some", "her", "would",
+    "make", "like", "him", "into", "time", "has", "look", "two", "more", "write", "go", "see",
+    "number", "no", "way", "could", "people", "my", "than", "first", "water", "been", "call",
+    "who", "oil", "its", "now", "find", "long", "down", "day", "did", "get", "come", "made",
+    "may", "part", "thread", "parallel", "task", "core",
+];
+
+/// Configuration for text-corpus generation.
+#[derive(Clone, Debug)]
+pub struct CorpusConfig {
+    /// Files per directory.
+    pub files_per_dir: usize,
+    /// Sub-directories per directory.
+    pub dirs_per_level: usize,
+    /// Tree depth (0 = flat).
+    pub depth: usize,
+    /// Lines per file.
+    pub lines_per_file: usize,
+    /// Words per line.
+    pub words_per_line: usize,
+    /// The phrase planted at a known rate.
+    pub needle: String,
+    /// Probability a line carries the needle.
+    pub needle_rate: f64,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        Self {
+            files_per_dir: 8,
+            dirs_per_level: 3,
+            depth: 2,
+            lines_per_file: 40,
+            words_per_line: 10,
+            needle: "concurrency bug".to_string(),
+            needle_rate: 0.02,
+            seed: 0xD0C5,
+        }
+    }
+}
+
+fn gen_line(rng: &mut Xoshiro256, cfg: &CorpusConfig, planted: &mut usize) -> String {
+    let mut words: Vec<&str> = (0..cfg.words_per_line)
+        .map(|_| *rng.choose(WORDS))
+        .collect();
+    let mut line = words.join(" ");
+    if rng.gen_bool(cfg.needle_rate) {
+        let insert_at = rng.gen_range_usize(0..words.len().max(1));
+        words.insert(insert_at, "");
+        line = {
+            let mut parts: Vec<String> = words.iter().map(|w| (*w).to_string()).collect();
+            parts[insert_at] = cfg.needle.clone();
+            parts.join(" ")
+        };
+        *planted += 1;
+    }
+    line
+}
+
+fn gen_dir(
+    name: &str,
+    depth_left: usize,
+    rng: &mut Xoshiro256,
+    cfg: &CorpusConfig,
+    planted: &mut usize,
+) -> Dir {
+    let mut dir = Dir::new(name);
+    for f in 0..cfg.files_per_dir {
+        let lines = (0..cfg.lines_per_file)
+            .map(|_| gen_line(rng, cfg, planted))
+            .collect();
+        dir.files.push(TextFile::new(&format!("file{f}.txt"), lines));
+    }
+    if depth_left > 0 {
+        for d in 0..cfg.dirs_per_level {
+            dir.subdirs
+                .push(gen_dir(&format!("dir{d}"), depth_left - 1, rng, cfg, planted));
+        }
+    }
+    dir
+}
+
+/// Generate a folder tree; returns the tree and the number of planted
+/// needle occurrences (= expected literal-search hit count).
+#[must_use]
+pub fn generate_tree(cfg: &CorpusConfig) -> (Dir, usize) {
+    let mut rng = Xoshiro256::seed_from_u64(cfg.seed);
+    let mut planted = 0;
+    let dir = gen_dir("corpus", cfg.depth, &mut rng, cfg, &mut planted);
+    (dir, planted)
+}
+
+/// Generate a collection of paged documents (the PDF-folder
+/// substitute); returns the documents and the planted needle count.
+#[must_use]
+pub fn generate_documents(
+    count: usize,
+    pages_per_doc: usize,
+    lines_per_page: usize,
+    cfg: &CorpusConfig,
+) -> (Vec<Document>, usize) {
+    let mut rng = Xoshiro256::seed_from_u64(cfg.seed ^ 0x9E37);
+    let mut planted = 0;
+    let docs = (0..count)
+        .map(|d| {
+            let pages = (0..pages_per_doc)
+                .map(|_| {
+                    (0..lines_per_page)
+                        .map(|_| gen_line(&mut rng, cfg, &mut planted))
+                        .collect::<Vec<_>>()
+                        .join("\n")
+                })
+                .collect();
+            Document {
+                title: format!("document-{d:03}.pdf"),
+                pages,
+            }
+        })
+        .collect();
+    (docs, planted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_shape_matches_config() {
+        let cfg = CorpusConfig {
+            files_per_dir: 2,
+            dirs_per_level: 2,
+            depth: 2,
+            ..CorpusConfig::default()
+        };
+        let (tree, _) = generate_tree(&cfg);
+        // 1 + 2 + 4 directories, 2 files each.
+        assert_eq!(tree.file_count(), 2 * 7);
+        assert_eq!(tree.files.len(), 2);
+        assert_eq!(tree.subdirs.len(), 2);
+        assert_eq!(tree.subdirs[0].subdirs.len(), 2);
+        assert!(tree.subdirs[0].subdirs[0].subdirs.is_empty());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = CorpusConfig::default();
+        let (a, pa) = generate_tree(&cfg);
+        let (b, pb) = generate_tree(&cfg);
+        assert_eq!(pa, pb);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn planted_count_matches_actual_occurrences() {
+        let cfg = CorpusConfig {
+            needle_rate: 0.1,
+            ..CorpusConfig::default()
+        };
+        let (tree, planted) = generate_tree(&cfg);
+        let mut found = 0;
+        for (_, file) in tree.walk() {
+            for line in &file.lines {
+                found += line.matches(&cfg.needle).count();
+            }
+        }
+        assert_eq!(found, planted);
+        assert!(planted > 0, "with rate 0.1 some needles must land");
+    }
+
+    #[test]
+    fn documents_have_requested_shape() {
+        let cfg = CorpusConfig::default();
+        let (docs, _) = generate_documents(5, 4, 6, &cfg);
+        assert_eq!(docs.len(), 5);
+        for d in &docs {
+            assert_eq!(d.pages.len(), 4);
+            assert_eq!(d.pages[0].lines().count(), 6);
+        }
+    }
+
+    #[test]
+    fn document_planted_count_matches() {
+        let cfg = CorpusConfig {
+            needle_rate: 0.05,
+            ..CorpusConfig::default()
+        };
+        let (docs, planted) = generate_documents(10, 5, 10, &cfg);
+        let mut found = 0;
+        for d in &docs {
+            for p in &d.pages {
+                found += p.matches(&cfg.needle).count();
+            }
+        }
+        assert_eq!(found, planted);
+    }
+}

@@ -1,0 +1,37 @@
+//! # docsearch — parallel text and document search
+//!
+//! Two SoftEng 751 projects live here:
+//!
+//! * **Project 4 — search for a string in text files of a folder**:
+//!   "the user would specify a search string (or even a regular
+//!   expression), which is then searched in the text files of a folder
+//!   and its sub-folders … in parallel without blocking the user
+//!   interface … encountered strings were also displayed as file and
+//!   line number pairs while the search was still in progress."
+//!   → [`vfs`] (virtual folder tree), [`regexlite`] (a from-scratch
+//!   Thompson-NFA regex subset — no backtracking blow-up), and
+//!   [`search`] (parallel folder search with streamed interim hits).
+//!
+//! * **Project 7 — PDF searching**: "searches a number of PDF files …
+//!   investigating various granularity and parameters to the
+//!   parallelisation process (for example, searching per page, per
+//!   file, number of threads, etc)."
+//!   → [`paged`] (paged documents and the granularity sweep).
+//!
+//! Substitution (see DESIGN.md): corpora are generated
+//! deterministically from an embedded word list rather than read from
+//! disk; the search code paths (per-file/per-page tasks, streaming,
+//! cancellation) are the real thing.
+
+pub mod corpus;
+pub mod index;
+pub mod paged;
+pub mod regexlite;
+pub mod search;
+pub mod vfs;
+
+pub use index::InvertedIndex;
+pub use paged::{search_documents, Document, Granularity, PagedSearchReport};
+pub use regexlite::Regex;
+pub use search::{search_folder, Match, Query, SearchReport};
+pub use vfs::{Dir, TextFile};

@@ -1,0 +1,301 @@
+//! Paged-document search with configurable granularity (project 7).
+//!
+//! The "PDF" of the project brief is, for search purposes, a sequence
+//! of text pages. The research question the students investigated is
+//! *granularity*: is the unit of parallel work a whole document, a
+//! single page, or a chunk of pages? Too coarse starves workers at the
+//! tail; too fine drowns the runtime in per-task overhead. The
+//! benchmark in experiment E7 sweeps exactly that axis.
+
+use std::sync::Arc;
+
+use partask::{InterimSender, TaskRuntime};
+
+use crate::search::Query;
+
+/// A paged document (the PDF stand-in).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Document {
+    /// Document title / file name.
+    pub title: String,
+    /// Page texts.
+    pub pages: Vec<String>,
+}
+
+impl Document {
+    /// Number of pages.
+    #[must_use]
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+/// The unit of parallel work.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Granularity {
+    /// One task per document.
+    PerDocument,
+    /// One task per page.
+    PerPage,
+    /// One task per chunk of `n` pages (within a document).
+    PerChunk(usize),
+}
+
+impl Granularity {
+    /// Short label for reports.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            Granularity::PerDocument => "per-document".into(),
+            Granularity::PerPage => "per-page".into(),
+            Granularity::PerChunk(n) => format!("per-chunk({n})"),
+        }
+    }
+}
+
+/// One page-level hit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PageHit {
+    /// Index of the document.
+    pub doc: usize,
+    /// 0-based page number.
+    pub page: usize,
+    /// Number of matches on that page.
+    pub count: usize,
+}
+
+/// Result of a document-collection search.
+#[derive(Debug)]
+pub struct PagedSearchReport {
+    /// Hits ordered by (doc, page).
+    pub hits: Vec<PageHit>,
+    /// Total match count.
+    pub total_matches: usize,
+    /// Number of parallel tasks the granularity produced.
+    pub tasks_spawned: usize,
+}
+
+fn count_in_page(page: &str, query: &Query) -> usize {
+    page.lines()
+        .map(|line| match query {
+            Query::Literal {
+                needle,
+                case_insensitive,
+            } => {
+                if *case_insensitive {
+                    line.to_lowercase().matches(needle.as_str()).count()
+                } else {
+                    line.matches(needle.as_str()).count()
+                }
+            }
+            Query::Pattern(re) => re.find_all(line).len(),
+        })
+        .sum()
+}
+
+/// Search all documents for `query` at the given granularity,
+/// optionally streaming page hits as they are found.
+#[must_use]
+pub fn search_documents(
+    rt: &TaskRuntime,
+    docs: &Arc<Vec<Document>>,
+    query: &Query,
+    granularity: Granularity,
+    on_hit: Option<&InterimSender<PageHit>>,
+) -> PagedSearchReport {
+    // Work units: (doc index, page range).
+    let mut units: Vec<(usize, usize, usize)> = Vec::new();
+    for (d, doc) in docs.iter().enumerate() {
+        let pages = doc.page_count();
+        match granularity {
+            Granularity::PerDocument => units.push((d, 0, pages)),
+            Granularity::PerPage => units.extend((0..pages).map(|p| (d, p, p + 1))),
+            Granularity::PerChunk(n) => {
+                let n = n.max(1);
+                let mut p = 0;
+                while p < pages {
+                    units.push((d, p, (p + n).min(pages)));
+                    p += n;
+                }
+            }
+        }
+    }
+    let query = Arc::new(query.clone());
+    let tasks_spawned = units.len();
+    let units = Arc::new(units);
+    let handles: Vec<_> = (0..tasks_spawned)
+        .map(|u| {
+            let docs = Arc::clone(docs);
+            let units = Arc::clone(&units);
+            let query = Arc::clone(&query);
+            let tx = on_hit.cloned();
+            rt.spawn(move || {
+                let (d, lo, hi) = units[u];
+                let mut hits = Vec::new();
+                for p in lo..hi {
+                    let count = count_in_page(&docs[d].pages[p], &query);
+                    if count > 0 {
+                        let hit = PageHit {
+                            doc: d,
+                            page: p,
+                            count,
+                        };
+                        if let Some(tx) = &tx {
+                            tx.send(hit.clone());
+                        }
+                        hits.push(hit);
+                    }
+                }
+                hits
+            })
+        })
+        .collect();
+    let mut hits: Vec<PageHit> = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("search task"))
+        .collect();
+    hits.sort_by_key(|h| (h.doc, h.page));
+    let total_matches = hits.iter().map(|h| h.count).sum();
+    PagedSearchReport {
+        hits,
+        total_matches,
+        tasks_spawned,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{generate_documents, CorpusConfig};
+
+    fn docs_with_known_hits() -> Arc<Vec<Document>> {
+        Arc::new(vec![
+            Document {
+                title: "a".into(),
+                pages: vec![
+                    "needle here\nnothing".into(),
+                    "no hits".into(),
+                    "needle needle".into(),
+                ],
+            },
+            Document {
+                title: "b".into(),
+                pages: vec!["clean page".into(), "one needle".into()],
+            },
+        ])
+    }
+
+    #[test]
+    fn all_granularities_agree() {
+        let rt = TaskRuntime::builder().workers(2).build();
+        let docs = docs_with_known_hits();
+        let query = Query::literal("needle");
+        let mut reference: Option<Vec<PageHit>> = None;
+        for g in [
+            Granularity::PerDocument,
+            Granularity::PerPage,
+            Granularity::PerChunk(2),
+        ] {
+            let report = search_documents(&rt, &docs, &query, g, None);
+            assert_eq!(report.total_matches, 4, "{g:?}");
+            match &reference {
+                None => reference = Some(report.hits),
+                Some(r) => assert_eq!(r, &report.hits, "{g:?}"),
+            }
+        }
+        rt.shutdown();
+    }
+
+    #[test]
+    fn task_counts_reflect_granularity() {
+        let rt = TaskRuntime::builder().workers(2).build();
+        let docs = docs_with_known_hits(); // 2 docs, 3+2 pages
+        let query = Query::literal("x");
+        assert_eq!(
+            search_documents(&rt, &docs, &query, Granularity::PerDocument, None).tasks_spawned,
+            2
+        );
+        assert_eq!(
+            search_documents(&rt, &docs, &query, Granularity::PerPage, None).tasks_spawned,
+            5
+        );
+        assert_eq!(
+            search_documents(&rt, &docs, &query, Granularity::PerChunk(2), None).tasks_spawned,
+            3
+        );
+        rt.shutdown();
+    }
+
+    #[test]
+    fn generated_corpus_counts_match_planted() {
+        let rt = TaskRuntime::builder().workers(2).build();
+        let cfg = CorpusConfig {
+            needle_rate: 0.04,
+            ..CorpusConfig::default()
+        };
+        let (docs, planted) = generate_documents(12, 6, 8, &cfg);
+        let docs = Arc::new(docs);
+        let report = search_documents(
+            &rt,
+            &docs,
+            &Query::literal(&cfg.needle),
+            Granularity::PerPage,
+            None,
+        );
+        assert_eq!(report.total_matches, planted);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn interim_hits_stream_completely() {
+        let rt = TaskRuntime::builder().workers(2).build();
+        let docs = docs_with_known_hits();
+        let (tx, rx) = partask::interim::channel::<PageHit>();
+        let report = search_documents(
+            &rt,
+            &docs,
+            &Query::literal("needle"),
+            Granularity::PerPage,
+            Some(&tx),
+        );
+        let mut streamed = rx.try_drain();
+        streamed.sort_by_key(|h| (h.doc, h.page));
+        assert_eq!(streamed, report.hits);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn regex_queries_work_on_pages() {
+        let rt = TaskRuntime::builder().workers(1).build();
+        let docs = Arc::new(vec![Document {
+            title: "t".into(),
+            pages: vec!["code 12\ncode x".into()],
+        }]);
+        let re = crate::regexlite::Regex::new(r"code \d+").unwrap();
+        let report =
+            search_documents(&rt, &docs, &Query::regex(re), Granularity::PerDocument, None);
+        assert_eq!(report.total_matches, 1);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn chunk_of_zero_clamps() {
+        let rt = TaskRuntime::builder().workers(1).build();
+        let docs = docs_with_known_hits();
+        let report = search_documents(
+            &rt,
+            &docs,
+            &Query::literal("needle"),
+            Granularity::PerChunk(0),
+            None,
+        );
+        assert_eq!(report.total_matches, 4);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Granularity::PerDocument.label(), "per-document");
+        assert_eq!(Granularity::PerChunk(4).label(), "per-chunk(4)");
+    }
+}

@@ -1,0 +1,549 @@
+//! A small regular-expression engine (Thompson NFA construction,
+//! breadth-first simulation — linear time, no backtracking).
+//!
+//! Supported syntax: literals, `.`, character classes `[a-z0-9]` and
+//! negated classes `[^…]`, escapes (`\.` etc. plus `\d` `\w` `\s`),
+//! grouping `(…)`, alternation `|`, repetition `*` `+` `?`, and the
+//! anchors `^` / `$`. Matching is byte-oriented over ASCII (the
+//! generated corpora are ASCII); `is_match` is unanchored unless
+//! anchors are present.
+
+use std::fmt;
+
+/// A compiled pattern.
+#[derive(Clone, Debug)]
+pub struct Regex {
+    pattern: String,
+    states: Vec<State>,
+    start: usize,
+}
+
+/// Compilation error with a human-readable description.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "regex parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Clone, Debug)]
+enum State {
+    /// Consume one byte matching the class, then go to `next`.
+    Byte(ByteClass, usize),
+    /// Fork to both targets without consuming.
+    Split(usize, usize),
+    /// Match only at the start of the text.
+    AnchorStart(usize),
+    /// Match only at the end of the text.
+    AnchorEnd(usize),
+    /// Accepting state.
+    Accept,
+}
+
+#[derive(Clone, Debug)]
+enum ByteClass {
+    Any,
+    One(u8),
+    Set { negated: bool, ranges: Vec<(u8, u8)> },
+}
+
+impl ByteClass {
+    fn matches(&self, b: u8) -> bool {
+        match self {
+            ByteClass::Any => b != b'\n',
+            ByteClass::One(c) => b == *c,
+            ByteClass::Set { negated, ranges } => {
+                let inside = ranges.iter().any(|&(lo, hi)| (lo..=hi).contains(&b));
+                inside != *negated
+            }
+        }
+    }
+}
+
+// --- parser: pattern -> AST ------------------------------------------
+
+#[derive(Debug)]
+enum Ast {
+    Empty,
+    Byte(ByteClass),
+    Concat(Box<Ast>, Box<Ast>),
+    Alt(Box<Ast>, Box<Ast>),
+    Star(Box<Ast>),
+    Plus(Box<Ast>),
+    Opt(Box<Ast>),
+    AnchorStart,
+    AnchorEnd,
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn parse_alternation(&mut self) -> Result<Ast, ParseError> {
+        let mut left = self.parse_concat()?;
+        while self.peek() == Some(b'|') {
+            self.bump();
+            let right = self.parse_concat()?;
+            left = Ast::Alt(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_concat(&mut self) -> Result<Ast, ParseError> {
+        let mut items = Vec::new();
+        while let Some(b) = self.peek() {
+            if b == b'|' || b == b')' {
+                break;
+            }
+            items.push(self.parse_repeat()?);
+        }
+        Ok(items
+            .into_iter()
+            .fold(Ast::Empty, |acc, item| match acc {
+                Ast::Empty => item,
+                other => Ast::Concat(Box::new(other), Box::new(item)),
+            }))
+    }
+
+    fn parse_repeat(&mut self) -> Result<Ast, ParseError> {
+        let atom = self.parse_atom()?;
+        match self.peek() {
+            Some(b'*') => {
+                self.bump();
+                Ok(Ast::Star(Box::new(atom)))
+            }
+            Some(b'+') => {
+                self.bump();
+                Ok(Ast::Plus(Box::new(atom)))
+            }
+            Some(b'?') => {
+                self.bump();
+                Ok(Ast::Opt(Box::new(atom)))
+            }
+            _ => Ok(atom),
+        }
+    }
+
+    fn parse_atom(&mut self) -> Result<Ast, ParseError> {
+        match self.bump() {
+            None => Err(ParseError("unexpected end of pattern".into())),
+            Some(b'(') => {
+                let inner = self.parse_alternation()?;
+                if self.bump() != Some(b')') {
+                    return Err(ParseError("unclosed group".into()));
+                }
+                Ok(inner)
+            }
+            Some(b'[') => self.parse_class(),
+            Some(b'.') => Ok(Ast::Byte(ByteClass::Any)),
+            Some(b'^') => Ok(Ast::AnchorStart),
+            Some(b'$') => Ok(Ast::AnchorEnd),
+            Some(b'\\') => {
+                let escaped = self
+                    .bump()
+                    .ok_or_else(|| ParseError("dangling escape".into()))?;
+                Ok(Ast::Byte(escape_class(escaped)?))
+            }
+            Some(b @ (b'*' | b'+' | b'?')) => Err(ParseError(format!(
+                "repetition '{}' with nothing to repeat",
+                b as char
+            ))),
+            Some(b')') => Err(ParseError("unmatched ')'".into())),
+            Some(b) => Ok(Ast::Byte(ByteClass::One(b))),
+        }
+    }
+
+    fn parse_class(&mut self) -> Result<Ast, ParseError> {
+        let negated = if self.peek() == Some(b'^') {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let mut ranges = Vec::new();
+        loop {
+            let b = self
+                .bump()
+                .ok_or_else(|| ParseError("unclosed character class".into()))?;
+            if b == b']' {
+                if ranges.is_empty() {
+                    return Err(ParseError("empty character class".into()));
+                }
+                return Ok(Ast::Byte(ByteClass::Set { negated, ranges }));
+            }
+            let lo = if b == b'\\' {
+                self.bump()
+                    .ok_or_else(|| ParseError("dangling escape in class".into()))?
+            } else {
+                b
+            };
+            if self.peek() == Some(b'-') && self.bytes.get(self.pos + 1) != Some(&b']') {
+                self.bump(); // '-'
+                let hi = self
+                    .bump()
+                    .ok_or_else(|| ParseError("unterminated range".into()))?;
+                if hi < lo {
+                    return Err(ParseError(format!(
+                        "inverted range {}-{}",
+                        lo as char, hi as char
+                    )));
+                }
+                ranges.push((lo, hi));
+            } else {
+                ranges.push((lo, lo));
+            }
+        }
+    }
+}
+
+fn escape_class(b: u8) -> Result<ByteClass, ParseError> {
+    Ok(match b {
+        b'd' => ByteClass::Set {
+            negated: false,
+            ranges: vec![(b'0', b'9')],
+        },
+        b'w' => ByteClass::Set {
+            negated: false,
+            ranges: vec![(b'a', b'z'), (b'A', b'Z'), (b'0', b'9'), (b'_', b'_')],
+        },
+        b's' => ByteClass::Set {
+            negated: false,
+            ranges: vec![(b' ', b' '), (b'\t', b'\t'), (b'\n', b'\n'), (b'\r', b'\r')],
+        },
+        b'n' => ByteClass::One(b'\n'),
+        b't' => ByteClass::One(b'\t'),
+        // Any other escaped byte is itself (covers \. \\ \[ …).
+        other => ByteClass::One(other),
+    })
+}
+
+// --- compiler: AST -> NFA states --------------------------------------
+
+struct Compiler {
+    states: Vec<State>,
+}
+
+impl Compiler {
+    /// Compile `ast`; on success every dangling edge points at `next`.
+    fn compile(&mut self, ast: &Ast, next: usize) -> usize {
+        match ast {
+            Ast::Empty => next,
+            Ast::Byte(class) => self.push(State::Byte(class.clone(), next)),
+            Ast::Concat(a, b) => {
+                let b_start = self.compile(b, next);
+                self.compile(a, b_start)
+            }
+            Ast::Alt(a, b) => {
+                let a_start = self.compile(a, next);
+                let b_start = self.compile(b, next);
+                self.push(State::Split(a_start, b_start))
+            }
+            Ast::Star(inner) => {
+                let split = self.reserve();
+                let inner_start = self.compile(inner, split);
+                self.states[split] = State::Split(inner_start, next);
+                split
+            }
+            Ast::Plus(inner) => {
+                let split = self.reserve();
+                let inner_start = self.compile(inner, split);
+                self.states[split] = State::Split(inner_start, next);
+                inner_start
+            }
+            Ast::Opt(inner) => {
+                let inner_start = self.compile(inner, next);
+                self.push(State::Split(inner_start, next))
+            }
+            Ast::AnchorStart => self.push(State::AnchorStart(next)),
+            Ast::AnchorEnd => self.push(State::AnchorEnd(next)),
+        }
+    }
+
+    fn push(&mut self, s: State) -> usize {
+        self.states.push(s);
+        self.states.len() - 1
+    }
+
+    fn reserve(&mut self) -> usize {
+        self.push(State::Split(0, 0))
+    }
+}
+
+impl Regex {
+    /// Compile a pattern.
+    pub fn new(pattern: &str) -> Result<Self, ParseError> {
+        let mut parser = Parser {
+            bytes: pattern.as_bytes(),
+            pos: 0,
+        };
+        let ast = parser.parse_alternation()?;
+        if parser.pos != parser.bytes.len() {
+            return Err(ParseError("trailing characters (unmatched ')')".into()));
+        }
+        let mut compiler = Compiler { states: Vec::new() };
+        let accept = compiler.push(State::Accept);
+        let start = compiler.compile(&ast, accept);
+        Ok(Self {
+            pattern: pattern.to_string(),
+            states: compiler.states,
+            start,
+        })
+    }
+
+    /// The source pattern.
+    #[must_use]
+    pub fn pattern(&self) -> &str {
+        &self.pattern
+    }
+
+    /// Does the pattern match anywhere in `text`?
+    #[must_use]
+    pub fn is_match(&self, text: &str) -> bool {
+        self.find(text).is_some()
+    }
+
+    /// Leftmost-longest match: byte offset of the first position from
+    /// which the pattern matches, with the length of the longest
+    /// completion at that position (POSIX-style).
+    #[must_use]
+    pub fn find(&self, text: &str) -> Option<(usize, usize)> {
+        let bytes = text.as_bytes();
+        for start_pos in 0..=bytes.len() {
+            if let Some(end) = self.match_at(bytes, start_pos) {
+                return Some((start_pos, end - start_pos));
+            }
+        }
+        None
+    }
+
+    /// All non-overlapping matches, leftmost-longest.
+    #[must_use]
+    pub fn find_all(&self, text: &str) -> Vec<(usize, usize)> {
+        let bytes = text.as_bytes();
+        let mut out = Vec::new();
+        let mut pos = 0;
+        while pos <= bytes.len() {
+            match self.match_at_from(bytes, pos) {
+                Some((start, end)) => {
+                    out.push((start, end - start));
+                    pos = if end > start { end } else { end + 1 };
+                }
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// First match starting at or after `from`.
+    fn match_at_from(&self, bytes: &[u8], from: usize) -> Option<(usize, usize)> {
+        (from..=bytes.len()).find_map(|s| self.match_at(bytes, s).map(|e| (s, e)))
+    }
+
+    /// Longest match beginning exactly at `start_pos`; returns the
+    /// end offset.
+    fn match_at(&self, bytes: &[u8], start_pos: usize) -> Option<usize> {
+        let mut current: Vec<usize> = Vec::new();
+        let mut on_list = vec![false; self.states.len()];
+        self.add_state(self.start, start_pos, bytes, &mut current, &mut on_list);
+        let mut pos = start_pos;
+        let mut last_accept = None;
+        loop {
+            if current.iter().any(|&s| matches!(self.states[s], State::Accept)) {
+                last_accept = Some(pos);
+            }
+            if pos >= bytes.len() || current.is_empty() {
+                return last_accept;
+            }
+            let b = bytes[pos];
+            let mut next: Vec<usize> = Vec::new();
+            let mut next_on = vec![false; self.states.len()];
+            for &s in &current {
+                if let State::Byte(class, to) = &self.states[s] {
+                    if class.matches(b) {
+                        self.add_state(*to, pos + 1, bytes, &mut next, &mut next_on);
+                    }
+                }
+            }
+            current = next;
+            on_list = next_on;
+            let _ = &on_list;
+            pos += 1;
+        }
+    }
+
+    /// ε-closure insertion, resolving splits and anchors eagerly.
+    fn add_state(
+        &self,
+        s: usize,
+        pos: usize,
+        bytes: &[u8],
+        list: &mut Vec<usize>,
+        on_list: &mut [bool],
+    ) {
+        if on_list[s] {
+            return;
+        }
+        on_list[s] = true;
+        match &self.states[s] {
+            State::Split(a, b) => {
+                self.add_state(*a, pos, bytes, list, on_list);
+                self.add_state(*b, pos, bytes, list, on_list);
+            }
+            State::AnchorStart(next) => {
+                if pos == 0 {
+                    self.add_state(*next, pos, bytes, list, on_list);
+                }
+            }
+            State::AnchorEnd(next) => {
+                if pos == bytes.len() {
+                    self.add_state(*next, pos, bytes, list, on_list);
+                }
+            }
+            State::Byte(..) | State::Accept => list.push(s),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn re(p: &str) -> Regex {
+        Regex::new(p).expect("valid pattern")
+    }
+
+    #[test]
+    fn literal_match() {
+        assert!(re("abc").is_match("xxabcxx"));
+        assert!(!re("abc").is_match("ab c"));
+        assert_eq!(re("abc").find("xxabc"), Some((2, 3)));
+    }
+
+    #[test]
+    fn dot_matches_any_but_newline() {
+        assert!(re("a.c").is_match("abc"));
+        assert!(re("a.c").is_match("a-c"));
+        assert!(!re("a.c").is_match("a\nc"));
+    }
+
+    #[test]
+    fn star_plus_opt() {
+        assert!(re("ab*c").is_match("ac"));
+        assert!(re("ab*c").is_match("abbbc"));
+        assert!(!re("ab+c").is_match("ac"));
+        assert!(re("ab+c").is_match("abc"));
+        assert!(re("ab?c").is_match("ac"));
+        assert!(re("ab?c").is_match("abc"));
+        assert!(!re("ab?c").is_match("abbc"));
+    }
+
+    #[test]
+    fn classes_and_ranges() {
+        assert!(re("[abc]+").is_match("cab"));
+        assert!(re("[a-z0-9]+").is_match("hello42"));
+        assert!(!re("^[a-z]+$").is_match("Hello"));
+        assert!(re("[^0-9]").is_match("a"));
+        assert!(!re("^[^0-9]+$").is_match("a1b"));
+        assert!(re("[a-c-]").is_match("-"), "trailing dash is literal");
+    }
+
+    #[test]
+    fn escapes() {
+        assert!(re(r"\d+").is_match("abc123"));
+        assert!(!re(r"^\d+$").is_match("12a"));
+        assert!(re(r"\w+").is_match("under_score9"));
+        assert!(re(r"\s").is_match("a b"));
+        assert!(re(r"a\.b").is_match("a.b"));
+        assert!(!re(r"a\.b").is_match("axb"));
+        assert!(re(r"\\").is_match("back\\slash"));
+    }
+
+    #[test]
+    fn alternation_and_groups() {
+        assert!(re("cat|dog").is_match("hotdog"));
+        assert!(re("(ab)+").is_match("abab"));
+        assert!(re("gr(a|e)y").is_match("grey"));
+        assert!(re("gr(a|e)y").is_match("gray"));
+        assert!(!re("gr(a|e)y").is_match("groy"));
+        assert!(re("a(b|c)*d").is_match("abcbcd"));
+    }
+
+    #[test]
+    fn anchors() {
+        assert!(re("^abc").is_match("abcdef"));
+        assert!(!re("^abc").is_match("xabc"));
+        assert!(re("def$").is_match("abcdef"));
+        assert!(!re("def$").is_match("defx"));
+        assert!(re("^only$").is_match("only"));
+        assert!(!re("^only$").is_match("only one"));
+    }
+
+    #[test]
+    fn find_all_non_overlapping() {
+        assert_eq!(re("ab").find_all("abxabxab"), vec![(0, 2), (3, 2), (6, 2)]);
+        assert_eq!(re("a+").find_all("aa b aaa").len(), 2);
+    }
+
+    #[test]
+    fn empty_match_progression_terminates() {
+        // Pattern that can match empty: must not loop forever.
+        let matches = re("a*").find_all("bb");
+        assert!(!matches.is_empty());
+    }
+
+    #[test]
+    fn leftmost_longest_semantics() {
+        // NFA simulation reports the longest completion at the
+        // leftmost start (POSIX-style).
+        assert_eq!(re("ab*").find("abbb"), Some((0, 4)));
+        assert_eq!(re("a|ab").find("ab"), Some((0, 2)));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Regex::new("(ab").is_err());
+        assert!(Regex::new("ab)").is_err());
+        assert!(Regex::new("[abc").is_err());
+        assert!(Regex::new("*a").is_err());
+        assert!(Regex::new("a[]b").is_err());
+        assert!(Regex::new("[z-a]").is_err());
+        assert!(Regex::new("a\\").is_err());
+    }
+
+    #[test]
+    fn pathological_pattern_is_linear() {
+        // (a+)+b against aaaa…a! is exponential for backtrackers; the
+        // NFA simulation must finish instantly.
+        let r = re("(a+)+b");
+        let text = format!("{}!", "a".repeat(2000));
+        let start = std::time::Instant::now();
+        assert!(!r.is_match(&text));
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(2),
+            "simulation should be linear"
+        );
+    }
+
+    #[test]
+    fn pattern_accessor() {
+        assert_eq!(re("a|b").pattern(), "a|b");
+    }
+}

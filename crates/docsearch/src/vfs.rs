@@ -1,0 +1,122 @@
+//! A virtual folder tree of text files (the search corpus substrate).
+
+/// A text file: a name and its lines.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TextFile {
+    /// File name (no path).
+    pub name: String,
+    /// File content, line by line.
+    pub lines: Vec<String>,
+}
+
+impl TextFile {
+    /// Construct from a name and content lines.
+    #[must_use]
+    pub fn new(name: &str, lines: Vec<String>) -> Self {
+        Self {
+            name: name.to_string(),
+            lines,
+        }
+    }
+
+    /// Total bytes of content (excluding newlines).
+    #[must_use]
+    pub fn content_bytes(&self) -> usize {
+        self.lines.iter().map(String::len).sum()
+    }
+}
+
+/// A directory containing files and sub-directories.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Dir {
+    /// Directory name.
+    pub name: String,
+    /// Files directly inside.
+    pub files: Vec<TextFile>,
+    /// Sub-directories.
+    pub subdirs: Vec<Dir>,
+}
+
+impl Dir {
+    /// New empty directory.
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            ..Self::default()
+        }
+    }
+
+    /// Recursively collect `(path, &file)` pairs, depth-first, in a
+    /// deterministic order. Paths use `/` separators.
+    #[must_use]
+    pub fn walk(&self) -> Vec<(String, &TextFile)> {
+        let mut out = Vec::new();
+        self.walk_into(&self.name, &mut out);
+        out
+    }
+
+    fn walk_into<'a>(&'a self, prefix: &str, out: &mut Vec<(String, &'a TextFile)>) {
+        for f in &self.files {
+            out.push((format!("{prefix}/{}", f.name), f));
+        }
+        for d in &self.subdirs {
+            d.walk_into(&format!("{prefix}/{}", d.name), out);
+        }
+    }
+
+    /// Total number of files in the tree.
+    #[must_use]
+    pub fn file_count(&self) -> usize {
+        self.files.len() + self.subdirs.iter().map(Dir::file_count).sum::<usize>()
+    }
+
+    /// Total content bytes in the tree.
+    #[must_use]
+    pub fn total_bytes(&self) -> usize {
+        self.files.iter().map(TextFile::content_bytes).sum::<usize>()
+            + self.subdirs.iter().map(Dir::total_bytes).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dir {
+        let mut root = Dir::new("root");
+        root.files.push(TextFile::new("a.txt", vec!["hello".into()]));
+        let mut sub = Dir::new("sub");
+        sub.files.push(TextFile::new("b.txt", vec!["world!".into()]));
+        let mut deeper = Dir::new("deep");
+        deeper
+            .files
+            .push(TextFile::new("c.txt", vec!["deep file".into()]));
+        sub.subdirs.push(deeper);
+        root.subdirs.push(sub);
+        root
+    }
+
+    #[test]
+    fn walk_visits_all_files_with_paths() {
+        let root = sample();
+        let walked = root.walk();
+        let paths: Vec<&str> = walked.iter().map(|(p, _)| p.as_str()).collect();
+        assert_eq!(paths, vec!["root/a.txt", "root/sub/b.txt", "root/sub/deep/c.txt"]);
+    }
+
+    #[test]
+    fn counts_and_sizes() {
+        let root = sample();
+        assert_eq!(root.file_count(), 3);
+        assert_eq!(root.total_bytes(), 5 + 6 + 9);
+        assert_eq!(root.files[0].content_bytes(), 5);
+    }
+
+    #[test]
+    fn empty_dir() {
+        let d = Dir::new("empty");
+        assert_eq!(d.file_count(), 0);
+        assert!(d.walk().is_empty());
+    }
+}

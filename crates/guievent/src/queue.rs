@@ -1,0 +1,154 @@
+//! A blocking FIFO event queue with depth accounting.
+//!
+//! Deliberately simple — a `Mutex<VecDeque>` plus a condition
+//! variable — because the EDT is a single consumer and GUI event rates
+//! are low compared to compute work. The queue records the maximum
+//! depth it ever reached, which the experiments use to show how far
+//! the GUI lags behind during a parallel burst.
+
+use std::collections::VecDeque;
+
+use parking_lot::{Condvar, Mutex};
+
+/// Multi-producer single-consumer blocking FIFO.
+pub struct EventQueue<T> {
+    inner: Mutex<Inner<T>>,
+    available: Condvar,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    max_depth: usize,
+}
+
+impl<T> EventQueue<T> {
+    /// New empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                max_depth: 0,
+            }),
+            available: Condvar::new(),
+        }
+    }
+
+    /// Enqueue an item; returns the queue depth after insertion.
+    pub fn push(&self, item: T) -> usize {
+        let mut inner = self.inner.lock();
+        inner.items.push_back(item);
+        let depth = inner.items.len();
+        inner.max_depth = inner.max_depth.max(depth);
+        drop(inner);
+        self.available.notify_one();
+        depth
+    }
+
+    /// Block until an item is available and dequeue it.
+    pub fn pop(&self) -> T {
+        let mut inner = self.inner.lock();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return item;
+            }
+            self.available.wait(&mut inner);
+        }
+    }
+
+    /// Dequeue without blocking.
+    pub fn try_pop(&self) -> Option<T> {
+        self.inner.lock().items.pop_front()
+    }
+
+    /// Current number of queued items.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().items.len()
+    }
+
+    /// True when no items are queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Largest depth the queue has reached.
+    #[must_use]
+    pub fn max_depth(&self) -> usize {
+        self.inner.lock().max_depth
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn fifo_order() {
+        let q = EventQueue::new();
+        q.push(1);
+        q.push(2);
+        q.push(3);
+        assert_eq!(q.pop(), 1);
+        assert_eq!(q.pop(), 2);
+        assert_eq!(q.pop(), 3);
+    }
+
+    #[test]
+    fn try_pop_on_empty() {
+        let q: EventQueue<u32> = EventQueue::new();
+        assert_eq!(q.try_pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn max_depth_tracks_high_water_mark() {
+        let q = EventQueue::new();
+        q.push(1);
+        q.push(2);
+        q.push(3);
+        let _ = q.pop();
+        q.push(4);
+        assert_eq!(q.max_depth(), 3);
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn pop_blocks_until_push() {
+        let q = Arc::new(EventQueue::new());
+        let q2 = Arc::clone(&q);
+        let t = thread::spawn(move || q2.pop());
+        thread::sleep(std::time::Duration::from_millis(20));
+        q.push(99);
+        assert_eq!(t.join().unwrap(), 99);
+    }
+
+    #[test]
+    fn concurrent_producers_deliver_everything() {
+        let q = Arc::new(EventQueue::new());
+        let mut joins = Vec::new();
+        for t in 0..4 {
+            let q = Arc::clone(&q);
+            joins.push(thread::spawn(move || {
+                for i in 0..100 {
+                    q.push(t * 100 + i);
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        let mut seen: Vec<i32> = (0..400).map(|_| q.pop()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..400).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,137 @@
+//! Deterministic synthetic image generators (the "folder of images"
+//! substitution).
+
+use parc_util::rng::Xoshiro256;
+
+use crate::image::Image;
+
+/// What kind of content a synthetic image has.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Pattern {
+    /// Horizontal/vertical colour gradient.
+    Gradient,
+    /// Checkerboard with an 8-pixel cell.
+    Checkerboard,
+    /// Per-pixel uniform noise.
+    Noise,
+    /// Smooth plasma (sum of sines) — the most photo-like.
+    Plasma,
+}
+
+/// Generate one image.
+#[must_use]
+pub fn generate(pattern: Pattern, width: u32, height: u32, seed: u64) -> Image {
+    let mut img = Image::new(width, height);
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let (p1, p2) = (rng.next_f64() * 0.1 + 0.02, rng.next_f64() * 0.1 + 0.02);
+    for y in 0..height {
+        for x in 0..width {
+            let rgba = match pattern {
+                Pattern::Gradient => {
+                    let r = (255 * x / width.max(1)) as u8;
+                    let g = (255 * y / height.max(1)) as u8;
+                    [r, g, 128, 255]
+                }
+                Pattern::Checkerboard => {
+                    let on = ((x / 8) + (y / 8)) % 2 == 0;
+                    if on {
+                        [230, 230, 230, 255]
+                    } else {
+                        [25, 25, 25, 255]
+                    }
+                }
+                Pattern::Noise => [
+                    rng.next_below(256) as u8,
+                    rng.next_below(256) as u8,
+                    rng.next_below(256) as u8,
+                    255,
+                ],
+                Pattern::Plasma => {
+                    let fx = f64::from(x);
+                    let fy = f64::from(y);
+                    let v = (fx * p1).sin() + (fy * p2).sin() + ((fx + fy) * p1 * 0.7).sin();
+                    let scale = |ph: f64| (((v + ph).sin() + 1.0) * 127.5) as u8;
+                    [scale(0.0), scale(2.0), scale(4.0), 255]
+                }
+            };
+            img.set(x, y, rgba);
+        }
+    }
+    img
+}
+
+/// Generate a deterministic "folder": `count` images with varied
+/// patterns and sizes in `[min_side, max_side]`.
+#[must_use]
+pub fn generate_folder(count: usize, min_side: u32, max_side: u32, seed: u64) -> Vec<Image> {
+    assert!(min_side > 0 && min_side <= max_side);
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let patterns = [
+        Pattern::Gradient,
+        Pattern::Checkerboard,
+        Pattern::Noise,
+        Pattern::Plasma,
+    ];
+    (0..count)
+        .map(|i| {
+            let w = rng.gen_range_u64(u64::from(min_side)..u64::from(max_side) + 1) as u32;
+            let h = rng.gen_range_u64(u64::from(min_side)..u64::from(max_side) + 1) as u32;
+            generate(patterns[i % patterns.len()], w, h, rng.next_u64())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        for p in [
+            Pattern::Gradient,
+            Pattern::Checkerboard,
+            Pattern::Noise,
+            Pattern::Plasma,
+        ] {
+            let a = generate(p, 16, 16, 9);
+            let b = generate(p, 16, 16, 9);
+            assert_eq!(a.content_hash(), b.content_hash(), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn patterns_differ() {
+        let g = generate(Pattern::Gradient, 32, 32, 1);
+        let c = generate(Pattern::Checkerboard, 32, 32, 1);
+        let n = generate(Pattern::Noise, 32, 32, 1);
+        assert_ne!(g.content_hash(), c.content_hash());
+        assert_ne!(c.content_hash(), n.content_hash());
+    }
+
+    #[test]
+    fn checkerboard_cells() {
+        let img = generate(Pattern::Checkerboard, 32, 32, 0);
+        assert_eq!(img.get(0, 0), [230, 230, 230, 255]);
+        assert_eq!(img.get(8, 0), [25, 25, 25, 255]);
+        assert_eq!(img.get(8, 8), [230, 230, 230, 255]);
+    }
+
+    #[test]
+    fn folder_respects_bounds_and_count() {
+        let folder = generate_folder(10, 8, 24, 42);
+        assert_eq!(folder.len(), 10);
+        for img in &folder {
+            assert!((8..=24).contains(&img.width()));
+            assert!((8..=24).contains(&img.height()));
+        }
+    }
+
+    #[test]
+    fn folder_deterministic_per_seed() {
+        let a = generate_folder(5, 8, 16, 7);
+        let b = generate_folder(5, 8, 16, 7);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.content_hash(), y.content_hash());
+        }
+    }
+}

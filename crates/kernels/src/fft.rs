@@ -1,0 +1,323 @@
+//! Radix-2 Cooley–Tukey FFT, sequential and parallel.
+//!
+//! The parallel version runs each butterfly stage as a pyjama
+//! worksharing loop over the butterfly groups — the natural OpenMP
+//! phrasing a student would write — with the implicit loop barrier
+//! providing the stage synchronisation.
+
+use pyjama::{Schedule, Team};
+
+/// A bare-bones complex number (the workspace avoids a numerics
+/// dependency).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Construct from parts.
+    #[must_use]
+    pub fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Additive identity.
+    #[must_use]
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// `e^{iθ}`.
+    #[must_use]
+    pub fn from_polar(theta: f64) -> Self {
+        Self::new(theta.cos(), theta.sin())
+    }
+
+    /// Complex addition.
+    #[must_use]
+    pub fn add(self, other: Self) -> Self {
+        Self::new(self.re + other.re, self.im + other.im)
+    }
+
+    /// Complex subtraction.
+    #[must_use]
+    pub fn sub(self, other: Self) -> Self {
+        Self::new(self.re - other.re, self.im - other.im)
+    }
+
+    /// Complex multiplication.
+    #[must_use]
+    pub fn mul(self, other: Self) -> Self {
+        Self::new(
+            self.re * other.re - self.im * other.im,
+            self.re * other.im + self.im * other.re,
+        )
+    }
+
+    /// Scale by a real.
+    #[must_use]
+    pub fn scale(self, s: f64) -> Self {
+        Self::new(self.re * s, self.im * s)
+    }
+
+    /// Magnitude.
+    #[must_use]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+}
+
+fn bit_reverse_permute(data: &mut [Complex]) {
+    let n = data.len();
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i.reverse_bits() >> (usize::BITS - bits)) as usize;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+}
+
+/// In-place forward FFT (sequential reference). Length must be a
+/// power of two.
+pub fn fft_seq(data: &mut [Complex]) {
+    fft_dir_seq(data, false);
+}
+
+/// In-place inverse FFT (sequential), including the 1/n scaling.
+pub fn ifft_seq(data: &mut [Complex]) {
+    fft_dir_seq(data, true);
+    let n = data.len() as f64;
+    for x in data.iter_mut() {
+        *x = x.scale(1.0 / n);
+    }
+}
+
+fn fft_dir_seq(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    if n <= 1 {
+        return;
+    }
+    bit_reverse_permute(data);
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * std::f64::consts::TAU / len as f64;
+        let wlen = Complex::from_polar(ang);
+        let half = len / 2;
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::new(1.0, 0.0);
+            for k in 0..half {
+                let a = data[start + k];
+                let b = data[start + k + half].mul(w);
+                data[start + k] = a.add(b);
+                data[start + k + half] = a.sub(b);
+                w = w.mul(wlen);
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// In-place forward FFT parallelised with pyjama: one worksharing
+/// loop over butterfly groups per stage. Length must be a power of
+/// two.
+pub fn fft_par(team: &Team, data: &mut [Complex]) {
+    fft_dir_par(team, data, false);
+}
+
+/// In-place inverse FFT parallelised with pyjama.
+pub fn ifft_par(team: &Team, data: &mut [Complex]) {
+    fft_dir_par(team, data, true);
+    let n = data.len() as f64;
+    for x in data.iter_mut() {
+        *x = x.scale(1.0 / n);
+    }
+}
+
+/// Shared-mutable view for the stage loops. Distinct butterfly groups
+/// touch disjoint index sets, so data-race freedom holds per stage;
+/// the pyjama loop barrier separates stages.
+struct SharedSlice(*mut Complex, usize);
+unsafe impl Sync for SharedSlice {}
+
+impl SharedSlice {
+    /// SAFETY: caller guarantees `idx` is accessed by exactly one
+    /// thread during the current stage.
+    unsafe fn get(&self, idx: usize) -> &mut Complex {
+        debug_assert!(idx < self.1);
+        &mut *self.0.add(idx)
+    }
+}
+
+fn fft_dir_par(team: &Team, data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    if n <= 1 {
+        return;
+    }
+    bit_reverse_permute(data);
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let shared = SharedSlice(data.as_mut_ptr(), n);
+    let shared_ref = &shared;
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * std::f64::consts::TAU / len as f64;
+        let wlen = Complex::from_polar(ang);
+        let half = len / 2;
+        let groups = n / len;
+        team.for_each(0..groups, Schedule::Static, move |g| {
+            let start = g * len;
+            let mut w = Complex::new(1.0, 0.0);
+            for k in 0..half {
+                // SAFETY: group `g` owns indices [start, start+len);
+                // groups are disjoint within a stage.
+                unsafe {
+                    let a = *shared_ref.get(start + k);
+                    let b = shared_ref.get(start + k + half).mul(w);
+                    *shared_ref.get(start + k) = a.add(b);
+                    *shared_ref.get(start + k + half) = a.sub(b);
+                }
+                w = w.mul(wlen);
+            }
+        });
+        len <<= 1;
+    }
+}
+
+/// Naive O(n²) DFT used as the validation oracle in tests.
+#[must_use]
+pub fn dft_naive(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex::zero();
+            for (j, &x) in input.iter().enumerate() {
+                let ang = -std::f64::consts::TAU * (k * j) as f64 / n as f64;
+                acc = acc.add(x.mul(Complex::from_polar(ang)));
+            }
+            acc
+        })
+        .collect()
+}
+
+/// Generate a deterministic test signal.
+#[must_use]
+pub fn test_signal(n: usize, seed: u64) -> Vec<Complex> {
+    let mut rng = parc_util::rng::Xoshiro256::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Complex::new(rng.next_f64() * 2.0 - 1.0, rng.next_f64() * 2.0 - 1.0))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: &[Complex], b: &[Complex], tol: f64) -> bool {
+        a.len() == b.len()
+            && a.iter()
+                .zip(b)
+                .all(|(x, y)| (x.re - y.re).abs() < tol && (x.im - y.im).abs() < tol)
+    }
+
+    #[test]
+    fn complex_arithmetic() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        assert_eq!(a.add(b), Complex::new(4.0, 1.0));
+        assert_eq!(a.sub(b), Complex::new(-2.0, 3.0));
+        assert_eq!(a.mul(b), Complex::new(5.0, 5.0));
+        assert!((Complex::new(3.0, 4.0).abs() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fft_matches_naive_dft() {
+        let signal = test_signal(64, 7);
+        let expected = dft_naive(&signal);
+        let mut actual = signal.clone();
+        fft_seq(&mut actual);
+        assert!(close(&actual, &expected, 1e-9));
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut data = vec![Complex::zero(); 16];
+        data[0] = Complex::new(1.0, 0.0);
+        fft_seq(&mut data);
+        for x in &data {
+            assert!((x.re - 1.0).abs() < 1e-12 && x.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_of_single_tone_peaks_at_frequency() {
+        let n = 64;
+        let freq = 5;
+        let mut data: Vec<Complex> = (0..n)
+            .map(|i| Complex::from_polar(std::f64::consts::TAU * (freq * i) as f64 / n as f64))
+            .collect();
+        fft_seq(&mut data);
+        for (k, x) in data.iter().enumerate() {
+            if k == freq {
+                assert!((x.abs() - n as f64).abs() < 1e-9);
+            } else {
+                assert!(x.abs() < 1e-9, "leak at bin {k}: {}", x.abs());
+            }
+        }
+    }
+
+    #[test]
+    fn ifft_inverts_fft() {
+        let signal = test_signal(256, 11);
+        let mut data = signal.clone();
+        fft_seq(&mut data);
+        ifft_seq(&mut data);
+        assert!(close(&data, &signal, 1e-10));
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let team = Team::new(3);
+        for n in [2usize, 8, 64, 1024] {
+            let signal = test_signal(n, 13);
+            let mut seq = signal.clone();
+            fft_seq(&mut seq);
+            let mut par = signal.clone();
+            fft_par(&team, &mut par);
+            assert!(close(&par, &seq, 1e-9), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn parallel_inverse_roundtrip() {
+        let team = Team::new(2);
+        let signal = test_signal(128, 17);
+        let mut data = signal.clone();
+        fft_par(&team, &mut data);
+        ifft_par(&team, &mut data);
+        assert!(close(&data, &signal, 1e-10));
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let signal = test_signal(128, 19);
+        let time_energy: f64 = signal.iter().map(|x| x.abs() * x.abs()).sum();
+        let mut freq = signal.clone();
+        fft_seq(&mut freq);
+        let freq_energy: f64 =
+            freq.iter().map(|x| x.abs() * x.abs()).sum::<f64>() / signal.len() as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-8);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let mut data = vec![Complex::zero(); 12];
+        fft_seq(&mut data);
+    }
+}

@@ -1,0 +1,32 @@
+//! # kernels — computational kernels for the parallelisation project
+//!
+//! SoftEng 751 **project 3** gave students C reference implementations
+//! of "basic algorithms (usually in the form of some nested loops)" —
+//! "FFT, molecular dynamics, graph processing and linear algebra" —
+//! to port to Java and parallelise with Pyjama, comparing against the
+//! standard concurrency library. This crate provides those kernel
+//! families, each with
+//!
+//! * a **sequential reference** (the "C implementation" stand-in),
+//! * a **pyjama** parallelisation (worksharing loops / reductions),
+//! * for several kernels a **partask** parallelisation (the
+//!   "standard concurrency library" comparator), and
+//! * cross-validation tests asserting all versions agree.
+//!
+//! Kernel inventory: [`fft`] (radix-2 Cooley–Tukey),
+//! [`md`] (Lennard-Jones velocity-Verlet), [`graph`] (CSR BFS and
+//! PageRank), [`linalg`] (matmul, LU, Jacobi), [`sparse`] (CSR SpMV)
+//! [`montecarlo`] (π and numeric integration) and [`stencil`]
+//! (2-D Jacobi heat diffusion).
+
+pub mod fft;
+pub mod graph;
+pub mod linalg;
+pub mod md;
+pub mod montecarlo;
+pub mod sparse;
+pub mod stencil;
+
+pub use fft::Complex;
+pub use graph::CsrGraph;
+pub use linalg::Matrix;

@@ -1,0 +1,349 @@
+//! Molecular dynamics: Lennard-Jones particles, velocity-Verlet.
+//!
+//! The classic all-pairs O(N²) force kernel (the JGF `MolDyn` shape
+//! the course's kernel set draws on). The parallel version workshares
+//! the outer particle loop with a dynamic schedule — the per-particle
+//! force cost is uniform here, but dynamic matches what students write
+//! when told the loop "may be skewed".
+
+use pyjama::{Schedule, SumRed, Team};
+
+/// A 3-vector.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Vec3 {
+    /// x component.
+    pub x: f64,
+    /// y component.
+    pub y: f64,
+    /// z component.
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// Construct from components.
+    #[must_use]
+    pub fn new(x: f64, y: f64, z: f64) -> Self {
+        Self { x, y, z }
+    }
+
+    /// Vector addition.
+    #[must_use]
+    pub fn add(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+
+    /// Vector subtraction.
+    #[must_use]
+    pub fn sub(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+
+    /// Scalar multiply.
+    #[must_use]
+    pub fn scale(self, s: f64) -> Vec3 {
+        Vec3::new(self.x * s, self.y * s, self.z * s)
+    }
+
+    /// Squared length.
+    #[must_use]
+    pub fn norm2(self) -> f64 {
+        self.x * self.x + self.y * self.y + self.z * self.z
+    }
+}
+
+/// A Lennard-Jones particle system in a cubic box (no periodic
+/// boundary; the box only seeds initial positions).
+#[derive(Clone, Debug)]
+pub struct System {
+    /// Particle positions.
+    pub pos: Vec<Vec3>,
+    /// Particle velocities.
+    pub vel: Vec<Vec3>,
+    /// Forces from the most recent evaluation.
+    pub force: Vec<Vec3>,
+    /// LJ well depth ε.
+    pub epsilon: f64,
+    /// LJ length scale σ.
+    pub sigma: f64,
+}
+
+impl System {
+    /// Deterministic system: `n` particles on a jittered lattice with
+    /// small random velocities.
+    #[must_use]
+    pub fn new(n: usize, seed: u64) -> Self {
+        let mut rng = parc_util::rng::Xoshiro256::seed_from_u64(seed);
+        let side = (n as f64).cbrt().ceil() as usize;
+        let spacing = 1.3; // > 2^(1/6) σ so the lattice starts cold-ish
+        let mut pos = Vec::with_capacity(n);
+        'outer: for ix in 0..side {
+            for iy in 0..side {
+                for iz in 0..side {
+                    if pos.len() == n {
+                        break 'outer;
+                    }
+                    pos.push(Vec3::new(
+                        ix as f64 * spacing + rng.gen_range_f64(-0.05..0.05),
+                        iy as f64 * spacing + rng.gen_range_f64(-0.05..0.05),
+                        iz as f64 * spacing + rng.gen_range_f64(-0.05..0.05),
+                    ));
+                }
+            }
+        }
+        let vel = (0..n)
+            .map(|_| {
+                Vec3::new(
+                    rng.gen_range_f64(-0.1..0.1),
+                    rng.gen_range_f64(-0.1..0.1),
+                    rng.gen_range_f64(-0.1..0.1),
+                )
+            })
+            .collect();
+        Self {
+            pos,
+            vel,
+            force: vec![Vec3::default(); n],
+            epsilon: 1.0,
+            sigma: 1.0,
+        }
+    }
+
+    /// Number of particles.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.pos.len()
+    }
+
+    /// True for an empty system.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pos.is_empty()
+    }
+
+    /// Evaluate all forces sequentially.
+    pub fn compute_forces_seq(&mut self) {
+        for i in 0..self.len() {
+            self.force[i] = lj_force(&self.pos, self.epsilon, self.sigma, i);
+        }
+    }
+
+    /// Evaluate all forces with a pyjama worksharing loop.
+    pub fn compute_forces_par(&mut self, team: &Team) {
+        let n = self.len();
+        let (epsilon, sigma) = (self.epsilon, self.sigma);
+        // Split borrows: positions read-only, forces written disjointly.
+        let pos: &[Vec3] = &self.pos;
+        struct ForcePtr(*mut Vec3);
+        unsafe impl Sync for ForcePtr {}
+        let out = ForcePtr(self.force.as_mut_ptr());
+        let out_ref = &out;
+        team.for_each(0..n, Schedule::Dynamic(16), move |i| {
+            let f = lj_force(pos, epsilon, sigma, i);
+            // SAFETY: index i written by exactly one thread, and the
+            // pointer derives from a unique borrow of `force`.
+            unsafe {
+                *out_ref.0.add(i) = f;
+            }
+        });
+    }
+
+    /// One velocity-Verlet step of size `dt`; forces must be current
+    /// on entry and are current on exit. `parallel` selects the force
+    /// evaluation used.
+    pub fn step(&mut self, dt: f64, team: Option<&Team>) {
+        let n = self.len();
+        // Half-kick + drift.
+        for i in 0..n {
+            self.vel[i] = self.vel[i].add(self.force[i].scale(0.5 * dt));
+            self.pos[i] = self.pos[i].add(self.vel[i].scale(dt));
+        }
+        // New forces.
+        match team {
+            Some(team) => self.compute_forces_par(team),
+            None => self.compute_forces_seq(),
+        }
+        // Half-kick.
+        for i in 0..n {
+            self.vel[i] = self.vel[i].add(self.force[i].scale(0.5 * dt));
+        }
+    }
+
+    /// Total kinetic energy.
+    #[must_use]
+    pub fn kinetic_energy(&self) -> f64 {
+        self.vel.iter().map(|v| 0.5 * v.norm2()).sum()
+    }
+
+    /// Total Lennard-Jones potential energy (sequential).
+    #[must_use]
+    pub fn potential_energy(&self) -> f64 {
+        let s2 = self.sigma * self.sigma;
+        let mut e = 0.0;
+        for i in 0..self.len() {
+            for j in i + 1..self.len() {
+                let r2 = self.pos[i].sub(self.pos[j]).norm2().max(1e-9);
+                let sr2 = s2 / r2;
+                let sr6 = sr2 * sr2 * sr2;
+                e += 4.0 * self.epsilon * (sr6 * sr6 - sr6);
+            }
+        }
+        e
+    }
+
+    /// Potential energy via a pyjama sum-reduction over the outer
+    /// pair loop.
+    #[must_use]
+    pub fn potential_energy_par(&self, team: &Team) -> f64 {
+        let s2 = self.sigma * self.sigma;
+        let this = self;
+        team.par_reduce(0..self.len(), Schedule::Guided(4), &SumRed, move |i| {
+            let mut e = 0.0;
+            for j in i + 1..this.len() {
+                let r2 = this.pos[i].sub(this.pos[j]).norm2().max(1e-9);
+                let sr2 = s2 / r2;
+                let sr6 = sr2 * sr2 * sr2;
+                e += 4.0 * this.epsilon * (sr6 * sr6 - sr6);
+            }
+            e
+        })
+    }
+
+    /// Total momentum (conserved by the integrator).
+    #[must_use]
+    pub fn momentum(&self) -> Vec3 {
+        self.vel.iter().fold(Vec3::default(), |acc, &v| acc.add(v))
+    }
+}
+
+/// Lennard-Jones force on particle `i` from all others.
+/// `F = 24ε (2 (σ/r)^12 − (σ/r)^6) / r² · d`
+fn lj_force(pos: &[Vec3], epsilon: f64, sigma: f64, i: usize) -> Vec3 {
+    let s2 = sigma * sigma;
+    let mut f = Vec3::default();
+    let pi = pos[i];
+    for (j, &pj) in pos.iter().enumerate() {
+        if j == i {
+            continue;
+        }
+        let d = pi.sub(pj);
+        let r2 = d.norm2().max(1e-9);
+        let sr2 = s2 / r2;
+        let sr6 = sr2 * sr2 * sr2;
+        let mag = 24.0 * epsilon * (2.0 * sr6 * sr6 - sr6) / r2;
+        f = f.add(d.scale(mag));
+    }
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vec_close(a: Vec3, b: Vec3, tol: f64) -> bool {
+        (a.x - b.x).abs() < tol && (a.y - b.y).abs() < tol && (a.z - b.z).abs() < tol
+    }
+
+    #[test]
+    fn two_particles_at_minimum_feel_no_force() {
+        // LJ force is zero at r = 2^(1/6) σ.
+        let r_min = 2f64.powf(1.0 / 6.0);
+        let mut sys = System::new(2, 1);
+        sys.pos[0] = Vec3::new(0.0, 0.0, 0.0);
+        sys.pos[1] = Vec3::new(r_min, 0.0, 0.0);
+        sys.compute_forces_seq();
+        assert!(sys.force[0].norm2() < 1e-18);
+        assert!(sys.force[1].norm2() < 1e-18);
+    }
+
+    #[test]
+    fn close_pair_repels_far_pair_attracts() {
+        let mut sys = System::new(2, 1);
+        sys.pos[0] = Vec3::new(0.0, 0.0, 0.0);
+        sys.pos[1] = Vec3::new(0.9, 0.0, 0.0); // inside σ: repulsive
+        sys.compute_forces_seq();
+        assert!(sys.force[0].x < 0.0 && sys.force[1].x > 0.0);
+        sys.pos[1] = Vec3::new(1.5, 0.0, 0.0); // outside minimum: attractive
+        sys.compute_forces_seq();
+        assert!(sys.force[0].x > 0.0 && sys.force[1].x < 0.0);
+    }
+
+    #[test]
+    fn newtons_third_law() {
+        let mut sys = System::new(8, 3);
+        sys.compute_forces_seq();
+        let total = sys.force.iter().fold(Vec3::default(), |a, &f| a.add(f));
+        assert!(total.norm2() < 1e-16, "forces must sum to ~0");
+    }
+
+    #[test]
+    fn parallel_forces_match_sequential() {
+        let team = Team::new(3);
+        let mut a = System::new(40, 5);
+        let mut b = a.clone();
+        a.compute_forces_seq();
+        b.compute_forces_par(&team);
+        for (fa, fb) in a.force.iter().zip(&b.force) {
+            assert!(vec_close(*fa, *fb, 1e-12));
+        }
+    }
+
+    #[test]
+    fn parallel_potential_matches_sequential() {
+        let team = Team::new(2);
+        let sys = System::new(30, 6);
+        let seq = sys.potential_energy();
+        let par = sys.potential_energy_par(&team);
+        assert!((seq - par).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_approximately_conserved() {
+        let mut sys = System::new(27, 7);
+        sys.compute_forces_seq();
+        let e0 = sys.kinetic_energy() + sys.potential_energy();
+        for _ in 0..200 {
+            sys.step(1e-3, None);
+        }
+        let e1 = sys.kinetic_energy() + sys.potential_energy();
+        let drift = (e1 - e0).abs() / e0.abs().max(1e-9);
+        assert!(drift < 1e-2, "energy drift {drift} too large");
+    }
+
+    #[test]
+    fn momentum_conserved() {
+        let mut sys = System::new(27, 8);
+        sys.compute_forces_seq();
+        let p0 = sys.momentum();
+        for _ in 0..100 {
+            sys.step(1e-3, None);
+        }
+        let p1 = sys.momentum();
+        assert!(vec_close(p0, p1, 1e-10));
+    }
+
+    #[test]
+    fn parallel_trajectory_matches_sequential() {
+        let team = Team::new(2);
+        let mut a = System::new(20, 9);
+        let mut b = a.clone();
+        a.compute_forces_seq();
+        b.compute_forces_par(&team);
+        for _ in 0..20 {
+            a.step(1e-3, None);
+            b.step(1e-3, Some(&team));
+        }
+        for (pa, pb) in a.pos.iter().zip(&b.pos) {
+            assert!(vec_close(*pa, *pb, 1e-9));
+        }
+    }
+
+    #[test]
+    fn system_size_and_determinism() {
+        let a = System::new(50, 42);
+        let b = System::new(50, 42);
+        assert_eq!(a.len(), 50);
+        assert!(!a.is_empty());
+        assert_eq!(a.pos, b.pos);
+        assert_eq!(a.vel, b.vel);
+    }
+}

@@ -1,0 +1,220 @@
+//! 2-D five-point stencil: Jacobi heat diffusion on a grid.
+//!
+//! The remaining "nested loops" kernel family: fixed Dirichlet
+//! boundaries, interior cells relax toward the average of their four
+//! neighbours. Parallelisation workshares the row loop per sweep,
+//! with the pyjama loop barrier separating sweeps — the textbook
+//! OpenMP stencil.
+
+use pyjama::{MaxRed, Schedule, Team};
+
+/// A `w × h` grid of `f64` cells, row-major.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Grid {
+    w: usize,
+    h: usize,
+    cells: Vec<f64>,
+}
+
+impl Grid {
+    /// Zero grid.
+    #[must_use]
+    pub fn new(w: usize, h: usize) -> Self {
+        assert!(w >= 3 && h >= 3, "stencil needs at least a 3x3 grid");
+        Self {
+            w,
+            h,
+            cells: vec![0.0; w * h],
+        }
+    }
+
+    /// The classic test problem: one hot edge (top = 100), other
+    /// edges cold (0), interior 0.
+    #[must_use]
+    pub fn hot_top(w: usize, h: usize) -> Self {
+        let mut g = Self::new(w, h);
+        for x in 0..w {
+            g.cells[x] = 100.0;
+        }
+        g
+    }
+
+    /// Width.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.w
+    }
+
+    /// Height.
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.h
+    }
+
+    /// Cell value.
+    #[must_use]
+    pub fn get(&self, x: usize, y: usize) -> f64 {
+        self.cells[y * self.w + x]
+    }
+
+    /// Set a cell (boundary conditions).
+    pub fn set(&mut self, x: usize, y: usize, v: f64) {
+        self.cells[y * self.w + x] = v;
+    }
+
+    /// Max absolute cell difference.
+    #[must_use]
+    pub fn max_diff(&self, other: &Grid) -> f64 {
+        self.cells
+            .iter()
+            .zip(&other.cells)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// One Jacobi sweep into `next`; returns the max cell change.
+/// Boundaries are copied unchanged (Dirichlet).
+fn sweep_seq(cur: &Grid, next: &mut Grid) -> f64 {
+    let (w, h) = (cur.w, cur.h);
+    next.cells.copy_from_slice(&cur.cells);
+    let mut max_delta = 0.0f64;
+    for y in 1..h - 1 {
+        for x in 1..w - 1 {
+            let v = 0.25
+                * (cur.get(x - 1, y) + cur.get(x + 1, y) + cur.get(x, y - 1) + cur.get(x, y + 1));
+            max_delta = max_delta.max((v - cur.get(x, y)).abs());
+            next.cells[y * w + x] = v;
+        }
+    }
+    max_delta
+}
+
+/// Run Jacobi sweeps until the max change drops below `tol` (or
+/// `max_sweeps`). Returns `(grid, sweeps)`.
+#[must_use]
+pub fn relax_seq(mut grid: Grid, tol: f64, max_sweeps: usize) -> (Grid, usize) {
+    let mut next = grid.clone();
+    for sweep in 0..max_sweeps {
+        let delta = sweep_seq(&grid, &mut next);
+        std::mem::swap(&mut grid, &mut next);
+        if delta < tol {
+            return (grid, sweep + 1);
+        }
+    }
+    (grid, max_sweeps)
+}
+
+/// Parallel Jacobi relaxation: each sweep workshares interior rows
+/// and max-reduces the per-row deltas.
+#[must_use]
+pub fn relax_par(team: &Team, mut grid: Grid, tol: f64, max_sweeps: usize) -> (Grid, usize) {
+    let (w, h) = (grid.w, grid.h);
+    let mut next = grid.clone();
+    struct CellPtr(*mut f64);
+    unsafe impl Sync for CellPtr {}
+    for sweep in 0..max_sweeps {
+        next.cells.copy_from_slice(&grid.cells);
+        let cur_ref = &grid;
+        let out = CellPtr(next.cells.as_mut_ptr());
+        let out_ref = &out;
+        let delta = team.par_reduce(1..h - 1, Schedule::Static, &MaxRed, move |y| {
+            let mut row_max = 0.0f64;
+            for x in 1..w - 1 {
+                let v = 0.25
+                    * (cur_ref.get(x - 1, y)
+                        + cur_ref.get(x + 1, y)
+                        + cur_ref.get(x, y - 1)
+                        + cur_ref.get(x, y + 1));
+                row_max = row_max.max((v - cur_ref.get(x, y)).abs());
+                // SAFETY: each row y written by exactly one thread.
+                unsafe {
+                    *out_ref.0.add(y * w + x) = v;
+                }
+            }
+            row_max
+        });
+        std::mem::swap(&mut grid, &mut next);
+        if delta < tol {
+            return (grid, sweep + 1);
+        }
+    }
+    (grid, max_sweeps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundaries_stay_fixed() {
+        let (g, _) = relax_seq(Grid::hot_top(10, 8), 1e-9, 200);
+        for x in 0..10 {
+            assert_eq!(g.get(x, 0), 100.0, "hot edge must persist");
+            assert_eq!(g.get(x, 7), 0.0, "cold edge must persist");
+        }
+    }
+
+    #[test]
+    fn interior_warms_monotonically_from_hot_edge() {
+        let (g, _) = relax_seq(Grid::hot_top(12, 12), 1e-10, 2000);
+        // Temperature decreases with distance from the hot edge along
+        // the centre column.
+        let mid = 6;
+        for y in 1..10 {
+            assert!(
+                g.get(mid, y) > g.get(mid, y + 1),
+                "temperature must fall away from the hot edge"
+            );
+        }
+        // Interior values bounded by boundary extremes.
+        for y in 1..11 {
+            for x in 1..11 {
+                assert!(g.get(x, y) > 0.0 && g.get(x, y) < 100.0);
+            }
+        }
+    }
+
+    #[test]
+    fn converged_solution_is_harmonic() {
+        // At convergence every interior cell equals its neighbour
+        // average (discrete Laplace equation).
+        let (g, sweeps) = relax_seq(Grid::hot_top(10, 10), 1e-12, 10_000);
+        assert!(sweeps < 10_000, "must converge");
+        for y in 1..9 {
+            for x in 1..9 {
+                let avg =
+                    0.25 * (g.get(x - 1, y) + g.get(x + 1, y) + g.get(x, y - 1) + g.get(x, y + 1));
+                assert!((g.get(x, y) - avg).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_exactly() {
+        let team = Team::new(3);
+        let start = Grid::hot_top(20, 16);
+        let (gs, ss) = relax_seq(start.clone(), 1e-8, 500);
+        let (gp, sp) = relax_par(&team, start, 1e-8, 500);
+        assert_eq!(ss, sp, "same sweep count");
+        assert!(gs.max_diff(&gp) < 1e-12, "bitwise-comparable fields");
+    }
+
+    #[test]
+    fn symmetric_problem_stays_symmetric() {
+        let team = Team::new(2);
+        let (g, _) = relax_par(&team, Grid::hot_top(15, 11), 1e-10, 2000);
+        // Left-right mirror symmetry of the boundary conditions.
+        for y in 0..11 {
+            for x in 0..7 {
+                assert!((g.get(x, y) - g.get(14 - x, y)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "3x3")]
+    fn tiny_grid_rejected() {
+        let _ = Grid::new(2, 5);
+    }
+}

@@ -1,0 +1,214 @@
+//! Interim results: streaming values out of a running task.
+//!
+//! Parallel Task's `notifyInter` lets a long task publish partial
+//! results (search hits, finished thumbnails) as they appear, with the
+//! notifications marshalled onto the GUI thread. Here the same idea is
+//! a small channel whose receiver either **buffers** values for
+//! polling or **forwards** each value to a callback — optionally via a
+//! [`guievent::GuiHandle`] so the callback runs on the event-dispatch
+//! thread.
+//!
+//! ```
+//! use partask::interim;
+//! let (tx, rx) = interim::channel::<u32>();
+//! tx.send(1);
+//! tx.send(2);
+//! assert_eq!(rx.try_drain(), vec![1, 2]);
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use guievent::GuiHandle;
+use parking_lot::Mutex;
+
+enum Mode<I> {
+    Buffering(Vec<I>),
+    Forwarding(Arc<dyn Fn(I) + Send + Sync>),
+}
+
+struct Inner<I> {
+    mode: Mutex<Mode<I>>,
+    sent: AtomicU64,
+}
+
+/// Producer half; cheap to clone into task bodies.
+pub struct InterimSender<I> {
+    inner: Arc<Inner<I>>,
+}
+
+impl<I> Clone for InterimSender<I> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+/// Consumer half: poll buffered values or install a forwarder.
+pub struct InterimReceiver<I> {
+    inner: Arc<Inner<I>>,
+}
+
+/// Create an interim-result channel.
+#[must_use]
+pub fn channel<I: Send + 'static>() -> (InterimSender<I>, InterimReceiver<I>) {
+    let inner = Arc::new(Inner {
+        mode: Mutex::new(Mode::Buffering(Vec::new())),
+        sent: AtomicU64::new(0),
+    });
+    (
+        InterimSender {
+            inner: Arc::clone(&inner),
+        },
+        InterimReceiver { inner },
+    )
+}
+
+impl<I: Send + 'static> InterimSender<I> {
+    /// Publish one interim value. Buffered, or forwarded immediately
+    /// if a forwarder is installed. The forwarder is invoked outside
+    /// the channel lock so it may itself publish or block.
+    pub fn send(&self, item: I) {
+        self.inner.sent.fetch_add(1, Ordering::Relaxed);
+        let forward = {
+            let mut mode = self.inner.mode.lock();
+            match &mut *mode {
+                Mode::Buffering(buf) => {
+                    buf.push(item);
+                    None
+                }
+                Mode::Forwarding(f) => Some((Arc::clone(f), item)),
+            }
+        };
+        if let Some((f, item)) = forward {
+            f(item);
+        }
+    }
+
+    /// Total values ever sent through this channel.
+    #[must_use]
+    pub fn sent_count(&self) -> u64 {
+        self.inner.sent.load(Ordering::Relaxed)
+    }
+}
+
+impl<I: Send + 'static> InterimReceiver<I> {
+    /// Take everything buffered so far (empty when forwarding).
+    #[must_use]
+    pub fn try_drain(&self) -> Vec<I> {
+        let mut mode = self.inner.mode.lock();
+        match &mut *mode {
+            Mode::Buffering(buf) => std::mem::take(buf),
+            Mode::Forwarding(_) => Vec::new(),
+        }
+    }
+
+    /// Switch to forwarding: every value (including those already
+    /// buffered, in order) is passed to `f` on whatever thread sends
+    /// it.
+    pub fn forward(&self, f: impl Fn(I) + Send + Sync + 'static) {
+        let f: Arc<dyn Fn(I) + Send + Sync> = Arc::new(f);
+        let backlog = {
+            let mut mode = self.inner.mode.lock();
+            let backlog = match &mut *mode {
+                Mode::Buffering(buf) => std::mem::take(buf),
+                Mode::Forwarding(_) => panic!("forwarder already installed"),
+            };
+            *mode = Mode::Forwarding(Arc::clone(&f));
+            backlog
+        };
+        for item in backlog {
+            f(item);
+        }
+    }
+
+    /// Forward each value to `f` **on the GUI dispatch thread** — the
+    /// `notifyInter`-to-GUI analogue.
+    pub fn forward_to_gui(&self, gui: &GuiHandle, f: impl Fn(I) + Send + Sync + 'static) {
+        let gui = gui.clone();
+        let f = Arc::new(f);
+        self.forward(move |item| {
+            let f = Arc::clone(&f);
+            gui.invoke_later(move || f(item));
+        });
+    }
+
+    /// Total values ever sent through this channel.
+    #[must_use]
+    pub fn sent_count(&self) -> u64 {
+        self.inner.sent.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use guievent::EventLoop;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn buffered_then_drained_in_order() {
+        let (tx, rx) = channel();
+        for i in 0..5 {
+            tx.send(i);
+        }
+        assert_eq!(rx.try_drain(), vec![0, 1, 2, 3, 4]);
+        assert!(rx.try_drain().is_empty());
+        assert_eq!(tx.sent_count(), 5);
+    }
+
+    #[test]
+    fn forward_flushes_backlog_then_streams() {
+        let (tx, rx) = channel();
+        tx.send(1);
+        tx.send(2);
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let seen2 = Arc::clone(&seen);
+        rx.forward(move |v| seen2.lock().push(v));
+        tx.send(3);
+        assert_eq!(*seen.lock(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "forwarder already installed")]
+    fn double_forward_panics() {
+        let (_tx, rx) = channel::<u8>();
+        rx.forward(|_| {});
+        rx.forward(|_| {});
+    }
+
+    #[test]
+    fn senders_clone_and_share() {
+        let (tx, rx) = channel();
+        let tx2 = tx.clone();
+        tx.send("a");
+        tx2.send("b");
+        assert_eq!(rx.try_drain(), vec!["a", "b"]);
+        assert_eq!(rx.sent_count(), 2);
+    }
+
+    #[test]
+    fn forward_to_gui_runs_on_dispatch_thread() {
+        let gui = EventLoop::spawn();
+        let (tx, rx) = channel::<u32>();
+        let count = Arc::new(AtomicUsize::new(0));
+        let on_edt = Arc::new(AtomicUsize::new(0));
+        let count2 = Arc::clone(&count);
+        let on_edt2 = Arc::clone(&on_edt);
+        let handle_probe = gui.handle();
+        rx.forward_to_gui(&gui.handle(), move |v| {
+            count2.fetch_add(v as usize, Ordering::Relaxed);
+            if handle_probe.is_dispatch_thread() {
+                on_edt2.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        for _ in 0..10 {
+            tx.send(1);
+        }
+        gui.handle().drain();
+        assert_eq!(count.load(Ordering::Relaxed), 10);
+        assert_eq!(on_edt.load(Ordering::Relaxed), 10);
+        gui.shutdown();
+    }
+}

@@ -1,0 +1,61 @@
+//! # partask — a GUI-aware task-parallel runtime
+//!
+//! This crate is the Rust analogue of **Parallel Task** (Giacaman &
+//! Sinnen, *Parallel Task for parallelizing object-oriented desktop
+//! applications*, IJPP 2013), the PARC lab tool at the centre of the
+//! SoftEng 751 course reproduced by this workspace. Parallel Task
+//! extends Java with a handful of keywords (`TASK`, `dependsOn`,
+//! `notify`, …) that its compiler lowers onto a runtime with the
+//! following semantics — all of which this crate implements as a
+//! library API:
+//!
+//! * **Task futures** — [`TaskRuntime::spawn`] returns a
+//!   [`TaskHandle<T>`]; [`TaskHandle::join`] waits for and returns the
+//!   result (the `TaskID.getResult()` analogue).
+//! * **Task dependences** — [`TaskRuntime::spawn_after`] delays a task
+//!   until a set of predecessor tasks have completed (`dependsOn`).
+//! * **Multi-tasks** — [`TaskRuntime::spawn_multi`] launches `n`
+//!   copies of a task (`TASK(n)`), and
+//!   [`TaskRuntime::spawn_per_worker`] one per worker (`TASK(*)`).
+//! * **Interim results** — [`interim::channel`] streams intermediate
+//!   values out of a running task, optionally marshalled onto the GUI
+//!   event-dispatch thread (the `notifyInter` analogue).
+//! * **GUI-aware completion** — [`TaskHandle::deliver`] hands the
+//!   task's result to a closure running on the [`guievent`] dispatch
+//!   thread, so interactive applications never block (the paper's
+//!   "concurrency for user-perceived performance").
+//! * **Exceptions** — a panicking task resolves its future to
+//!   [`TaskError::Panicked`] instead of tearing down the process
+//!   (the `asyncCatch` analogue).
+//! * **Cancellation** — cooperative, via [`CancelToken`].
+//!
+//! Two schedulers are provided, mirroring the scheduling options the
+//! PARC runtime exposed and providing the ablation in experiment A1:
+//! a **work-stealing** scheduler (per-worker Chase–Lev deques with a
+//! global injector) and a **work-sharing** scheduler (one global
+//! queue). Workers that block in [`TaskHandle::join`] *help*: they
+//! execute other queued tasks while waiting, so nested fork/join
+//! (e.g. recursive quicksort) cannot deadlock the fixed-size pool.
+//!
+//! ```
+//! use partask::TaskRuntime;
+//!
+//! let rt = TaskRuntime::builder().workers(2).build();
+//! let task = rt.spawn(|| (1..=10u64).product::<u64>());
+//! assert_eq!(task.join().unwrap(), 3_628_800);
+//! rt.shutdown();
+//! ```
+
+pub mod interim;
+pub mod multi;
+pub mod runtime;
+pub mod sched;
+pub mod scope;
+pub mod task;
+
+pub use interim::{channel as interim_channel, InterimReceiver, InterimSender};
+pub use multi::MultiHandle;
+pub use runtime::{Builder, RuntimeHandle, RuntimeStats, TaskRuntime};
+pub use sched::SchedulerKind;
+pub use scope::Scope;
+pub use task::{CancelToken, TaskError, TaskHandle, TaskId, TaskWatcher};

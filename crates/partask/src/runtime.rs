@@ -1,0 +1,539 @@
+//! The task runtime: worker pool, spawning, dependences, quiescence
+//! and shutdown.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Weak};
+use std::thread;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::sched::{Job, LocalQueue, SchedCounters, SchedulerKind, SharedSched};
+use crate::task::{CancelToken, Core, TaskHandle, TaskWatcher};
+
+/// Snapshot of runtime activity counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RuntimeStats {
+    /// Tasks submitted (including dependence-delayed and multi-task
+    /// members).
+    pub spawned: u64,
+    /// Task bodies executed to completion (including cancelled ones,
+    /// which "execute" by resolving to `Cancelled`).
+    pub executed: u64,
+    /// Jobs a worker popped from its own deque.
+    pub local_pops: u64,
+    /// Jobs taken from the global injector / shared queue.
+    pub global_pops: u64,
+    /// Jobs stolen from another worker.
+    pub steals: u64,
+    /// Jobs executed by helping joiners rather than pool workers.
+    pub helped: u64,
+}
+
+pub(crate) struct RtInner {
+    pub(crate) sched: SharedSched,
+    pub(crate) counters: SchedCounters,
+    pub(crate) n_workers: usize,
+    stop: AtomicBool,
+    /// Jobs submitted but not yet finished (includes dep-pending).
+    live_jobs: AtomicUsize,
+    idle: Mutex<()>,
+    idle_cv: Condvar,
+    quiescent_cv: Condvar,
+    spawned: AtomicU64,
+    executed: AtomicU64,
+    helped: AtomicU64,
+}
+
+thread_local! {
+    /// Set for the lifetime of a worker thread: (runtime, local queue,
+    /// worker index).
+    static WORKER_CTX: RefCell<Option<(Weak<RtInner>, LocalQueue, usize)>> =
+        const { RefCell::new(None) };
+}
+
+/// The hook a [`TaskHandle`] uses to run queued work while it waits.
+/// Returns `true` when it executed a job.
+pub(crate) type HelpHook = Option<Arc<dyn Fn() -> bool + Send + Sync>>;
+
+/// Configures and builds a [`TaskRuntime`].
+#[derive(Clone, Debug)]
+pub struct Builder {
+    workers: usize,
+    kind: SchedulerKind,
+    name: String,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Self {
+            workers: thread::available_parallelism().map_or(1, usize::from),
+            kind: SchedulerKind::default(),
+            name: "partask".to_string(),
+        }
+    }
+}
+
+impl Builder {
+    /// Number of worker threads (≥ 1).
+    #[must_use]
+    pub fn workers(mut self, n: usize) -> Self {
+        assert!(n >= 1, "a runtime needs at least one worker");
+        self.workers = n;
+        self
+    }
+
+    /// Scheduling policy.
+    #[must_use]
+    pub fn scheduler(mut self, kind: SchedulerKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Thread-name prefix for the workers.
+    #[must_use]
+    pub fn name(mut self, name: &str) -> Self {
+        self.name = name.to_string();
+        self
+    }
+
+    /// Start the worker pool.
+    #[must_use]
+    pub fn build(self) -> TaskRuntime {
+        let (sched, locals) = SharedSched::new(self.kind, self.workers);
+        let inner = Arc::new(RtInner {
+            sched,
+            counters: SchedCounters::default(),
+            n_workers: self.workers,
+            stop: AtomicBool::new(false),
+            live_jobs: AtomicUsize::new(0),
+            idle: Mutex::new(()),
+            idle_cv: Condvar::new(),
+            quiescent_cv: Condvar::new(),
+            spawned: AtomicU64::new(0),
+            executed: AtomicU64::new(0),
+            helped: AtomicU64::new(0),
+        });
+        let mut joiners = Vec::with_capacity(self.workers);
+        for (index, local) in locals.into_iter().enumerate() {
+            let inner_weak = Arc::downgrade(&inner);
+            let inner_strong = Arc::clone(&inner);
+            joiners.push(
+                thread::Builder::new()
+                    .name(format!("{}-{index}", self.name))
+                    .spawn(move || {
+                        WORKER_CTX.with(|ctx| {
+                            *ctx.borrow_mut() = Some((inner_weak, local, index));
+                        });
+                        worker_loop(&inner_strong, index);
+                        WORKER_CTX.with(|ctx| ctx.borrow_mut().take());
+                    })
+                    .expect("failed to spawn worker"),
+            );
+        }
+        TaskRuntime {
+            inner,
+            joiners: Mutex::new(joiners),
+        }
+    }
+}
+
+fn worker_loop(inner: &Arc<RtInner>, index: usize) {
+    loop {
+        let job = WORKER_CTX.with(|ctx| {
+            let borrow = ctx.borrow();
+            let (_, local, _) = borrow.as_ref().expect("worker ctx set");
+            inner.sched.pop_for(local, index, &inner.counters)
+        });
+        match job {
+            Some(job) => job(),
+            None => {
+                if inner.stop.load(Ordering::Acquire) {
+                    // Double-check nothing arrived between the failed
+                    // pop and the stop check.
+                    let again = WORKER_CTX.with(|ctx| {
+                        let borrow = ctx.borrow();
+                        let (_, local, _) = borrow.as_ref().expect("worker ctx set");
+                        inner.sched.pop_for(local, index, &inner.counters)
+                    });
+                    match again {
+                        Some(job) => {
+                            job();
+                            continue;
+                        }
+                        None => break,
+                    }
+                }
+                let mut guard = inner.idle.lock();
+                // Timed wait: cheap insurance against lost wakeups.
+                let _ = inner
+                    .idle_cv
+                    .wait_for(&mut guard, Duration::from_millis(1));
+            }
+        }
+    }
+}
+
+impl RtInner {
+    fn wake_one(&self) {
+        self.idle_cv.notify_one();
+    }
+
+    fn wake_all(&self) {
+        self.idle_cv.notify_all();
+    }
+
+    /// Push a job, preferring the current worker's local deque when the
+    /// caller is one of this runtime's workers.
+    pub(crate) fn push_job(self: &Arc<Self>, job: Job) {
+        let leftover = WORKER_CTX.with(|ctx| {
+            let borrow = ctx.borrow();
+            if let Some((weak, local, _index)) = borrow.as_ref() {
+                if let Some(owner) = weak.upgrade() {
+                    if Arc::ptr_eq(&owner, self) {
+                        self.sched.push_local(local, job);
+                        return None;
+                    }
+                }
+            }
+            Some(job)
+        });
+        if let Some(job) = leftover {
+            self.sched.push_external(job);
+        }
+        self.wake_one();
+    }
+
+    /// One attempt at running a queued job from shared structures;
+    /// used both by helping joins and by external threads.
+    fn help_once(self: &Arc<Self>) -> bool {
+        if let Some(job) = self.sched.pop_shared(&self.counters) {
+            self.helped.fetch_add(1, Ordering::Relaxed);
+            job();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn job_finished(&self) {
+        let prev = self.live_jobs.fetch_sub(1, Ordering::AcqRel);
+        debug_assert!(prev > 0);
+        if prev == 1 {
+            let _guard = self.idle.lock();
+            self.quiescent_cv.notify_all();
+        }
+    }
+}
+
+/// The Parallel Task worker pool. See the crate docs for an overview.
+pub struct TaskRuntime {
+    inner: Arc<RtInner>,
+    joiners: Mutex<Vec<thread::JoinHandle<()>>>,
+}
+
+/// Cheap, cloneable spawner that does not keep the pool alive. Task
+/// bodies capture one of these to spawn subtasks. If the runtime has
+/// shut down, spawns degrade to inline execution on the caller.
+#[derive(Clone)]
+pub struct RuntimeHandle {
+    inner: Weak<RtInner>,
+}
+
+impl TaskRuntime {
+    /// Start configuring a runtime.
+    #[must_use]
+    pub fn builder() -> Builder {
+        Builder::default()
+    }
+
+    /// A runtime with default settings (one worker per CPU).
+    #[must_use]
+    pub fn new() -> Self {
+        Builder::default().build()
+    }
+
+    /// Number of worker threads.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.inner.n_workers
+    }
+
+    /// A detached spawner usable from inside task bodies.
+    #[must_use]
+    pub fn handle(&self) -> RuntimeHandle {
+        RuntimeHandle {
+            inner: Arc::downgrade(&self.inner),
+        }
+    }
+
+    /// Spawn a task; the `TASK` analogue.
+    pub fn spawn<T: Send + 'static>(
+        &self,
+        f: impl FnOnce() -> T + Send + 'static,
+    ) -> TaskHandle<T> {
+        spawn_on(&self.inner, move |_t| f())
+    }
+
+    /// Spawn a task whose body can observe its own [`CancelToken`].
+    pub fn spawn_cancellable<T: Send + 'static>(
+        &self,
+        f: impl FnOnce(&CancelToken) -> T + Send + 'static,
+    ) -> TaskHandle<T> {
+        spawn_on(&self.inner, f)
+    }
+
+    /// Spawn a task that starts only after every watcher in `deps`
+    /// has completed; the `dependsOn` analogue.
+    pub fn spawn_after<T: Send + 'static>(
+        &self,
+        deps: &[TaskWatcher],
+        f: impl FnOnce() -> T + Send + 'static,
+    ) -> TaskHandle<T> {
+        spawn_after_on(&self.inner, deps, move |_t| f())
+    }
+
+    /// Spawn `n` copies of a task; the `TASK(n)` multi-task analogue.
+    /// Each copy receives its index in `0..n`.
+    pub fn spawn_multi<T: Send + 'static>(
+        &self,
+        n: usize,
+        f: impl Fn(usize) -> T + Send + Sync + 'static,
+    ) -> crate::multi::MultiHandle<T> {
+        crate::multi::spawn_multi(&self.inner, n, f)
+    }
+
+    /// Spawn one copy per worker; the `TASK(*)` analogue.
+    pub fn spawn_per_worker<T: Send + 'static>(
+        &self,
+        f: impl Fn(usize) -> T + Send + Sync + 'static,
+    ) -> crate::multi::MultiHandle<T> {
+        crate::multi::spawn_multi(&self.inner, self.inner.n_workers, f)
+    }
+
+    /// Block until every submitted task (including dependence-pending
+    /// ones) has finished.
+    pub fn wait_quiescent(&self) {
+        let inner = &self.inner;
+        // Help from this thread while waiting: useful on small pools.
+        while inner.live_jobs.load(Ordering::Acquire) != 0 {
+            if !inner.help_once() {
+                let mut guard = inner.idle.lock();
+                if inner.live_jobs.load(Ordering::Acquire) == 0 {
+                    break;
+                }
+                let _ = inner
+                    .quiescent_cv
+                    .wait_for(&mut guard, Duration::from_micros(500));
+            }
+        }
+    }
+
+    /// Rough number of jobs currently visible in queues (diagnostic).
+    #[must_use]
+    pub fn queued_hint(&self) -> usize {
+        self.inner.sched.shared_len_hint()
+    }
+
+    /// Current activity counters.
+    #[must_use]
+    pub fn stats(&self) -> RuntimeStats {
+        let inner = &self.inner;
+        RuntimeStats {
+            spawned: inner.spawned.load(Ordering::Relaxed),
+            executed: inner.executed.load(Ordering::Relaxed),
+            local_pops: inner.counters.local_pops.load(Ordering::Relaxed),
+            global_pops: inner.counters.global_pops.load(Ordering::Relaxed),
+            steals: inner.counters.steals.load(Ordering::Relaxed),
+            helped: inner.helped.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Wait for quiescence, then stop and join all workers.
+    pub fn shutdown(self) {
+        self.shutdown_impl();
+    }
+
+    fn shutdown_impl(&self) {
+        self.wait_quiescent();
+        self.inner.stop.store(true, Ordering::Release);
+        self.inner.wake_all();
+        let joiners = std::mem::take(&mut *self.joiners.lock());
+        let self_id = thread::current().id();
+        for j in joiners {
+            // Never join the current thread (shutdown from a worker).
+            if j.thread().id() != self_id {
+                let _ = j.join();
+            }
+        }
+    }
+}
+
+impl Default for TaskRuntime {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for TaskRuntime {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}
+
+impl RuntimeHandle {
+    /// Spawn a task, or run `f` inline if the runtime is gone.
+    pub fn spawn<T: Send + 'static>(
+        &self,
+        f: impl FnOnce() -> T + Send + 'static,
+    ) -> TaskHandle<T> {
+        match self.inner.upgrade() {
+            Some(inner) => spawn_on(&inner, move |_t| f()),
+            None => run_inline(move |_t| f()),
+        }
+    }
+
+    /// Spawn a cancellable task, or run inline if the runtime is gone.
+    pub fn spawn_cancellable<T: Send + 'static>(
+        &self,
+        f: impl FnOnce(&CancelToken) -> T + Send + 'static,
+    ) -> TaskHandle<T> {
+        match self.inner.upgrade() {
+            Some(inner) => spawn_on(&inner, f),
+            None => run_inline(f),
+        }
+    }
+
+    /// Spawn after dependences, or run inline if the runtime is gone
+    /// (dependences are then waited for by polling).
+    pub fn spawn_after<T: Send + 'static>(
+        &self,
+        deps: &[TaskWatcher],
+        f: impl FnOnce() -> T + Send + 'static,
+    ) -> TaskHandle<T> {
+        match self.inner.upgrade() {
+            Some(inner) => spawn_after_on(&inner, deps, move |_t| f()),
+            None => {
+                while deps.iter().any(|d| !d.is_done()) {
+                    thread::yield_now();
+                }
+                run_inline(move |_t| f())
+            }
+        }
+    }
+
+    /// Is the underlying pool still alive?
+    #[must_use]
+    pub fn is_alive(&self) -> bool {
+        self.inner.strong_count() > 0
+    }
+
+    /// Execute one queued task on the calling thread, if any is
+    /// available. Returns `true` when a task ran.
+    ///
+    /// This is the building block for *task-aware* blocking: code that
+    /// must wait inside a task should alternate its condition check
+    /// with `help_once`, so the bounded worker pool keeps making
+    /// progress instead of deadlocking (SoftEng 751 project 6).
+    pub fn help_once(&self) -> bool {
+        match self.inner.upgrade() {
+            Some(inner) => inner.help_once(),
+            None => false,
+        }
+    }
+}
+
+fn run_inline<T: Send + 'static>(f: impl FnOnce(&CancelToken) -> T) -> TaskHandle<T> {
+    let core = Core::new();
+    core.run(f);
+    TaskHandle { core, helper: None }
+}
+
+fn make_helper(inner: &Arc<RtInner>) -> HelpHook {
+    let weak = Arc::downgrade(inner);
+    Some(Arc::new(move || match weak.upgrade() {
+        Some(inner) => inner.help_once(),
+        None => false,
+    }))
+}
+
+pub(crate) fn spawn_on<T: Send + 'static>(
+    inner: &Arc<RtInner>,
+    f: impl FnOnce(&CancelToken) -> T + Send + 'static,
+) -> TaskHandle<T> {
+    let core = Core::new();
+    inner.spawned.fetch_add(1, Ordering::Relaxed);
+    inner.live_jobs.fetch_add(1, Ordering::AcqRel);
+    let job_core = Arc::clone(&core);
+    let job_inner = Arc::downgrade(inner);
+    let job: Job = Box::new(move || {
+        job_core.run(f);
+        if let Some(inner) = job_inner.upgrade() {
+            inner.executed.fetch_add(1, Ordering::Relaxed);
+            inner.job_finished();
+        }
+    });
+    inner.push_job(job);
+    TaskHandle {
+        core,
+        helper: make_helper(inner),
+    }
+}
+
+pub(crate) fn spawn_after_on<T: Send + 'static>(
+    inner: &Arc<RtInner>,
+    deps: &[TaskWatcher],
+    f: impl FnOnce(&CancelToken) -> T + Send + 'static,
+) -> TaskHandle<T> {
+    let core = Core::new();
+    inner.spawned.fetch_add(1, Ordering::Relaxed);
+    inner.live_jobs.fetch_add(1, Ordering::AcqRel);
+    let job_core = Arc::clone(&core);
+    let job_inner = Arc::downgrade(inner);
+    let job: Job = Box::new(move || {
+        job_core.run(f);
+        if let Some(inner) = job_inner.upgrade() {
+            inner.executed.fetch_add(1, Ordering::Relaxed);
+            inner.job_finished();
+        }
+    });
+    if deps.is_empty() {
+        inner.push_job(job);
+    } else {
+        // Gate: schedule the job once `remaining` reaches zero. The
+        // +1 guard prevents firing while hooks are still being added.
+        struct Gate {
+            remaining: AtomicUsize,
+            job: Mutex<Option<Job>>,
+            rt: Weak<RtInner>,
+        }
+        impl Gate {
+            fn arm(&self) {
+                if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    if let Some(job) = self.job.lock().take() {
+                        if let Some(rt) = self.rt.upgrade() {
+                            rt.push_job(job);
+                        } else {
+                            job();
+                        }
+                    }
+                }
+            }
+        }
+        let gate = Arc::new(Gate {
+            remaining: AtomicUsize::new(deps.len() + 1),
+            job: Mutex::new(Some(job)),
+            rt: Arc::downgrade(inner),
+        });
+        for dep in deps {
+            let gate = Arc::clone(&gate);
+            dep.on_done_boxed(Box::new(move || gate.arm()));
+        }
+        gate.arm();
+    }
+    TaskHandle {
+        core,
+        helper: make_helper(inner),
+    }
+}

@@ -1,0 +1,315 @@
+//! The two task schedulers: work-stealing and work-sharing.
+//!
+//! The PARC runtime exposed interchangeable scheduling policies and
+//! one SoftEng 751 project compared "different ways to schedule the
+//! workload"; experiment A1 reproduces that comparison. Both policies
+//! present the same interface to the runtime:
+//!
+//! * [`SchedulerKind::WorkStealing`] — per-worker Chase–Lev deques
+//!   (LIFO for the owner, FIFO for thieves) plus a global injector
+//!   queue for tasks submitted from outside the pool. This is the
+//!   classic Cilk/rayon design: good locality, distributed contention.
+//! * [`SchedulerKind::WorkSharing`] — one global FIFO protected by a
+//!   mutex. Trivially fair, but every push and pop contends on a
+//!   single lock; the A1 benchmark shows the overhead gap grow with
+//!   task count.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use parking_lot::Mutex;
+
+/// A unit of scheduled work.
+pub(crate) type Job = Box<dyn FnOnce() + Send>;
+
+/// Which scheduling policy a [`crate::TaskRuntime`] uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SchedulerKind {
+    /// Per-worker deques with stealing (default).
+    WorkStealing,
+    /// Single shared FIFO queue.
+    WorkSharing,
+}
+
+impl Default for SchedulerKind {
+    fn default() -> Self {
+        SchedulerKind::WorkStealing
+    }
+}
+
+/// Counters describing where jobs were found.
+#[derive(Debug, Default)]
+pub(crate) struct SchedCounters {
+    /// Jobs popped from the owner's local deque.
+    pub local_pops: AtomicU64,
+    /// Jobs taken from the global injector / shared queue.
+    pub global_pops: AtomicU64,
+    /// Jobs stolen from another worker's deque.
+    pub steals: AtomicU64,
+}
+
+/// The shared (thread-safe) half of a scheduler.
+pub(crate) enum SharedSched {
+    Stealing {
+        injector: Injector<Job>,
+        stealers: Vec<Stealer<Job>>,
+    },
+    Sharing {
+        queue: Mutex<VecDeque<Job>>,
+    },
+}
+
+/// The per-worker (thread-local) half of a scheduler.
+pub(crate) enum LocalQueue {
+    Stealing(Worker<Job>),
+    Sharing,
+}
+
+impl SharedSched {
+    /// Build the shared scheduler plus one local queue per worker.
+    pub(crate) fn new(kind: SchedulerKind, workers: usize) -> (Self, Vec<LocalQueue>) {
+        match kind {
+            SchedulerKind::WorkStealing => {
+                let locals: Vec<Worker<Job>> = (0..workers).map(|_| Worker::new_lifo()).collect();
+                let stealers = locals.iter().map(Worker::stealer).collect();
+                (
+                    SharedSched::Stealing {
+                        injector: Injector::new(),
+                        stealers,
+                    },
+                    locals.into_iter().map(LocalQueue::Stealing).collect(),
+                )
+            }
+            SchedulerKind::WorkSharing => (
+                SharedSched::Sharing {
+                    queue: Mutex::new(VecDeque::new()),
+                },
+                (0..workers).map(|_| LocalQueue::Sharing).collect(),
+            ),
+        }
+    }
+
+    /// Submit a job from outside the worker pool.
+    pub(crate) fn push_external(&self, job: Job) {
+        match self {
+            SharedSched::Stealing { injector, .. } => injector.push(job),
+            SharedSched::Sharing { queue } => queue.lock().push_back(job),
+        }
+    }
+
+    /// Submit a job from worker `local` (its own deque when stealing).
+    pub(crate) fn push_local(&self, local: &LocalQueue, job: Job) {
+        match (self, local) {
+            (SharedSched::Stealing { .. }, LocalQueue::Stealing(w)) => w.push(job),
+            (SharedSched::Sharing { queue }, LocalQueue::Sharing) => {
+                queue.lock().push_back(job);
+            }
+            _ => unreachable!("scheduler kind mismatch"),
+        }
+    }
+
+    /// Find a job for worker `index` owning `local`.
+    pub(crate) fn pop_for(
+        &self,
+        local: &LocalQueue,
+        index: usize,
+        counters: &SchedCounters,
+    ) -> Option<Job> {
+        match (self, local) {
+            (SharedSched::Stealing { injector, stealers }, LocalQueue::Stealing(w)) => {
+                if let Some(job) = w.pop() {
+                    counters.local_pops.fetch_add(1, Ordering::Relaxed);
+                    return Some(job);
+                }
+                // Refill from the injector in a batch, then steal.
+                loop {
+                    match injector.steal_batch_and_pop(w) {
+                        Steal::Success(job) => {
+                            counters.global_pops.fetch_add(1, Ordering::Relaxed);
+                            return Some(job);
+                        }
+                        Steal::Empty => break,
+                        Steal::Retry => {}
+                    }
+                }
+                for (victim, stealer) in stealers.iter().enumerate() {
+                    if victim == index {
+                        continue;
+                    }
+                    loop {
+                        match stealer.steal() {
+                            Steal::Success(job) => {
+                                counters.steals.fetch_add(1, Ordering::Relaxed);
+                                return Some(job);
+                            }
+                            Steal::Empty => break,
+                            Steal::Retry => {}
+                        }
+                    }
+                }
+                None
+            }
+            (SharedSched::Sharing { queue }, LocalQueue::Sharing) => {
+                let job = queue.lock().pop_front();
+                if job.is_some() {
+                    counters.global_pops.fetch_add(1, Ordering::Relaxed);
+                }
+                job
+            }
+            _ => unreachable!("scheduler kind mismatch"),
+        }
+    }
+
+    /// Take a job from the shared structures only (never a local
+    /// deque). Safe to call from *any* thread; used by helping joins.
+    pub(crate) fn pop_shared(&self, counters: &SchedCounters) -> Option<Job> {
+        match self {
+            SharedSched::Stealing { injector, stealers } => {
+                loop {
+                    match injector.steal() {
+                        Steal::Success(job) => {
+                            counters.global_pops.fetch_add(1, Ordering::Relaxed);
+                            return Some(job);
+                        }
+                        Steal::Empty => break,
+                        Steal::Retry => {}
+                    }
+                }
+                for stealer in stealers {
+                    loop {
+                        match stealer.steal() {
+                            Steal::Success(job) => {
+                                counters.steals.fetch_add(1, Ordering::Relaxed);
+                                return Some(job);
+                            }
+                            Steal::Empty => break,
+                            Steal::Retry => {}
+                        }
+                    }
+                }
+                None
+            }
+            SharedSched::Sharing { queue } => {
+                let job = queue.lock().pop_front();
+                if job.is_some() {
+                    counters.global_pops.fetch_add(1, Ordering::Relaxed);
+                }
+                job
+            }
+        }
+    }
+
+    /// Rough count of queued jobs visible in shared structures.
+    pub(crate) fn shared_len_hint(&self) -> usize {
+        match self {
+            SharedSched::Stealing { injector, stealers } => {
+                injector.len() + stealers.iter().map(Stealer::len).sum::<usize>()
+            }
+            SharedSched::Sharing { queue } => queue.lock().len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    fn run_all(shared: &SharedSched, local: &LocalQueue, counters: &SchedCounters) -> usize {
+        let mut n = 0;
+        while let Some(job) = shared.pop_for(local, 0, counters) {
+            job();
+            n += 1;
+        }
+        n
+    }
+
+    #[test]
+    fn stealing_local_lifo_order() {
+        let (shared, mut locals) = SharedSched::new(SchedulerKind::WorkStealing, 1);
+        let local = locals.remove(0);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..3 {
+            let log = Arc::clone(&log);
+            shared.push_local(&local, Box::new(move || log.lock().push(i)));
+        }
+        let counters = SchedCounters::default();
+        assert_eq!(run_all(&shared, &local, &counters), 3);
+        // Owner pops LIFO.
+        assert_eq!(*log.lock(), vec![2, 1, 0]);
+        assert_eq!(counters.local_pops.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn sharing_fifo_order() {
+        let (shared, mut locals) = SharedSched::new(SchedulerKind::WorkSharing, 1);
+        let local = locals.remove(0);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..3 {
+            let log = Arc::clone(&log);
+            shared.push_external(Box::new(move || log.lock().push(i)));
+        }
+        let counters = SchedCounters::default();
+        assert_eq!(run_all(&shared, &local, &counters), 3);
+        assert_eq!(*log.lock(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn stealing_worker_takes_from_injector() {
+        let (shared, mut locals) = SharedSched::new(SchedulerKind::WorkStealing, 1);
+        let local = locals.remove(0);
+        let count = Arc::new(AtomicUsize::new(0));
+        for _ in 0..10 {
+            let c = Arc::clone(&count);
+            shared.push_external(Box::new(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        let counters = SchedCounters::default();
+        assert_eq!(run_all(&shared, &local, &counters), 10);
+        assert_eq!(count.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn thief_steals_from_victim_deque() {
+        let (shared, locals) = SharedSched::new(SchedulerKind::WorkStealing, 2);
+        let count = Arc::new(AtomicUsize::new(0));
+        // Worker 0 queues work locally; worker 1 must steal it.
+        for _ in 0..5 {
+            let c = Arc::clone(&count);
+            shared.push_local(&locals[0], Box::new(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        let counters = SchedCounters::default();
+        let mut stolen = 0;
+        while let Some(job) = shared.pop_for(&locals[1], 1, &counters) {
+            job();
+            stolen += 1;
+        }
+        assert_eq!(stolen, 5);
+        assert_eq!(counters.steals.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn pop_shared_sees_injector_and_deques() {
+        let (shared, locals) = SharedSched::new(SchedulerKind::WorkStealing, 1);
+        shared.push_external(Box::new(|| {}));
+        shared.push_local(&locals[0], Box::new(|| {}));
+        let counters = SchedCounters::default();
+        assert!(shared.pop_shared(&counters).is_some());
+        assert!(shared.pop_shared(&counters).is_some());
+        assert!(shared.pop_shared(&counters).is_none());
+    }
+
+    #[test]
+    fn shared_len_hint_counts() {
+        let (shared, _locals) = SharedSched::new(SchedulerKind::WorkSharing, 1);
+        assert_eq!(shared.shared_len_hint(), 0);
+        shared.push_external(Box::new(|| {}));
+        shared.push_external(Box::new(|| {}));
+        assert_eq!(shared.shared_len_hint(), 2);
+    }
+}

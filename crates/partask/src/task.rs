@@ -1,0 +1,391 @@
+//! Task futures: the `TaskID` analogue.
+//!
+//! A spawned task is represented by an `Arc<Core<T>>` shared between
+//! the scheduler job (producer side) and the [`TaskHandle`] /
+//! [`TaskWatcher`] (consumer side). The state machine is
+//! `Pending → finished`, with the result either stored for a later
+//! `join` or forwarded to a registered continuation (GUI delivery),
+//! guarded by one mutex per task plus a condvar for blocking waiters.
+
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use guievent::GuiHandle;
+use parking_lot::{Condvar, Mutex};
+
+/// Unique identity of a spawned task within a process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub(crate) u64);
+
+static NEXT_TASK_ID: AtomicU64 = AtomicU64::new(1);
+
+impl TaskId {
+    pub(crate) fn fresh() -> Self {
+        TaskId(NEXT_TASK_ID.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// The raw numeric id.
+    #[must_use]
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+/// Why a task failed to produce a value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TaskError {
+    /// The task body panicked; the payload's string rendering is
+    /// preserved. This is the `asyncCatch` analogue — the panic is
+    /// contained in the future rather than unwinding a worker.
+    Panicked(String),
+    /// The task was cancelled before it started running.
+    Cancelled,
+    /// The result was already taken or was routed to a continuation.
+    ResultTaken,
+}
+
+impl fmt::Display for TaskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TaskError::Panicked(msg) => write!(f, "task panicked: {msg}"),
+            TaskError::Cancelled => write!(f, "task was cancelled before running"),
+            TaskError::ResultTaken => write!(f, "task result already taken"),
+        }
+    }
+}
+
+impl std::error::Error for TaskError {}
+
+/// Cooperative cancellation flag shared with the task body.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// Fresh, un-cancelled token.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request cancellation.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Has cancellation been requested?
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+type Continuation<T> = Box<dyn FnOnce(Result<T, TaskError>) + Send>;
+pub(crate) type DoneHook = Box<dyn FnOnce() + Send>;
+
+struct CoreState<T> {
+    finished: bool,
+    /// Present between completion and the (single) take.
+    result: Option<Result<T, TaskError>>,
+    /// If set before completion, receives the result instead of it
+    /// being stored (used by [`TaskHandle::deliver`]).
+    continuation: Option<Continuation<T>>,
+    /// Zero-payload completion hooks (dependence edges, `on_done`).
+    hooks: Vec<DoneHook>,
+}
+
+pub(crate) struct Core<T> {
+    pub(crate) id: TaskId,
+    state: Mutex<CoreState<T>>,
+    done_cv: Condvar,
+    cancel: CancelToken,
+}
+
+impl<T: Send + 'static> Core<T> {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(Core {
+            id: TaskId::fresh(),
+            state: Mutex::new(CoreState {
+                finished: false,
+                result: None,
+                continuation: None,
+                hooks: Vec::new(),
+            }),
+            done_cv: Condvar::new(),
+            cancel: CancelToken::new(),
+        })
+    }
+
+    pub(crate) fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Execute the task body (worker side). Checks the cancellation
+    /// flag first, contains panics, then completes the future.
+    pub(crate) fn run(self: &Arc<Self>, body: impl FnOnce(&CancelToken) -> T) {
+        if self.cancel.is_cancelled() {
+            self.complete(Err(TaskError::Cancelled));
+            return;
+        }
+        let token = self.cancel.clone();
+        let outcome = catch_unwind(AssertUnwindSafe(|| body(&token)));
+        let result = outcome.map_err(|payload| TaskError::Panicked(panic_message(&*payload)));
+        self.complete(result);
+    }
+
+    /// Resolve the future: route the result to a pre-registered
+    /// continuation or store it, then fire hooks and wake waiters.
+    pub(crate) fn complete(&self, result: Result<T, TaskError>) {
+        let mut st = self.state.lock();
+        debug_assert!(!st.finished, "task completed twice");
+        st.finished = true;
+        let hooks = std::mem::take(&mut st.hooks);
+        match st.continuation.take() {
+            Some(cont) => {
+                drop(st);
+                self.done_cv.notify_all();
+                for hook in hooks {
+                    hook();
+                }
+                cont(result);
+            }
+            None => {
+                st.result = Some(result);
+                drop(st);
+                self.done_cv.notify_all();
+                for hook in hooks {
+                    hook();
+                }
+            }
+        }
+    }
+
+    pub(crate) fn is_finished(&self) -> bool {
+        self.state.lock().finished
+    }
+
+    /// Block until finished. Does *not* take the result.
+    pub(crate) fn wait_blocking(&self) {
+        let mut st = self.state.lock();
+        while !st.finished {
+            self.done_cv.wait(&mut st);
+        }
+    }
+
+    /// Wait with a timeout; true when finished.
+    pub(crate) fn wait_timeout(&self, dur: std::time::Duration) -> bool {
+        let mut st = self.state.lock();
+        if st.finished {
+            return true;
+        }
+        let _ = self.done_cv.wait_for(&mut st, dur);
+        st.finished
+    }
+
+    /// Take the stored result (once). Caller must know it finished.
+    pub(crate) fn take_result(&self) -> Result<T, TaskError> {
+        let mut st = self.state.lock();
+        debug_assert!(st.finished, "take_result before completion");
+        st.result.take().unwrap_or(Err(TaskError::ResultTaken))
+    }
+
+    /// Register a zero-payload hook to run at completion; runs
+    /// immediately (on the calling thread) if already complete.
+    pub(crate) fn add_hook(&self, hook: DoneHook) {
+        let mut st = self.state.lock();
+        if st.finished {
+            drop(st);
+            hook();
+        } else {
+            st.hooks.push(hook);
+        }
+    }
+
+    /// Register a continuation receiving the owned result; called
+    /// immediately (on the calling thread) if already complete.
+    pub(crate) fn set_continuation(&self, cont: Continuation<T>) {
+        let mut st = self.state.lock();
+        if st.finished {
+            let result = st.result.take().unwrap_or(Err(TaskError::ResultTaken));
+            drop(st);
+            cont(result);
+        } else {
+            assert!(
+                st.continuation.is_none(),
+                "a task can have at most one delivery continuation"
+            );
+            st.continuation = Some(cont);
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Owned future for a spawned task; yields the result exactly once.
+pub struct TaskHandle<T> {
+    pub(crate) core: Arc<Core<T>>,
+    pub(crate) helper: crate::runtime::HelpHook,
+}
+
+impl<T: Send + 'static> TaskHandle<T> {
+    /// The task's unique id.
+    #[must_use]
+    pub fn id(&self) -> TaskId {
+        self.core.id
+    }
+
+    /// True once the task has completed (successfully or not).
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.core.is_finished()
+    }
+
+    /// Request cooperative cancellation. A task that has not started
+    /// yet resolves to [`TaskError::Cancelled`]; a running task sees
+    /// [`CancelToken::is_cancelled`] flip if it observes its token
+    /// (see [`crate::TaskRuntime::spawn_cancellable`]).
+    pub fn cancel(&self) {
+        self.core.cancel_token().cancel();
+    }
+
+    /// The task's cancellation token.
+    #[must_use]
+    pub fn cancel_token(&self) -> CancelToken {
+        self.core.cancel_token()
+    }
+
+    /// Block until the task completes and return its result.
+    ///
+    /// When called from inside a worker thread this *helps*: it runs
+    /// other queued tasks while waiting, which keeps nested fork/join
+    /// deadlock-free on a bounded pool.
+    pub fn join(self) -> Result<T, TaskError> {
+        self.wait();
+        self.core.take_result()
+    }
+
+    /// Block until complete without taking the result.
+    pub fn wait(&self) {
+        if self.core.is_finished() {
+            return;
+        }
+        if let Some(helper) = self.helper.as_ref() {
+            // Worker thread: alternate between helping and short
+            // waits so we neither spin hot nor sleep through work.
+            while !self.core.is_finished() {
+                if !helper() {
+                    let _ = self
+                        .core
+                        .wait_timeout(std::time::Duration::from_micros(200));
+                }
+            }
+        } else {
+            self.core.wait_blocking();
+        }
+    }
+
+    /// Non-blocking: the result if finished, otherwise the handle back.
+    pub fn try_join(self) -> Result<Result<T, TaskError>, TaskHandle<T>> {
+        if self.core.is_finished() {
+            Ok(self.core.take_result())
+        } else {
+            Err(self)
+        }
+    }
+
+    /// Register a zero-payload completion callback; runs on the
+    /// completing worker (or immediately if already done).
+    pub fn on_done(&self, hook: impl FnOnce() + Send + 'static) {
+        self.core.add_hook(Box::new(hook));
+    }
+
+    /// Consume the handle; when the task completes, send the owned
+    /// result to `f` **on the GUI event-dispatch thread**. This is the
+    /// Parallel Task GUI-notify: the EDT receives the value without
+    /// ever blocking on the computation.
+    pub fn deliver(self, gui: &GuiHandle, f: impl FnOnce(Result<T, TaskError>) + Send + 'static) {
+        let gui = gui.clone();
+        self.core.set_continuation(Box::new(move |result| {
+            gui.invoke_later(move || f(result));
+        }));
+    }
+
+    /// Like [`TaskHandle::deliver`] but invokes `f` directly on the
+    /// completing worker thread (no GUI marshalling).
+    pub fn deliver_inline(self, f: impl FnOnce(Result<T, TaskError>) + Send + 'static) {
+        self.core.set_continuation(Box::new(f));
+    }
+
+    /// A cloneable watcher for dependence lists and progress queries.
+    #[must_use]
+    pub fn watcher(&self) -> TaskWatcher {
+        let done_core = Arc::clone(&self.core);
+        let hook_core = Arc::clone(&self.core);
+        TaskWatcher {
+            id: self.core.id,
+            cancel: self.core.cancel_token(),
+            is_done: Arc::new(move || done_core.is_finished()),
+            add_hook: Arc::new(move |hook| hook_core.add_hook(hook)),
+        }
+    }
+}
+
+impl<T> fmt::Debug for TaskHandle<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TaskHandle").field("id", &self.core.id).finish()
+    }
+}
+
+/// A cloneable, resultless view of a task: completion status, identity
+/// and cancellation, but no access to the value. This is what goes in
+/// [`crate::TaskRuntime::spawn_after`] dependence lists.
+#[derive(Clone)]
+pub struct TaskWatcher {
+    id: TaskId,
+    is_done: Arc<dyn Fn() -> bool + Send + Sync>,
+    add_hook: Arc<dyn Fn(DoneHook) + Send + Sync>,
+    cancel: CancelToken,
+}
+
+impl TaskWatcher {
+    /// The watched task's id.
+    #[must_use]
+    pub fn id(&self) -> TaskId {
+        self.id
+    }
+
+    /// True once the watched task has completed.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        (self.is_done)()
+    }
+
+    /// Request cooperative cancellation of the watched task.
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+    }
+
+    pub(crate) fn on_done_boxed(&self, hook: DoneHook) {
+        (self.add_hook)(hook);
+    }
+}
+
+impl fmt::Debug for TaskWatcher {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TaskWatcher")
+            .field("id", &self.id)
+            .field("done", &self.is_done())
+            .finish()
+    }
+}

@@ -1,0 +1,139 @@
+//! A reusable sense-reversing barrier.
+//!
+//! Built from a mutex and condvar (the classic central barrier from
+//! the parallel-programming curriculum the course teaches in weeks
+//! 1–5). One barrier instance lives in each region's shared state and
+//! is reused by every `barrier()` call and implicit construct barrier
+//! in that region.
+
+use parking_lot::{Condvar, Mutex};
+
+struct State {
+    arrived: usize,
+    generation: u64,
+}
+
+/// Reusable barrier for a fixed number of participants.
+pub struct Barrier {
+    n: usize,
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+impl Barrier {
+    /// Barrier for `n` participants (`n ≥ 1`).
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "barrier needs at least one participant");
+        Self {
+            n,
+            state: Mutex::new(State {
+                arrived: 0,
+                generation: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Number of participants.
+    #[must_use]
+    pub fn participants(&self) -> usize {
+        self.n
+    }
+
+    /// Block until all `n` participants have called `wait` for this
+    /// generation. Returns `true` on exactly one participant (the
+    /// last to arrive), like `std::sync::Barrier`'s leader flag.
+    pub fn wait(&self) -> bool {
+        if self.n == 1 {
+            return true;
+        }
+        let mut st = self.state.lock();
+        let gen = st.generation;
+        st.arrived += 1;
+        if st.arrived == self.n {
+            st.arrived = 0;
+            st.generation += 1;
+            drop(st);
+            self.cv.notify_all();
+            true
+        } else {
+            while st.generation == gen {
+                self.cv.wait(&mut st);
+            }
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn single_participant_never_blocks() {
+        let b = Barrier::new(1);
+        for _ in 0..10 {
+            assert!(b.wait());
+        }
+    }
+
+    #[test]
+    fn all_threads_reach_each_phase_together() {
+        let n = 4;
+        let b = Arc::new(Barrier::new(n));
+        let phase = Arc::new(AtomicUsize::new(0));
+        let mut joins = Vec::new();
+        for _ in 0..n {
+            let b = Arc::clone(&b);
+            let phase = Arc::clone(&phase);
+            joins.push(thread::spawn(move || {
+                for expected in 0..50 {
+                    // Everyone must observe the phase value of the
+                    // current round before anyone advances it.
+                    assert_eq!(phase.load(Ordering::SeqCst), expected);
+                    if b.wait() {
+                        phase.fetch_add(1, Ordering::SeqCst);
+                    }
+                    b.wait();
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(phase.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn exactly_one_leader_per_generation() {
+        let n = 3;
+        let b = Arc::new(Barrier::new(n));
+        let leaders = Arc::new(AtomicUsize::new(0));
+        let mut joins = Vec::new();
+        for _ in 0..n {
+            let b = Arc::clone(&b);
+            let leaders = Arc::clone(&leaders);
+            joins.push(thread::spawn(move || {
+                for _ in 0..100 {
+                    if b.wait() {
+                        leaders.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(leaders.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one participant")]
+    fn zero_participants_rejected() {
+        let _ = Barrier::new(0);
+    }
+}

@@ -1,0 +1,149 @@
+//! GUI-aware asynchronous regions — Pyjama's `//#omp gui` / `freeguithread`
+//! analogue.
+//!
+//! Pyjama's headline extension over OpenMP is awareness of the event
+//! dispatch thread: a region can be executed *asynchronously* off the
+//! EDT, with a completion handler marshalled back onto it. That is
+//! what distinguishes **concurrency** (user-perceived responsiveness)
+//! from **parallelism** (wall-clock speedup) in the paper's framing —
+//! this module provides the concurrency half on top of the [`Team`]
+//! parallelism half.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use guievent::GuiHandle;
+
+use crate::team::Team;
+
+/// Handle to an asynchronous GUI region.
+pub struct GuiRegion {
+    done: Arc<AtomicBool>,
+    joiner: Option<thread::JoinHandle<()>>,
+}
+
+impl GuiRegion {
+    /// Has the background region (and its EDT completion handler
+    /// submission) finished?
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+
+    /// Block the *calling* thread (never the EDT!) until the region
+    /// completes.
+    pub fn wait(mut self) {
+        if let Some(j) = self.joiner.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+impl Drop for GuiRegion {
+    fn drop(&mut self) {
+        if let Some(j) = self.joiner.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+/// Run `work` (which may use the team for parallel regions) on a
+/// background thread; when it finishes, run `on_done(result)` on the
+/// GUI event-dispatch thread. Returns immediately — the EDT is never
+/// blocked, which is the whole point.
+pub fn gui_async<T: Send + 'static>(
+    team: &Team,
+    gui: &GuiHandle,
+    work: impl FnOnce(&Team) -> T + Send + 'static,
+    on_done: impl FnOnce(T) + Send + 'static,
+) -> GuiRegion {
+    let team = team.clone();
+    let gui = gui.clone();
+    let done = Arc::new(AtomicBool::new(false));
+    let done2 = Arc::clone(&done);
+    let joiner = thread::Builder::new()
+        .name("pyjama-gui-region".to_string())
+        .spawn(move || {
+            let result = work(&team);
+            let done3 = done2;
+            gui.invoke_later(move || {
+                on_done(result);
+            });
+            done3.store(true, Ordering::Release);
+        })
+        .expect("failed to spawn gui region thread");
+    GuiRegion {
+        done,
+        joiner: Some(joiner),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::Schedule;
+    use guievent::EventLoop;
+    use parking_lot::Mutex;
+
+    #[test]
+    fn result_arrives_on_dispatch_thread() {
+        let gui = EventLoop::spawn();
+        let team = Team::new(2);
+        let result = Arc::new(Mutex::new(None));
+        let r2 = Arc::clone(&result);
+        let probe = gui.handle();
+        let region = gui_async(
+            &team,
+            &gui.handle(),
+            |team| team.par_sum(0..100, Schedule::Static, |i| i as u64),
+            move |sum| {
+                assert!(probe.is_dispatch_thread());
+                *r2.lock() = Some(sum);
+            },
+        );
+        region.wait();
+        gui.handle().drain();
+        assert_eq!(*result.lock(), Some(4950));
+        gui.shutdown();
+    }
+
+    #[test]
+    fn edt_stays_responsive_during_region() {
+        let gui = EventLoop::spawn();
+        let team = Team::new(2);
+        let probe = guievent::Probe::start(gui.handle(), std::time::Duration::from_millis(1));
+        let region = gui_async(
+            &team,
+            &gui.handle(),
+            |team| {
+                // ~20 ms of parallel busy work.
+                let mut total = 0u64;
+                for _ in 0..4 {
+                    total += team.par_sum(0..200_000, Schedule::Static, |i| i as u64);
+                }
+                total
+            },
+            |_| {},
+        );
+        region.wait();
+        let report = probe.finish();
+        // The work never ran on the EDT, so dispatch latency must stay
+        // low (generous bound for a loaded single-core CI box).
+        assert!(
+            report.summary().median() < 20.0,
+            "median dispatch latency {} ms too high",
+            report.summary().median()
+        );
+        gui.shutdown();
+    }
+
+    #[test]
+    fn is_done_flips_after_completion() {
+        let gui = EventLoop::spawn();
+        let team = Team::new(1);
+        let region = gui_async(&team, &gui.handle(), |_| 1, |_| {});
+        region.wait();
+        gui.shutdown();
+    }
+}

@@ -1,0 +1,97 @@
+//! Per-region shared state.
+//!
+//! Each `parallel` region gets a fresh [`RegionState`] holding the
+//! region barrier and an anonymous *construct table*. Worksharing
+//! constructs (`pfor`, `single`, `sections`, reductions) encountered
+//! inside the region are numbered in program order — every team thread
+//! executes the same region body, so thread-local construct counters
+//! stay in lockstep, exactly the assumption OpenMP makes — and the
+//! first thread to reach construct `k` materialises its shared state
+//! in the table.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::barrier::Barrier;
+
+/// Shared state for one execution of a parallel region.
+pub(crate) struct RegionState {
+    pub(crate) barrier: Barrier,
+    constructs: Mutex<HashMap<usize, Arc<dyn Any + Send + Sync>>>,
+    /// `single` construct ids already claimed by a thread.
+    singles_claimed: Mutex<HashMap<usize, ()>>,
+}
+
+impl RegionState {
+    pub(crate) fn new(n_threads: usize) -> Arc<Self> {
+        Arc::new(Self {
+            barrier: Barrier::new(n_threads),
+            constructs: Mutex::new(HashMap::new()),
+            singles_claimed: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// Get or create the shared state for construct `id`.
+    pub(crate) fn construct<T: Any + Send + Sync>(
+        &self,
+        id: usize,
+        init: impl FnOnce() -> T,
+    ) -> Arc<T> {
+        let mut table = self.constructs.lock();
+        let entry = table
+            .entry(id)
+            .or_insert_with(|| Arc::new(init()) as Arc<dyn Any + Send + Sync>);
+        Arc::clone(entry)
+            .downcast::<T>()
+            .expect("construct id reused with a different state type")
+    }
+
+    /// True when the calling thread is the first to claim `single`
+    /// construct `id`.
+    pub(crate) fn claim_single(&self, id: usize) -> bool {
+        self.singles_claimed.lock().insert(id, ()).is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn construct_state_shared_between_callers() {
+        let region = RegionState::new(2);
+        let a = region.construct(0, || AtomicUsize::new(7));
+        let b = region.construct(0, || AtomicUsize::new(999));
+        // Second caller gets the first caller's instance.
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.load(std::sync::atomic::Ordering::Relaxed), 7);
+    }
+
+    #[test]
+    fn distinct_constructs_have_distinct_state() {
+        let region = RegionState::new(2);
+        let a = region.construct(0, || AtomicUsize::new(1));
+        let b = region.construct(1, || AtomicUsize::new(2));
+        assert!(!Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn single_claim_granted_once() {
+        let region = RegionState::new(4);
+        assert!(region.claim_single(3));
+        assert!(!region.claim_single(3));
+        assert!(region.claim_single(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "construct id reused")]
+    fn construct_type_mismatch_panics() {
+        let region = RegionState::new(1);
+        let _ = region.construct(0, || AtomicUsize::new(0));
+        let _ = region.construct(0, || Mutex::new(0u8));
+    }
+}

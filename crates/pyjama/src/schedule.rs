@@ -1,0 +1,291 @@
+//! Worksharing-loop schedules: `schedule(static|dynamic|guided)`.
+//!
+//! A schedule decides which loop iterations each team thread executes.
+//! The chunk streams produced here are exercised directly by unit
+//! tests (coverage/disjointness invariants) and indirectly by every
+//! `pfor` in the workspace. Experiment A2 benchmarks them against each
+//! other on uniform and skewed loops.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Iteration-assignment policy for [`crate::Ctx::pfor`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Schedule {
+    /// One contiguous block per thread (OpenMP `schedule(static)`),
+    /// minimal overhead, best for uniform iterations.
+    Static,
+    /// Fixed-size chunks dealt round-robin (`schedule(static, c)`).
+    StaticChunk(usize),
+    /// Threads grab fixed-size chunks from a shared counter on demand
+    /// (`schedule(dynamic, c)`); balances skewed loops at the price of
+    /// one atomic RMW per chunk.
+    Dynamic(usize),
+    /// Exponentially decreasing chunks with a floor
+    /// (`schedule(guided, min)`); a compromise between the two.
+    Guided(usize),
+}
+
+impl Schedule {
+    /// Does this schedule need a shared chunk counter?
+    #[must_use]
+    pub(crate) fn needs_shared_counter(self) -> bool {
+        matches!(self, Schedule::Dynamic(_) | Schedule::Guided(_))
+    }
+}
+
+/// Shared per-loop-construct state (the "next iteration" counter for
+/// dynamic/guided schedules).
+#[derive(Debug, Default)]
+pub(crate) struct LoopShared {
+    next: AtomicUsize,
+}
+
+impl LoopShared {
+    /// Claim the next index from the shared counter; used by the
+    /// `sections` construct.
+    pub(crate) fn take_index(&self) -> usize {
+        self.next.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+/// Per-thread chunk stream for one worksharing loop.
+pub(crate) struct ChunkStream<'a> {
+    schedule: Schedule,
+    thread: usize,
+    n_threads: usize,
+    len: usize,
+    base: usize,
+    shared: Option<&'a LoopShared>,
+    /// Static-schedule cursor.
+    cursor: usize,
+}
+
+impl<'a> ChunkStream<'a> {
+    pub(crate) fn new(
+        schedule: Schedule,
+        thread: usize,
+        n_threads: usize,
+        range: &Range<usize>,
+        shared: Option<&'a LoopShared>,
+    ) -> Self {
+        debug_assert!(thread < n_threads);
+        if schedule.needs_shared_counter() {
+            debug_assert!(shared.is_some(), "dynamic/guided need shared state");
+        }
+        Self {
+            schedule,
+            thread,
+            n_threads,
+            len: range.end.saturating_sub(range.start),
+            base: range.start,
+            shared,
+            cursor: 0,
+        }
+    }
+
+    /// Next chunk of *absolute* loop indices, or `None` when the
+    /// thread's share is exhausted.
+    pub(crate) fn next_chunk(&mut self) -> Option<Range<usize>> {
+        let rel = match self.schedule {
+            Schedule::Static => {
+                if self.cursor > 0 {
+                    return None;
+                }
+                self.cursor = 1;
+                let lo = self.len * self.thread / self.n_threads;
+                let hi = self.len * (self.thread + 1) / self.n_threads;
+                if lo >= hi {
+                    return None;
+                }
+                lo..hi
+            }
+            Schedule::StaticChunk(c) => {
+                let c = c.max(1);
+                // The cursor counts this thread's chunks; global chunk
+                // index = thread + cursor * n_threads.
+                loop {
+                    let chunk_idx = self.thread + self.cursor * self.n_threads;
+                    self.cursor += 1;
+                    let lo = chunk_idx * c;
+                    if lo >= self.len {
+                        return None;
+                    }
+                    let hi = (lo + c).min(self.len);
+                    break lo..hi;
+                }
+            }
+            Schedule::Dynamic(c) => {
+                let c = c.max(1);
+                let shared = self.shared.expect("dynamic schedule shared state");
+                let lo = shared.next.fetch_add(c, Ordering::Relaxed);
+                if lo >= self.len {
+                    return None;
+                }
+                lo..(lo + c).min(self.len)
+            }
+            Schedule::Guided(min) => {
+                let min = min.max(1);
+                let shared = self.shared.expect("guided schedule shared state");
+                loop {
+                    let cur = shared.next.load(Ordering::Relaxed);
+                    if cur >= self.len {
+                        return None;
+                    }
+                    let remaining = self.len - cur;
+                    let chunk = (remaining / (2 * self.n_threads)).max(min).min(remaining);
+                    if shared
+                        .next
+                        .compare_exchange_weak(
+                            cur,
+                            cur + chunk,
+                            Ordering::Relaxed,
+                            Ordering::Relaxed,
+                        )
+                        .is_ok()
+                    {
+                        break cur..cur + chunk;
+                    }
+                }
+            }
+        };
+        Some(self.base + rel.start..self.base + rel.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Collect the iterations each thread would execute and check the
+    /// fundamental worksharing invariant: together the threads cover
+    /// every iteration exactly once.
+    fn coverage(schedule: Schedule, n_threads: usize, range: Range<usize>) -> Vec<Vec<usize>> {
+        let shared = LoopShared::default();
+        let mut per_thread: Vec<Vec<usize>> = vec![Vec::new(); n_threads];
+        // Simulate interleaving: round-robin one chunk per thread.
+        let mut streams: Vec<ChunkStream> = (0..n_threads)
+            .map(|t| ChunkStream::new(schedule, t, n_threads, &range, Some(&shared)))
+            .collect();
+        let mut live = vec![true; n_threads];
+        while live.iter().any(|&l| l) {
+            for t in 0..n_threads {
+                if !live[t] {
+                    continue;
+                }
+                match streams[t].next_chunk() {
+                    Some(chunk) => per_thread[t].extend(chunk),
+                    None => live[t] = false,
+                }
+            }
+        }
+        per_thread
+    }
+
+    fn assert_exact_cover(per_thread: &[Vec<usize>], range: Range<usize>) {
+        let mut all: Vec<usize> = per_thread.iter().flatten().copied().collect();
+        all.sort_unstable();
+        let expected: Vec<usize> = range.collect();
+        assert_eq!(all, expected, "iterations must be covered exactly once");
+    }
+
+    #[test]
+    fn static_covers_exactly() {
+        for n in 1..=5 {
+            let pt = coverage(Schedule::Static, n, 0..103);
+            assert_exact_cover(&pt, 0..103);
+        }
+    }
+
+    #[test]
+    fn static_blocks_are_contiguous_and_balanced() {
+        let pt = coverage(Schedule::Static, 4, 0..100);
+        for chunk in &pt {
+            assert!(chunk.windows(2).all(|w| w[1] == w[0] + 1));
+            assert_eq!(chunk.len(), 25);
+        }
+    }
+
+    #[test]
+    fn static_chunk_round_robin() {
+        let pt = coverage(Schedule::StaticChunk(10), 2, 0..40);
+        assert_eq!(pt[0], (0..10).chain(20..30).collect::<Vec<_>>());
+        assert_eq!(pt[1], (10..20).chain(30..40).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn static_chunk_covers_with_ragged_tail() {
+        let pt = coverage(Schedule::StaticChunk(7), 3, 0..100);
+        assert_exact_cover(&pt, 0..100);
+    }
+
+    #[test]
+    fn dynamic_covers_exactly() {
+        for c in [1, 3, 16, 1000] {
+            let pt = coverage(Schedule::Dynamic(c), 3, 0..97);
+            assert_exact_cover(&pt, 0..97);
+        }
+    }
+
+    #[test]
+    fn guided_covers_exactly_and_chunks_shrink() {
+        let shared = LoopShared::default();
+        let range = 0..1000;
+        let mut stream = ChunkStream::new(Schedule::Guided(4), 0, 4, &range, Some(&shared));
+        let mut sizes = Vec::new();
+        let mut covered = Vec::new();
+        while let Some(chunk) = stream.next_chunk() {
+            sizes.push(chunk.len());
+            covered.extend(chunk);
+        }
+        assert_eq!(covered, (0..1000).collect::<Vec<_>>());
+        // First chunk is remaining/(2n) = 125; strictly larger than the
+        // floor-sized final chunks.
+        assert_eq!(sizes[0], 125);
+        assert!(sizes.windows(2).all(|w| w[1] <= w[0]));
+        assert!(*sizes.last().unwrap() >= 1);
+    }
+
+    #[test]
+    fn guided_multi_thread_coverage() {
+        let pt = coverage(Schedule::Guided(2), 4, 5..505);
+        assert_exact_cover(&pt, 5..505);
+    }
+
+    #[test]
+    fn empty_range_yields_nothing() {
+        for s in [
+            Schedule::Static,
+            Schedule::StaticChunk(4),
+            Schedule::Dynamic(4),
+            Schedule::Guided(4),
+        ] {
+            let pt = coverage(s, 3, 10..10);
+            assert!(pt.iter().all(Vec::is_empty));
+        }
+    }
+
+    #[test]
+    fn nonzero_base_offsets_indices() {
+        let pt = coverage(Schedule::Dynamic(5), 2, 100..120);
+        let mut all: Vec<usize> = pt.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (100..120).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn more_threads_than_iterations() {
+        let pt = coverage(Schedule::Static, 8, 0..3);
+        assert_exact_cover(&pt, 0..3);
+        let nonempty = pt.iter().filter(|v| !v.is_empty()).count();
+        assert_eq!(nonempty, 3);
+    }
+
+    #[test]
+    fn zero_chunk_clamped_to_one() {
+        let pt = coverage(Schedule::Dynamic(0), 2, 0..10);
+        assert_exact_cover(&pt, 0..10);
+        let pt = coverage(Schedule::StaticChunk(0), 2, 0..10);
+        assert_exact_cover(&pt, 0..10);
+    }
+}

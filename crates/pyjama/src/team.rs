@@ -1,0 +1,553 @@
+//! The persistent thread team and parallel-region execution.
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::reduction::Reduction;
+use crate::region::RegionState;
+use crate::schedule::{ChunkStream, LoopShared, Schedule};
+
+thread_local! {
+    /// Set while the current thread executes a parallel region; makes
+    /// nested `parallel` calls serialise (the OpenMP non-nested
+    /// default).
+    static IN_REGION: Cell<bool> = const { Cell::new(false) };
+}
+
+/// The closure pointer shipped to workers. Lifetime is erased; safety
+/// rests on `parallel` not returning until every worker has finished
+/// with it (enforced by the completion latch).
+struct JobMsg {
+    f: *const (dyn Fn(&Ctx) + Sync),
+    region: Arc<RegionState>,
+    latch: Arc<Latch>,
+    /// Threads with tid >= active skip this region.
+    active: usize,
+}
+
+// SAFETY: the pointee is `Sync` (shared-callable from any thread) and
+// outlives all uses — `Team::parallel` blocks on the latch until every
+// worker has dropped its copy of the pointer.
+unsafe impl Send for JobMsg {}
+
+impl Clone for JobMsg {
+    fn clone(&self) -> Self {
+        Self {
+            f: self.f,
+            region: Arc::clone(&self.region),
+            latch: Arc::clone(&self.latch),
+            active: self.active,
+        }
+    }
+}
+
+/// Count-down latch: `parallel` waits for the helpers of one region.
+struct Latch {
+    remaining: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl Latch {
+    fn new(n: usize) -> Arc<Self> {
+        Arc::new(Self {
+            remaining: Mutex::new(n),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn count_down(&self) {
+        let mut rem = self.remaining.lock();
+        *rem -= 1;
+        if *rem == 0 {
+            self.cv.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut rem = self.remaining.lock();
+        while *rem > 0 {
+            self.cv.wait(&mut rem);
+        }
+    }
+}
+
+struct DispatchSlot {
+    generation: u64,
+    msg: Option<JobMsg>,
+    stop: bool,
+}
+
+struct TeamInner {
+    n: usize,
+    slot: Mutex<DispatchSlot>,
+    slot_cv: Condvar,
+    /// Serialises region launches from different threads.
+    region_lock: Mutex<()>,
+    criticals: Mutex<std::collections::HashMap<String, Arc<Mutex<()>>>>,
+    joiners: Mutex<Vec<thread::JoinHandle<()>>>,
+}
+
+/// A persistent team of threads executing parallel regions; the
+/// OpenMP/Pyjama thread-team analogue. The creating (or calling)
+/// thread participates as thread 0. Cloning is cheap and shares the
+/// team.
+#[derive(Clone)]
+pub struct Team {
+    inner: Arc<TeamInner>,
+}
+
+impl Team {
+    /// Create a team of `n` threads total (`n - 1` helpers are
+    /// spawned; the caller of [`Team::parallel`] acts as thread 0).
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "a team needs at least one thread");
+        let inner = Arc::new(TeamInner {
+            n,
+            slot: Mutex::new(DispatchSlot {
+                generation: 0,
+                msg: None,
+                stop: false,
+            }),
+            slot_cv: Condvar::new(),
+            region_lock: Mutex::new(()),
+            criticals: Mutex::new(std::collections::HashMap::new()),
+            joiners: Mutex::new(Vec::new()),
+        });
+        let mut joiners = Vec::with_capacity(n.saturating_sub(1));
+        for tid in 1..n {
+            let worker_inner = Arc::clone(&inner);
+            joiners.push(
+                thread::Builder::new()
+                    .name(format!("pyjama-{tid}"))
+                    .spawn(move || worker_loop(&worker_inner, tid))
+                    .expect("failed to spawn team thread"),
+            );
+        }
+        *inner.joiners.lock() = joiners;
+        Self { inner }
+    }
+
+    /// Team size (including the calling thread).
+    #[must_use]
+    pub fn num_threads(&self) -> usize {
+        self.inner.n
+    }
+
+    /// Execute a parallel region on a sub-team of `n` threads
+    /// (OpenMP's `num_threads(n)` clause). `n` is clamped to the team
+    /// size; threads beyond the sub-team sit the region out.
+    pub fn parallel_with<F: Fn(&Ctx) + Sync>(&self, n: usize, f: F) {
+        self.parallel_impl(n.clamp(1, self.inner.n), f);
+    }
+
+    /// Execute a parallel region: `f` runs once on every team thread,
+    /// each receiving its own [`Ctx`]. Blocks until all threads have
+    /// finished the region. Nested calls (from inside a region)
+    /// serialise onto the calling thread with a team of one.
+    pub fn parallel<F: Fn(&Ctx) + Sync>(&self, f: F) {
+        self.parallel_impl(self.inner.n, f);
+    }
+
+    fn parallel_impl<F: Fn(&Ctx) + Sync>(&self, active: usize, f: F) {
+        if IN_REGION.with(Cell::get) {
+            // Nested region: serial execution, own single-thread state.
+            let region = RegionState::new(1);
+            let ctx = Ctx {
+                team: &self.inner,
+                region: &region,
+                tid: 0,
+                n_threads: 1,
+                construct_counter: AtomicUsize::new(0),
+            };
+            f(&ctx);
+            return;
+        }
+        let _region_guard = self.inner.region_lock.lock();
+        let region = RegionState::new(active);
+        let latch = Latch::new(active - 1);
+        let f_ref: &(dyn Fn(&Ctx) + Sync) = &f;
+        // SAFETY: see `JobMsg` — we block on `latch` before returning,
+        // so the erased borrow cannot dangle.
+        let f_static: *const (dyn Fn(&Ctx) + Sync) =
+            unsafe { std::mem::transmute::<_, &'static (dyn Fn(&Ctx) + Sync)>(f_ref) };
+        if self.inner.n > 1 {
+            let mut slot = self.inner.slot.lock();
+            slot.generation += 1;
+            slot.msg = Some(JobMsg {
+                f: f_static,
+                region: Arc::clone(&region),
+                latch: Arc::clone(&latch),
+                active,
+            });
+            drop(slot);
+            self.inner.slot_cv.notify_all();
+        }
+        // The caller is thread 0.
+        IN_REGION.with(|c| c.set(true));
+        let ctx = Ctx {
+            team: &self.inner,
+            region: &region,
+            tid: 0,
+            n_threads: active,
+            construct_counter: AtomicUsize::new(0),
+        };
+        f(&ctx);
+        IN_REGION.with(|c| c.set(false));
+        latch.wait();
+    }
+
+    /// Convenience: `parallel` + `pfor` in one call (the
+    /// `parallel for` combined construct).
+    pub fn for_each<F: Fn(usize) + Sync>(&self, range: Range<usize>, schedule: Schedule, body: F) {
+        self.parallel(|ctx| {
+            ctx.pfor(range.clone(), schedule, &body);
+        });
+    }
+
+    /// Convenience: combined `parallel for reduction`.
+    pub fn par_reduce<T, R, M>(&self, range: Range<usize>, schedule: Schedule, red: &R, map: M) -> T
+    where
+        T: Send + Clone + 'static,
+        R: Reduction<T> + Sync,
+        M: Fn(usize) -> T + Sync,
+    {
+        let result: Mutex<Option<T>> = Mutex::new(None);
+        self.parallel(|ctx| {
+            let local = ctx.pfor_reduce(range.clone(), schedule, red, &map);
+            if ctx.thread_num() == 0 {
+                *result.lock() = Some(local);
+            }
+        });
+        result.into_inner().expect("thread 0 stored the reduction")
+    }
+
+    /// Convenience: parallel sum (the most common reduction).
+    pub fn par_sum<M>(&self, range: Range<usize>, schedule: Schedule, map: M) -> u64
+    where
+        M: Fn(usize) -> u64 + Sync,
+    {
+        self.par_reduce(range, schedule, &crate::reduction::SumRed, map)
+    }
+}
+
+impl Drop for TeamInner {
+    fn drop(&mut self) {
+        {
+            let mut slot = self.slot.lock();
+            slot.stop = true;
+        }
+        self.slot_cv.notify_all();
+        for j in std::mem::take(&mut *self.joiners.lock()) {
+            let _ = j.join();
+        }
+    }
+}
+
+fn worker_loop(inner: &Arc<TeamInner>, tid: usize) {
+    let mut last_gen = 0u64;
+    loop {
+        let msg = {
+            let mut slot = inner.slot.lock();
+            loop {
+                if slot.stop {
+                    return;
+                }
+                if slot.generation != last_gen {
+                    last_gen = slot.generation;
+                    break slot.msg.clone().expect("message published");
+                }
+                inner.slot_cv.wait(&mut slot);
+            }
+        };
+        if tid >= msg.active {
+            // Sitting this region out (num_threads clause).
+            continue;
+        }
+        IN_REGION.with(|c| c.set(true));
+        {
+            let ctx = Ctx {
+                team: inner,
+                region: &msg.region,
+                tid,
+                n_threads: msg.active,
+                construct_counter: AtomicUsize::new(0),
+            };
+            // SAFETY: pointer valid until we count the latch down.
+            let f = unsafe { &*msg.f };
+            f(&ctx);
+        }
+        IN_REGION.with(|c| c.set(false));
+        msg.latch.count_down();
+    }
+}
+
+/// Per-thread view of an executing parallel region; the receiver for
+/// every OpenMP-style construct.
+pub struct Ctx<'r> {
+    team: &'r TeamInner,
+    region: &'r Arc<RegionState>,
+    tid: usize,
+    n_threads: usize,
+    construct_counter: AtomicUsize,
+}
+
+impl<'r> Ctx<'r> {
+    /// This thread's index within the team (`omp_get_thread_num`).
+    #[must_use]
+    pub fn thread_num(&self) -> usize {
+        self.tid
+    }
+
+    /// Team size for this region (`omp_get_num_threads`).
+    #[must_use]
+    pub fn num_threads(&self) -> usize {
+        self.n_threads
+    }
+
+    fn next_construct(&self) -> usize {
+        // Per-thread counter (each thread has its own `Ctx`), atomic
+        // only so that `Ctx` is `Sync` and can be referenced from
+        // worksharing bodies.
+        self.construct_counter.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Block until every team thread reaches this barrier.
+    pub fn barrier(&self) {
+        self.region.barrier.wait();
+    }
+
+    /// Run `f` only on thread 0. No implied barrier (OpenMP `master`).
+    pub fn master(&self, f: impl FnOnce()) {
+        if self.tid == 0 {
+            f();
+        }
+    }
+
+    /// Run `f` on exactly one (the first-arriving) thread, then
+    /// barrier (OpenMP `single`).
+    pub fn single(&self, f: impl FnOnce()) {
+        self.single_nowait(f);
+        self.barrier();
+    }
+
+    /// `single` without the trailing barrier (`single nowait`).
+    pub fn single_nowait(&self, f: impl FnOnce()) {
+        let id = self.next_construct();
+        if self.region.claim_single(id) {
+            f();
+        }
+    }
+
+    /// Named critical section (OpenMP `critical(name)`). Sections with
+    /// the same name are mutually exclusive *across regions* on the
+    /// same team. Not reentrant.
+    pub fn critical<T>(&self, name: &str, f: impl FnOnce() -> T) -> T {
+        let lock = {
+            let mut map = self.team.criticals.lock();
+            Arc::clone(
+                map.entry(name.to_string())
+                    .or_insert_with(|| Arc::new(Mutex::new(()))),
+            )
+        };
+        let _guard = lock.lock();
+        f()
+    }
+
+    /// Worksharing loop with an implicit trailing barrier (OpenMP
+    /// `for`). Every iteration in `range` is executed exactly once by
+    /// some team thread, per `schedule`.
+    pub fn pfor(&self, range: Range<usize>, schedule: Schedule, body: impl Fn(usize) + Sync) {
+        self.pfor_nowait(range, schedule, body);
+        self.barrier();
+    }
+
+    /// Worksharing loop without the trailing barrier (`for nowait`).
+    pub fn pfor_nowait(
+        &self,
+        range: Range<usize>,
+        schedule: Schedule,
+        body: impl Fn(usize) + Sync,
+    ) {
+        let id = self.next_construct();
+        let shared = if schedule.needs_shared_counter() {
+            Some(self.region.construct(id, LoopShared::default))
+        } else {
+            None
+        };
+        let mut stream = ChunkStream::new(
+            schedule,
+            self.tid,
+            self.n_threads,
+            &range,
+            shared.as_deref(),
+        );
+        while let Some(chunk) = stream.next_chunk() {
+            for i in chunk {
+                body(i);
+            }
+        }
+    }
+
+    /// Worksharing loop with reduction (OpenMP `for reduction(op)`).
+    /// Every thread receives the combined value. `T: Clone` because
+    /// the combined result is distributed to the whole team, matching
+    /// the shared reduction variable after an OpenMP region.
+    pub fn pfor_reduce<T, R, M>(&self, range: Range<usize>, schedule: Schedule, red: &R, map: M) -> T
+    where
+        T: Send + Clone + 'static,
+        R: Reduction<T>,
+        M: Fn(usize) -> T,
+    {
+        let id = self.next_construct();
+        let shared = if schedule.needs_shared_counter() {
+            Some(self.region.construct(id, LoopShared::default))
+        } else {
+            None
+        };
+        // Slot table for partials + the combined result.
+        let slots = self.region.construct(self.next_construct(), || {
+            ReduceSlots::<T>::new(self.n_threads)
+        });
+        let mut acc = red.identity();
+        let mut stream = ChunkStream::new(
+            schedule,
+            self.tid,
+            self.n_threads,
+            &range,
+            shared.as_deref(),
+        );
+        while let Some(chunk) = stream.next_chunk() {
+            for i in chunk {
+                acc = red.fold(acc, map(i));
+            }
+        }
+        *slots.partials[self.tid].lock() = Some(acc);
+        self.barrier();
+        if self.tid == 0 {
+            let mut combined = red.identity();
+            for slot in &slots.partials {
+                let part = slot.lock().take().expect("every thread stored a partial");
+                combined = red.combine(combined, part);
+            }
+            *slots.combined.lock() = Some(combined);
+        }
+        self.barrier();
+        let out = slots
+            .combined
+            .lock()
+            .clone()
+            .expect("thread 0 combined the partials");
+        // Final barrier so the slots cannot be torn down while a
+        // straggler still reads `combined`.
+        self.barrier();
+        out
+    }
+
+    /// Worksharing loop with an **ordered** region (OpenMP
+    /// `for ordered`): `body` receives the iteration index and an
+    /// [`OrderedGate`]; whatever it runs through
+    /// [`OrderedGate::run`] executes in strict iteration order across
+    /// the team, while the rest of the body runs in parallel.
+    ///
+    /// As in OpenMP, each iteration must pass through the gate exactly
+    /// once (skipping an iteration would stall its successors), and
+    /// schedules must assign each thread's iterations in increasing
+    /// order — all schedules in this crate do.
+    pub fn pfor_ordered(
+        &self,
+        range: Range<usize>,
+        schedule: Schedule,
+        body: impl Fn(usize, &OrderedGate) + Sync,
+    ) {
+        let id = self.next_construct();
+        let shared = if schedule.needs_shared_counter() {
+            Some(self.region.construct(id, LoopShared::default))
+        } else {
+            None
+        };
+        let gate_state = self
+            .region
+            .construct(self.next_construct(), || OrderedState {
+                next: AtomicUsize::new(range.start),
+            });
+        let gate = OrderedGate { state: gate_state };
+        let mut stream = ChunkStream::new(
+            schedule,
+            self.tid,
+            self.n_threads,
+            &range,
+            shared.as_deref(),
+        );
+        while let Some(chunk) = stream.next_chunk() {
+            for i in chunk {
+                body(i, &gate);
+            }
+        }
+        self.barrier();
+    }
+
+    /// Execute each closure in `sections` exactly once, distributed
+    /// on demand across the team, then barrier (OpenMP `sections`).
+    pub fn sections(&self, sections: &[&(dyn Fn() + Sync)]) {
+        let id = self.next_construct();
+        let shared = self.region.construct(id, LoopShared::default);
+        loop {
+            let k = shared.take_index();
+            if k >= sections.len() {
+                break;
+            }
+            sections[k]();
+        }
+        self.barrier();
+    }
+}
+
+struct OrderedState {
+    next: AtomicUsize,
+}
+
+/// Sequencing gate for [`Ctx::pfor_ordered`].
+pub struct OrderedGate {
+    state: Arc<OrderedState>,
+}
+
+impl OrderedGate {
+    /// Run `f` for iteration `i`, after every earlier iteration's
+    /// ordered region has completed and before any later one starts.
+    pub fn run<T>(&self, i: usize, f: impl FnOnce() -> T) -> T {
+        while self.state.next.load(Ordering::Acquire) != i {
+            std::hint::spin_loop();
+            std::thread::yield_now();
+        }
+        let out = f();
+        self.state.next.store(i + 1, Ordering::Release);
+        out
+    }
+}
+
+struct ReduceSlots<T> {
+    partials: Vec<Mutex<Option<T>>>,
+    combined: Mutex<Option<T>>,
+}
+
+impl<T> ReduceSlots<T> {
+    fn new(n: usize) -> Self {
+        Self {
+            partials: (0..n).map(|_| Mutex::new(None)).collect(),
+            combined: Mutex::new(None),
+        }
+    }
+}
+
+/// Marker: a region is currently executing on this thread. Used by the
+/// GUI module to assert against misuse.
+#[allow(dead_code)]
+pub(crate) fn in_region() -> bool {
+    IN_REGION.with(Cell::get)
+}

@@ -1,0 +1,487 @@
+//! End-to-end tests of parallel regions and worksharing constructs.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use pyjama::{
+    MapMerge, MaxRed, MinRed, Reduction, Schedule, SetUnion, SumRed, Team, TopK, VecConcat,
+};
+
+#[test]
+fn region_runs_on_every_thread() {
+    for n in 1..=4 {
+        let team = Team::new(n);
+        let seen = Mutex::new(HashSet::new());
+        team.parallel(|ctx| {
+            assert_eq!(ctx.num_threads(), n);
+            seen.lock().insert(ctx.thread_num());
+        });
+        assert_eq!(seen.into_inner(), (0..n).collect::<HashSet<_>>());
+    }
+}
+
+#[test]
+fn regions_are_reusable() {
+    let team = Team::new(3);
+    let counter = AtomicUsize::new(0);
+    for _ in 0..20 {
+        team.parallel(|_ctx| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+    assert_eq!(counter.load(Ordering::Relaxed), 60);
+}
+
+#[test]
+fn caller_is_thread_zero() {
+    let team = Team::new(2);
+    let caller = std::thread::current().id();
+    let zero_thread = Mutex::new(None);
+    team.parallel(|ctx| {
+        if ctx.thread_num() == 0 {
+            *zero_thread.lock() = Some(std::thread::current().id());
+        }
+    });
+    assert_eq!(zero_thread.into_inner(), Some(caller));
+}
+
+#[test]
+fn captures_by_reference_work() {
+    let team = Team::new(4);
+    let data: Vec<u64> = (0..1000).collect();
+    let total = AtomicUsize::new(0);
+    team.parallel(|ctx| {
+        // `data` and `total` are borrowed, not moved — the OpenMP
+        // shared-variable model.
+        ctx.pfor(0..data.len(), Schedule::Static, |i| {
+            total.fetch_add(data[i] as usize, Ordering::Relaxed);
+        });
+    });
+    assert_eq!(total.load(Ordering::Relaxed), 499_500);
+}
+
+#[test]
+fn pfor_covers_all_iterations_once_for_every_schedule() {
+    for schedule in [
+        Schedule::Static,
+        Schedule::StaticChunk(7),
+        Schedule::Dynamic(5),
+        Schedule::Guided(3),
+    ] {
+        let team = Team::new(3);
+        let hits: Vec<AtomicUsize> = (0..200).map(|_| AtomicUsize::new(0)).collect();
+        team.parallel(|ctx| {
+            ctx.pfor(0..hits.len(), schedule, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(
+                h.load(Ordering::Relaxed),
+                1,
+                "iteration {i} under {schedule:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn multiple_pfors_in_one_region() {
+    let team = Team::new(2);
+    let a: Vec<AtomicUsize> = (0..50).map(|_| AtomicUsize::new(0)).collect();
+    let b: Vec<AtomicUsize> = (0..50).map(|_| AtomicUsize::new(0)).collect();
+    team.parallel(|ctx| {
+        ctx.pfor(0..50, Schedule::Dynamic(4), |i| {
+            a[i].fetch_add(1, Ordering::Relaxed);
+        });
+        // Second loop reads the first loop's results: the implicit
+        // barrier between them makes this safe.
+        ctx.pfor(0..50, Schedule::Dynamic(4), |i| {
+            b[i].fetch_add(a[i].load(Ordering::Relaxed), Ordering::Relaxed);
+        });
+    });
+    assert!(b.iter().all(|x| x.load(Ordering::Relaxed) == 1));
+}
+
+#[test]
+fn barrier_synchronises_phases() {
+    let team = Team::new(4);
+    let phase1 = AtomicUsize::new(0);
+    let failures = AtomicUsize::new(0);
+    team.parallel(|ctx| {
+        phase1.fetch_add(1, Ordering::SeqCst);
+        ctx.barrier();
+        // After the barrier every thread must see all 4 increments.
+        if phase1.load(Ordering::SeqCst) != 4 {
+            failures.fetch_add(1, Ordering::SeqCst);
+        }
+    });
+    assert_eq!(failures.load(Ordering::SeqCst), 0);
+}
+
+#[test]
+fn master_runs_only_on_thread_zero() {
+    let team = Team::new(4);
+    let count = AtomicUsize::new(0);
+    let tid = Mutex::new(None);
+    team.parallel(|ctx| {
+        ctx.master(|| {
+            count.fetch_add(1, Ordering::Relaxed);
+            *tid.lock() = Some(ctx.thread_num());
+        });
+    });
+    assert_eq!(count.load(Ordering::Relaxed), 1);
+    assert_eq!(tid.into_inner(), Some(0));
+}
+
+#[test]
+fn single_runs_exactly_once_per_construct() {
+    let team = Team::new(4);
+    let first = AtomicUsize::new(0);
+    let second = AtomicUsize::new(0);
+    team.parallel(|ctx| {
+        ctx.single(|| {
+            first.fetch_add(1, Ordering::Relaxed);
+        });
+        ctx.single(|| {
+            second.fetch_add(1, Ordering::Relaxed);
+        });
+    });
+    assert_eq!(first.load(Ordering::Relaxed), 1);
+    assert_eq!(second.load(Ordering::Relaxed), 1);
+}
+
+#[test]
+fn single_implies_barrier() {
+    let team = Team::new(4);
+    let value = AtomicUsize::new(0);
+    let wrong = AtomicUsize::new(0);
+    team.parallel(|ctx| {
+        ctx.single(|| {
+            value.store(42, Ordering::SeqCst);
+        });
+        // Every thread must observe the single's side effect.
+        if value.load(Ordering::SeqCst) != 42 {
+            wrong.fetch_add(1, Ordering::SeqCst);
+        }
+    });
+    assert_eq!(wrong.load(Ordering::SeqCst), 0);
+}
+
+#[test]
+fn critical_sections_are_exclusive() {
+    let team = Team::new(4);
+    // Non-atomic counter protected only by the critical section: if
+    // exclusion failed, updates would be lost.
+    struct Wrap(std::cell::UnsafeCell<u64>);
+    unsafe impl Sync for Wrap {}
+    impl Wrap {
+        /// SAFETY: caller must guarantee mutual exclusion.
+        unsafe fn add_one(&self) {
+            *self.0.get() += 1;
+        }
+        fn read(&mut self) -> u64 {
+            *self.0.get_mut()
+        }
+    }
+    let mut wrapped = Wrap(std::cell::UnsafeCell::new(0));
+    let shared = &wrapped;
+    team.parallel(move |ctx| {
+        for _ in 0..1000 {
+            ctx.critical("counter", || {
+                // SAFETY: mutual exclusion provided by `critical`.
+                unsafe {
+                    shared.add_one();
+                }
+            });
+        }
+    });
+    assert_eq!(wrapped.read(), 4000);
+}
+
+#[test]
+fn differently_named_criticals_do_not_exclude() {
+    // Just a smoke test: two names, no deadlock, correct counts.
+    let team = Team::new(2);
+    let a = AtomicUsize::new(0);
+    let b = AtomicUsize::new(0);
+    team.parallel(|ctx| {
+        for _ in 0..100 {
+            ctx.critical("a", || {
+                a.fetch_add(1, Ordering::Relaxed);
+            });
+            ctx.critical("b", || {
+                b.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+    });
+    assert_eq!(a.load(Ordering::Relaxed), 200);
+    assert_eq!(b.load(Ordering::Relaxed), 200);
+}
+
+#[test]
+fn sections_each_run_once() {
+    let team = Team::new(3);
+    let hits: Vec<AtomicUsize> = (0..5).map(|_| AtomicUsize::new(0)).collect();
+    team.parallel(|ctx| {
+        let s0 = || {
+            hits[0].fetch_add(1, Ordering::Relaxed);
+        };
+        let s1 = || {
+            hits[1].fetch_add(1, Ordering::Relaxed);
+        };
+        let s2 = || {
+            hits[2].fetch_add(1, Ordering::Relaxed);
+        };
+        let s3 = || {
+            hits[3].fetch_add(1, Ordering::Relaxed);
+        };
+        let s4 = || {
+            hits[4].fetch_add(1, Ordering::Relaxed);
+        };
+        ctx.sections(&[&s0, &s1, &s2, &s3, &s4]);
+    });
+    for h in &hits {
+        assert_eq!(h.load(Ordering::Relaxed), 1);
+    }
+}
+
+#[test]
+fn scalar_reductions_match_sequential() {
+    let team = Team::new(4);
+    let data: Vec<u64> = (1..=1000).collect();
+    let sum = team.par_reduce(0..data.len(), Schedule::Dynamic(32), &SumRed, |i| data[i]);
+    assert_eq!(sum, 500_500);
+    let min = team.par_reduce(0..data.len(), Schedule::Static, &MinRed, |i| data[i] as i64);
+    assert_eq!(min, 1);
+    let max = team.par_reduce(0..data.len(), Schedule::Guided(8), &MaxRed, |i| {
+        data[i] as i64
+    });
+    assert_eq!(max, 1000);
+}
+
+#[test]
+fn reduce_returns_same_value_on_all_threads() {
+    let team = Team::new(4);
+    let results = Mutex::new(Vec::new());
+    team.parallel(|ctx| {
+        let local = ctx.pfor_reduce(0..100, Schedule::Static, &SumRed, |i| i as u64);
+        results.lock().push(local);
+    });
+    let results = results.into_inner();
+    assert_eq!(results.len(), 4);
+    assert!(results.iter().all(|&r| r == 4950));
+}
+
+#[test]
+fn vec_concat_reduction_static_order_is_sequential() {
+    let team = Team::new(3);
+    let out: Vec<u32> = team.par_reduce(0..30, Schedule::Static, &VecConcat::new(), |i| {
+        vec![i as u32]
+    });
+    assert_eq!(out, (0..30).collect::<Vec<_>>());
+}
+
+#[test]
+fn set_union_reduction() {
+    let team = Team::new(4);
+    let set: HashSet<u32> = team.par_reduce(0..100, Schedule::Dynamic(7), &SetUnion::new(), |i| {
+        let mut s = HashSet::new();
+        s.insert((i % 10) as u32);
+        s
+    });
+    assert_eq!(set, (0..10).collect());
+}
+
+#[test]
+fn map_merge_word_count_style() {
+    let team = Team::new(3);
+    let words = ["a", "b", "a", "c", "b", "a"];
+    let red = MapMerge::new(|x: u32, y: u32| x + y);
+    let counts: HashMap<&str, u32> = team.par_reduce(0..600, Schedule::Dynamic(16), &red, |i| {
+        let mut m = HashMap::new();
+        m.insert(words[i % words.len()], 1);
+        m
+    });
+    assert_eq!(counts["a"], 300);
+    assert_eq!(counts["b"], 200);
+    assert_eq!(counts["c"], 100);
+}
+
+#[test]
+fn top_k_reduction() {
+    let team = Team::new(2);
+    let top = team.par_reduce(0..1000, Schedule::Dynamic(50), &TopK::new(3), |i| {
+        vec![(i * 7919) % 1000]
+    });
+    let mut expected: Vec<usize> = (0..1000).map(|i| (i * 7919) % 1000).collect();
+    expected.sort_unstable_by(|a, b| b.cmp(a));
+    expected.truncate(3);
+    assert_eq!(top, expected);
+}
+
+#[test]
+fn nested_parallel_serialises() {
+    let team = Team::new(3);
+    let inner_sizes = Mutex::new(Vec::new());
+    team.parallel(|_outer| {
+        team.parallel(|inner| {
+            inner_sizes.lock().push(inner.num_threads());
+        });
+    });
+    let sizes = inner_sizes.into_inner();
+    // Each of the 3 outer threads ran the inner region serially.
+    assert_eq!(sizes.len(), 3);
+    assert!(sizes.iter().all(|&s| s == 1));
+}
+
+#[test]
+fn team_of_one_works() {
+    let team = Team::new(1);
+    let sum = team.par_sum(0..100, Schedule::Dynamic(8), |i| i as u64);
+    assert_eq!(sum, 4950);
+}
+
+#[test]
+fn teams_shareable_across_threads() {
+    let team = Team::new(2);
+    let team2 = team.clone();
+    let j = std::thread::spawn(move || team2.par_sum(0..10, Schedule::Static, |i| i as u64));
+    let a = team.par_sum(0..10, Schedule::Static, |i| i as u64);
+    let b = j.join().unwrap();
+    assert_eq!(a, 45);
+    assert_eq!(b, 45);
+}
+
+#[test]
+fn skewed_workload_dynamic_balances_better_than_static() {
+    // Behavioural check, not timing: count iterations executed per
+    // thread under both schedules for a skewed loop. Dynamic spreads
+    // late heavy chunks; static pins them to the last thread. We only
+    // assert the *assignment* property that makes dynamic win.
+    let team = Team::new(4);
+    let per_thread_static: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
+    team.parallel(|ctx| {
+        ctx.pfor(0..100, Schedule::Static, |i| {
+            // Work proportional to i lands on the last thread.
+            per_thread_static[ctx.thread_num()].fetch_add(i, Ordering::Relaxed);
+        });
+    });
+    let static_max = per_thread_static
+        .iter()
+        .map(|a| a.load(Ordering::Relaxed))
+        .max()
+        .unwrap();
+    let total: usize = (0..100).sum();
+    // Under static, the top thread holds the top quartile of indices:
+    // (75..100).sum() = 2187 of 4950 ≈ 44%.
+    assert!(static_max * 100 / total >= 40);
+}
+
+#[test]
+fn arc_shared_state_usable_in_regions() {
+    let team = Team::new(2);
+    let shared = Arc::new(AtomicUsize::new(0));
+    let shared2 = Arc::clone(&shared);
+    team.parallel(move |ctx| {
+        ctx.pfor(0..10, Schedule::Static, |_| {
+            shared2.fetch_add(1, Ordering::Relaxed);
+        });
+    });
+    assert_eq!(shared.load(Ordering::Relaxed), 10);
+}
+
+#[test]
+fn reduction_trait_object_usable() {
+    // Reductions are usable behind references (dyn-compatible enough
+    // for generic code paths that take &R).
+    let team = Team::new(2);
+    fn run<R: Reduction<u64> + Sync>(team: &Team, red: &R) -> u64 {
+        team.par_reduce(1..6, Schedule::Static, red, |i| i as u64)
+    }
+    assert_eq!(run(&team, &SumRed), 15);
+    assert_eq!(run(&team, &pyjama::ProdRed), 120);
+}
+
+#[test]
+fn parallel_with_subteam_runs_fewer_threads() {
+    let team = Team::new(4);
+    let seen = Mutex::new(HashSet::new());
+    team.parallel_with(2, |ctx| {
+        assert_eq!(ctx.num_threads(), 2);
+        seen.lock().insert(ctx.thread_num());
+    });
+    assert_eq!(seen.into_inner(), HashSet::from([0, 1]));
+    // Full regions still work afterwards.
+    let count = AtomicUsize::new(0);
+    team.parallel(|_| {
+        count.fetch_add(1, Ordering::Relaxed);
+    });
+    assert_eq!(count.load(Ordering::Relaxed), 4);
+}
+
+#[test]
+fn parallel_with_clamps_oversized_request() {
+    let team = Team::new(2);
+    let count = AtomicUsize::new(0);
+    team.parallel_with(99, |ctx| {
+        assert_eq!(ctx.num_threads(), 2);
+        count.fetch_add(1, Ordering::Relaxed);
+    });
+    assert_eq!(count.load(Ordering::Relaxed), 2);
+}
+
+#[test]
+fn subteam_reductions_and_loops_work() {
+    let team = Team::new(4);
+    let total = AtomicUsize::new(0);
+    team.parallel_with(3, |ctx| {
+        ctx.pfor(0..100, Schedule::Dynamic(8), |i| {
+            total.fetch_add(i, Ordering::Relaxed);
+        });
+    });
+    assert_eq!(total.load(Ordering::Relaxed), 4950);
+}
+
+#[test]
+fn ordered_regions_execute_in_iteration_order() {
+    let team = Team::new(4);
+    let log = Mutex::new(Vec::new());
+    team.parallel(|ctx| {
+        ctx.pfor_ordered(0..50, Schedule::Static, |i, gate| {
+            // Unordered part: arbitrary interleaving.
+            std::hint::black_box(i * i);
+            gate.run(i, || {
+                log.lock().push(i);
+            });
+        });
+    });
+    assert_eq!(log.into_inner(), (0..50).collect::<Vec<_>>());
+}
+
+#[test]
+fn ordered_with_dynamic_schedule() {
+    let team = Team::new(3);
+    let log = Mutex::new(Vec::new());
+    team.parallel(|ctx| {
+        ctx.pfor_ordered(5..35, Schedule::Dynamic(4), |i, gate| {
+            gate.run(i, || log.lock().push(i));
+        });
+    });
+    assert_eq!(log.into_inner(), (5..35).collect::<Vec<_>>());
+}
+
+#[test]
+fn ordered_gate_returns_value() {
+    let team = Team::new(2);
+    let total = AtomicUsize::new(0);
+    team.parallel(|ctx| {
+        ctx.pfor_ordered(0..10, Schedule::Static, |i, gate| {
+            let doubled = gate.run(i, || i * 2);
+            total.fetch_add(doubled, Ordering::Relaxed);
+        });
+    });
+    assert_eq!(total.load(Ordering::Relaxed), 90);
+}

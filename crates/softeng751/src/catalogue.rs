@@ -1,0 +1,578 @@
+//! The ten SoftEng 751 projects (Section IV-C) as runnable scenarios.
+//!
+//! Each driver exercises its subsystem end to end at a laptop-friendly
+//! scale, self-checks its results, and returns a [`ProjectReport`]
+//! with headline metrics. The example binaries and the experiment
+//! index in DESIGN.md both route through here.
+
+use std::sync::Arc;
+
+use guievent::EventLoop;
+use parc_util::Stopwatch;
+use partask::TaskRuntime;
+use pyjama::{Schedule, Team};
+
+/// The ten project topics of Section IV-C, in the paper's order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ProjectId {
+    /// 1: Thumbnails of images in a folder.
+    Thumbnails,
+    /// 2: Parallel quicksort.
+    ParallelQuicksort,
+    /// 3: Parallelisation of simple computational kernels.
+    ComputationalKernels,
+    /// 4: Search for a string in text files of a folder.
+    TextSearch,
+    /// 5: Reductions in Pyjama.
+    Reductions,
+    /// 6: Task-aware libraries for Parallel Task.
+    TaskAwareLibraries,
+    /// 7: PDF searching.
+    PdfSearch,
+    /// 8: Understanding and coping with the memory model.
+    MemoryModel,
+    /// 9: Parallel use of collections.
+    ParallelCollections,
+    /// 10: Fast web access through concurrent connections.
+    ConcurrentWebAccess,
+}
+
+impl ProjectId {
+    /// All ten projects, paper order.
+    #[must_use]
+    pub fn all() -> [ProjectId; 10] {
+        [
+            ProjectId::Thumbnails,
+            ProjectId::ParallelQuicksort,
+            ProjectId::ComputationalKernels,
+            ProjectId::TextSearch,
+            ProjectId::Reductions,
+            ProjectId::TaskAwareLibraries,
+            ProjectId::PdfSearch,
+            ProjectId::MemoryModel,
+            ProjectId::ParallelCollections,
+            ProjectId::ConcurrentWebAccess,
+        ]
+    }
+
+    /// The paper's project title.
+    #[must_use]
+    pub fn title(self) -> &'static str {
+        match self {
+            ProjectId::Thumbnails => "Thumbnails of images in a folder",
+            ProjectId::ParallelQuicksort => "Parallel quicksort",
+            ProjectId::ComputationalKernels => "Parallelisation of simple computational kernels",
+            ProjectId::TextSearch => "Search for a string in text files of a folder",
+            ProjectId::Reductions => "Reductions in Pyjama",
+            ProjectId::TaskAwareLibraries => "Task-aware libraries for Parallel Task",
+            ProjectId::PdfSearch => "PDF searching",
+            ProjectId::MemoryModel => "Understanding and coping with the memory model",
+            ProjectId::ParallelCollections => "Parallel use of collections",
+            ProjectId::ConcurrentWebAccess => "Fast web access through concurrent connections",
+        }
+    }
+
+    /// The experiment id in EXPERIMENTS.md.
+    #[must_use]
+    pub fn experiment_id(self) -> &'static str {
+        match self {
+            ProjectId::Thumbnails => "E1",
+            ProjectId::ParallelQuicksort => "E2",
+            ProjectId::ComputationalKernels => "E3",
+            ProjectId::TextSearch => "E4",
+            ProjectId::Reductions => "E5",
+            ProjectId::TaskAwareLibraries => "E6",
+            ProjectId::PdfSearch => "E7",
+            ProjectId::MemoryModel => "E8",
+            ProjectId::ParallelCollections => "E9",
+            ProjectId::ConcurrentWebAccess => "E10",
+        }
+    }
+}
+
+/// The shared engines a project needs: a task runtime (Parallel Task
+/// analogue), a team (Pyjama analogue) and an event loop (the GUI).
+pub struct Engines {
+    /// Parallel Task runtime.
+    pub rt: TaskRuntime,
+    /// Pyjama team.
+    pub team: Team,
+    /// The GUI event loop.
+    pub gui: EventLoop,
+}
+
+impl Engines {
+    /// Small engines for tests and quick runs (2 workers each).
+    #[must_use]
+    pub fn small() -> Self {
+        Self::with_workers(2)
+    }
+
+    /// Engines with `n` workers per runtime.
+    #[must_use]
+    pub fn with_workers(n: usize) -> Self {
+        Self {
+            rt: TaskRuntime::builder().workers(n).build(),
+            team: Team::new(n),
+            gui: EventLoop::spawn(),
+        }
+    }
+
+    /// Shut everything down cleanly.
+    pub fn shutdown(self) {
+        self.rt.shutdown();
+        self.gui.shutdown();
+    }
+}
+
+/// Outcome of one project run.
+#[derive(Clone, Debug)]
+pub struct ProjectReport {
+    /// Which project ran.
+    pub id: ProjectId,
+    /// Project title.
+    pub title: &'static str,
+    /// Did every self-check pass?
+    pub ok: bool,
+    /// Human-readable findings, one line each.
+    pub details: Vec<String>,
+    /// Headline metrics (name, value).
+    pub metrics: Vec<(String, f64)>,
+    /// Wall time of the whole scenario in milliseconds.
+    pub elapsed_ms: f64,
+}
+
+impl ProjectReport {
+    /// Render as a text block.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "[{}] {} — {}\n",
+            self.id.experiment_id(),
+            self.title,
+            if self.ok { "OK" } else { "FAILED" }
+        );
+        for d in &self.details {
+            out.push_str(&format!("  - {d}\n"));
+        }
+        for (name, value) in &self.metrics {
+            out.push_str(&format!("  * {name}: {value:.3}\n"));
+        }
+        out.push_str(&format!("  ({:.1} ms)\n", self.elapsed_ms));
+        out
+    }
+}
+
+/// Run one project scenario.
+#[must_use]
+pub fn run_project(id: ProjectId, engines: &Engines) -> ProjectReport {
+    let sw = Stopwatch::start();
+    let (ok, details, metrics) = match id {
+        ProjectId::Thumbnails => project_thumbnails(engines),
+        ProjectId::ParallelQuicksort => project_quicksort(engines),
+        ProjectId::ComputationalKernels => project_kernels(engines),
+        ProjectId::TextSearch => project_text_search(engines),
+        ProjectId::Reductions => project_reductions(engines),
+        ProjectId::TaskAwareLibraries => project_task_aware(engines),
+        ProjectId::PdfSearch => project_pdf_search(engines),
+        ProjectId::MemoryModel => project_memory_model(engines),
+        ProjectId::ParallelCollections => project_collections(engines),
+        ProjectId::ConcurrentWebAccess => project_web(engines),
+    };
+    ProjectReport {
+        id,
+        title: id.title(),
+        ok,
+        details,
+        metrics,
+        elapsed_ms: sw.elapsed_ms(),
+    }
+}
+
+type Outcome = (bool, Vec<String>, Vec<(String, f64)>);
+
+fn project_thumbnails(engines: &Engines) -> Outcome {
+    use imaging::{gen, render_gallery, GalleryConfig, Strategy};
+    let images = Arc::new(gen::generate_folder(16, 32, 96, 0xA11));
+    let mut details = Vec::new();
+    let mut metrics = Vec::new();
+    let mut hashes: Option<Vec<u64>> = None;
+    let mut ok = true;
+    // GUI responsiveness while the gallery renders off the EDT.
+    let probe = guievent::Probe::start(engines.gui.handle(), std::time::Duration::from_millis(1));
+    for strategy in [
+        Strategy::Sequential,
+        Strategy::TaskPerImage,
+        Strategy::MultiTask(4),
+        Strategy::PyjamaDynamic(2),
+    ] {
+        let cfg = GalleryConfig {
+            thumb_w: 24,
+            thumb_h: 24,
+            strategy,
+            ..GalleryConfig::default()
+        };
+        let sw = Stopwatch::start();
+        let report = render_gallery(&images, &cfg, &engines.rt, &engines.team, None);
+        let ms = sw.elapsed_ms();
+        metrics.push((format!("render_ms[{}]", report.strategy), ms));
+        let h: Vec<u64> = report
+            .thumbnails
+            .iter()
+            .map(imaging::Image::content_hash)
+            .collect();
+        match &hashes {
+            None => hashes = Some(h),
+            Some(r) => {
+                if r != &h {
+                    ok = false;
+                    details.push(format!("strategy {} produced different pixels!", report.strategy));
+                }
+            }
+        }
+    }
+    let resp = probe.finish();
+    metrics.push(("gui_median_latency_ms".into(), resp.summary().median()));
+    details.push(format!(
+        "all strategies bit-identical across {} images; GUI stayed responsive (worst {:.2} ms)",
+        images.len(),
+        resp.worst_ms()
+    ));
+    (ok, details, metrics)
+}
+
+fn project_quicksort(engines: &Engines) -> Outcome {
+    use parsort::{data, quicksort_partask, quicksort_pyjama, quicksort_seq, quicksort_threads};
+    let input = data::random(60_000, 0x50F7);
+    let mut expected = input.clone();
+    expected.sort_unstable();
+    let mut details = Vec::new();
+    let mut metrics = Vec::new();
+    let mut ok = true;
+    let variants: Vec<(&str, Box<dyn Fn() -> Vec<u64>>)> = vec![
+        ("sequential", {
+            let input = input.clone();
+            Box::new(move || {
+                let mut v = input.clone();
+                quicksort_seq(&mut v);
+                v
+            })
+        }),
+        ("partask", {
+            let input = input.clone();
+            let rt = &engines.rt;
+            Box::new(move || {
+                let mut v = input.clone();
+                quicksort_partask(rt, &mut v);
+                v
+            })
+        }),
+        ("pyjama", {
+            let input = input.clone();
+            let team = &engines.team;
+            Box::new(move || {
+                let mut v = input.clone();
+                quicksort_pyjama(team, &mut v);
+                v
+            })
+        }),
+        ("threads", {
+            let input = input.clone();
+            Box::new(move || {
+                let mut v = input.clone();
+                quicksort_threads(&mut v, 3);
+                v
+            })
+        }),
+    ];
+    for (name, run) in variants {
+        let sw = Stopwatch::start();
+        let sorted = run();
+        metrics.push((format!("sort_ms[{name}]"), sw.elapsed_ms()));
+        if sorted != expected {
+            ok = false;
+            details.push(format!("{name} produced an incorrect ordering!"));
+        }
+    }
+    details.push("all four quicksort variants agree with std sort".into());
+    (ok, details, metrics)
+}
+
+fn project_kernels(engines: &Engines) -> Outcome {
+    use kernels::{fft, graph, linalg, montecarlo};
+    let team = &engines.team;
+    let mut details = Vec::new();
+    let mut metrics = Vec::new();
+    let mut ok = true;
+
+    // FFT.
+    let signal = fft::test_signal(1024, 3);
+    let mut seq = signal.clone();
+    fft::fft_seq(&mut seq);
+    let mut par = signal;
+    fft::fft_par(team, &mut par);
+    let fft_err = seq
+        .iter()
+        .zip(&par)
+        .map(|(a, b)| a.sub(*b).abs())
+        .fold(0.0f64, f64::max);
+    ok &= fft_err < 1e-9;
+    metrics.push(("fft_max_err".into(), fft_err));
+
+    // PageRank.
+    let g = graph::CsrGraph::random(400, 1600, 4);
+    let pr_seq = graph::pagerank_seq(&g, 0.85, 20);
+    let pr_par = graph::pagerank_par(team, &g, 0.85, 20);
+    let pr_err = pr_seq
+        .iter()
+        .zip(&pr_par)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    ok &= pr_err < 1e-10;
+    metrics.push(("pagerank_max_err".into(), pr_err));
+
+    // Matmul.
+    let a = linalg::Matrix::random(48, 48, 5);
+    let b = linalg::Matrix::random(48, 48, 6);
+    let mm_err = linalg::matmul_par(team, &a, &b).max_diff(&linalg::matmul_seq(&a, &b));
+    ok &= mm_err < 1e-12;
+    metrics.push(("matmul_max_err".into(), mm_err));
+
+    // π.
+    let pi = montecarlo::pi_quadrature_par(team, 100_000, Schedule::Static);
+    let pi_err = (pi - std::f64::consts::PI).abs();
+    ok &= pi_err < 1e-8;
+    metrics.push(("pi_quadrature_err".into(), pi_err));
+
+    details.push("FFT, PageRank, matmul and π kernels: parallel == sequential".into());
+    (ok, details, metrics)
+}
+
+fn project_text_search(engines: &Engines) -> Outcome {
+    use docsearch::corpus::{generate_tree, CorpusConfig};
+    use docsearch::{search_folder, Query};
+    let cfg = CorpusConfig {
+        needle_rate: 0.03,
+        ..CorpusConfig::default()
+    };
+    let (tree, planted) = generate_tree(&cfg);
+    let (tx, rx) = partask::interim_channel();
+    let report = search_folder(&engines.rt, &tree, &Query::literal(&cfg.needle), Some(&tx), None);
+    let streamed = rx.try_drain().len();
+    let ok = report.matches.len() == planted && streamed == planted;
+    let details = vec![format!(
+        "found {} planted needles across {} files; {} hits streamed live",
+        report.matches.len(),
+        report.files_searched,
+        streamed
+    )];
+    let metrics = vec![
+        ("matches".into(), report.matches.len() as f64),
+        ("files".into(), report.files_searched as f64),
+    ];
+    (ok, details, metrics)
+}
+
+fn project_reductions(engines: &Engines) -> Outcome {
+    use pyjama::{MapMerge, SetUnion, SumRed, VecConcat};
+    let team = &engines.team;
+    let n = 20_000usize;
+    let mut ok = true;
+    let mut metrics = Vec::new();
+
+    let sum = team.par_reduce(0..n, Schedule::Static, &SumRed, |i| i as u64);
+    ok &= sum == (n as u64 - 1) * n as u64 / 2;
+
+    let concat: Vec<u32> =
+        team.par_reduce(0..1000, Schedule::Static, &VecConcat::new(), |i| vec![i as u32]);
+    ok &= concat == (0..1000).collect::<Vec<_>>();
+
+    let set: std::collections::HashSet<u64> =
+        team.par_reduce(0..n, Schedule::Dynamic(64), &SetUnion::new(), |i| {
+            let mut s = std::collections::HashSet::new();
+            s.insert((i % 97) as u64);
+            s
+        });
+    ok &= set.len() == 97;
+
+    let red = MapMerge::new(|a: u64, b: u64| a + b);
+    let counts: std::collections::HashMap<u64, u64> =
+        team.par_reduce(0..n, Schedule::Guided(16), &red, |i| {
+            let mut m = std::collections::HashMap::new();
+            m.insert((i % 10) as u64, 1u64);
+            m
+        });
+    ok &= counts.values().sum::<u64>() == n as u64;
+
+    metrics.push(("scalar_sum".into(), sum as f64));
+    metrics.push(("set_cardinality".into(), set.len() as f64));
+    let details = vec![
+        "scalar sum, vec-concat, set-union and map-merge reductions all verified".into(),
+    ];
+    (ok, details, metrics)
+}
+
+fn project_task_aware(engines: &Engines) -> Outcome {
+    use taskcol::TaskCell;
+    // The saturated-pool scenario on a dedicated single-worker pool.
+    let rt1 = TaskRuntime::builder().workers(1).build();
+    let h = rt1.handle();
+    let cell = Arc::new(TaskCell::new());
+    let consumer = {
+        let cell = Arc::clone(&cell);
+        let h = h.clone();
+        rt1.spawn(move || {
+            let producer_cell = Arc::clone(&cell);
+            let _producer = h.spawn(move || producer_cell.set(2014u32));
+            cell.get_wait(&h)
+        })
+    };
+    let got = consumer.join();
+    rt1.shutdown();
+    let ok = got == Ok(2014);
+    let _ = engines;
+    let details = vec![
+        "task-aware blocking get on a 1-worker pool helped the producer run (no deadlock)".into(),
+    ];
+    (ok, details, vec![])
+}
+
+fn project_pdf_search(engines: &Engines) -> Outcome {
+    use docsearch::corpus::{generate_documents, CorpusConfig};
+    use docsearch::{search_documents, Granularity, Query};
+    let cfg = CorpusConfig {
+        needle_rate: 0.02,
+        ..CorpusConfig::default()
+    };
+    let (docs, planted) = generate_documents(20, 8, 10, &cfg);
+    let docs = Arc::new(docs);
+    let query = Query::literal(&cfg.needle);
+    let mut ok = true;
+    let mut metrics = Vec::new();
+    for g in [
+        Granularity::PerDocument,
+        Granularity::PerPage,
+        Granularity::PerChunk(4),
+    ] {
+        let report = search_documents(&engines.rt, &docs, &query, g, None);
+        ok &= report.total_matches == planted;
+        metrics.push((format!("tasks[{}]", g.label()), report.tasks_spawned as f64));
+    }
+    let details = vec![format!(
+        "three granularities found the same {planted} matches; task counts differ as expected"
+    )];
+    (ok, details, metrics)
+}
+
+fn project_memory_model(engines: &Engines) -> Outcome {
+    use memmodel::demos;
+    let _ = engines;
+    let racy = demos::lost_update(4, 20_000, true);
+    let fixed = demos::lost_update_fixed(4, 20_000, demos::FixStrategy::AtomicRmw);
+    let mp_fixed = demos::message_passing(100, true);
+    let sb_seqcst = demos::store_buffer(200, std::sync::atomic::Ordering::SeqCst);
+    let lazy_fixed = demos::lazy_init(30, 4, true);
+    let lazy_racy = demos::lazy_init(30, 4, false);
+    let ok = racy.race_observed()
+        && fixed.anomalies == 0
+        && mp_fixed.anomalies == 0
+        && sb_seqcst.anomalies == 0
+        && lazy_fixed.anomalies == 0;
+    let details = vec![
+        format!(
+            "racy counter lost {} of {} increments; atomic fix lost none",
+            racy.anomalies, racy.expected
+        ),
+        format!(
+            "racy lazy-init constructed {} extra times; OnceLock never did",
+            lazy_racy.anomalies
+        ),
+        "SeqCst store-buffer litmus: zero both-zero outcomes, as the model demands".into(),
+    ];
+    let metrics = vec![
+        ("lost_updates".into(), racy.anomalies as f64),
+        ("lazy_double_constructions".into(), lazy_racy.anomalies as f64),
+    ];
+    (ok, details, metrics)
+}
+
+fn project_collections(engines: &Engines) -> Outcome {
+    use taskcol::workload::{run_map_workload, MapWorkload};
+    use taskcol::{MutexMap, RwLockMap, ShardedMap};
+    let _ = engines;
+    let cfg = MapWorkload {
+        threads: 4,
+        ops_per_thread: 5_000,
+        ..MapWorkload::default()
+    };
+    let mut metrics = Vec::new();
+    let mutex = Arc::new(MutexMap::new());
+    let rw = Arc::new(RwLockMap::new());
+    let sharded = Arc::new(ShardedMap::new(16));
+    metrics.push((
+        "ops_per_sec[mutex]".into(),
+        run_map_workload(&mutex, &cfg).ops_per_sec(),
+    ));
+    metrics.push((
+        "ops_per_sec[rwlock]".into(),
+        run_map_workload(&rw, &cfg).ops_per_sec(),
+    ));
+    metrics.push((
+        "ops_per_sec[sharded]".into(),
+        run_map_workload(&sharded, &cfg).ops_per_sec(),
+    ));
+    let ok = metrics.iter().all(|(_, v)| *v > 0.0);
+    let details = vec![
+        "read-heavy map workload completed under mutex, rwlock and sharded strategies".into(),
+    ];
+    (ok, details, metrics)
+}
+
+fn project_web(engines: &Engines) -> Outcome {
+    use websim::{fetch_all, ServerConfig, SimServer};
+    let _ = engines;
+    // A dedicated wide pool: connections sleep, they don't compute.
+    let rt = TaskRuntime::builder().workers(16).build();
+    let server = Arc::new(SimServer::new(ServerConfig {
+        pages: 80,
+        time_scale: 5e-6,
+        ..ServerConfig::default()
+    }));
+    let serial = fetch_all(&rt, &server, 1);
+    let pooled = fetch_all(&rt, &server, 16);
+    let speedup = serial.elapsed.as_secs_f64() / pooled.elapsed.as_secs_f64().max(1e-9);
+    let ok = speedup > 2.0 && server.requests_served() == 160;
+    rt.shutdown();
+    let details = vec![format!(
+        "16 concurrent connections downloaded {} pages {:.1}x faster than 1 connection",
+        serial.pages, speedup
+    )];
+    let metrics = vec![("connection_speedup_16v1".into(), speedup)];
+    (ok, details, metrics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_ten_projects_listed_in_order() {
+        let all = ProjectId::all();
+        assert_eq!(all.len(), 10);
+        assert_eq!(all[0].experiment_id(), "E1");
+        assert_eq!(all[9].experiment_id(), "E10");
+        let titles: std::collections::HashSet<&str> = all.iter().map(|p| p.title()).collect();
+        assert_eq!(titles.len(), 10, "titles must be distinct");
+    }
+
+    #[test]
+    fn every_project_scenario_passes() {
+        let engines = Engines::small();
+        for id in ProjectId::all() {
+            let report = run_project(id, &engines);
+            assert!(report.ok, "project {:?} failed:\n{}", id, report.render());
+            assert!(!report.render().is_empty());
+        }
+        engines.shutdown();
+    }
+}

@@ -1,0 +1,25 @@
+//! Convenience prelude: the types a course workbook would import.
+//!
+//! ```
+//! use softeng751::prelude::*;
+//!
+//! let rt = TaskRuntime::builder().workers(2).build();
+//! let team = Team::new(2);
+//! let t = rt.spawn({
+//!     let team = team.clone(); // teams are cheaply shareable
+//!     move || team.par_sum(0..10, Schedule::Static, |i| i as u64)
+//! });
+//! assert_eq!(t.join().unwrap(), 45);
+//! rt.shutdown();
+//! ```
+
+pub use guievent::{EventLoop, GuiHandle, Probe};
+pub use parc_util::{Stopwatch, Summary, Table};
+pub use partask::{
+    interim_channel, CancelToken, InterimReceiver, InterimSender, MultiHandle, RuntimeHandle,
+    SchedulerKind, TaskError, TaskHandle, TaskRuntime, TaskWatcher,
+};
+pub use pyjama::{
+    BitAndRed, BitOrRed, BitXorRed, Ctx, MapMerge, MaxRed, MinRed, ProdRed, Reduction, Schedule,
+    SetUnion, SumRed, Team, TopK, VecConcat,
+};

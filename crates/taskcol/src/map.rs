@@ -1,0 +1,277 @@
+//! Concurrent maps under three locking strategies.
+//!
+//! The heart of project 9's read/write-mix comparison: a coarse
+//! mutex map (all operations serialise), an `RwLock` map (readers
+//! proceed concurrently) and a sharded map (the `ConcurrentHashMap`
+//! striped-locking analogue).
+
+use std::collections::HashMap;
+use std::hash::{BuildHasher, Hash, Hasher, RandomState};
+
+use parking_lot::{Mutex, RwLock};
+
+/// Common interface for the map strategies.
+pub trait ConcurrentMap<K, V>: Send + Sync {
+    /// Insert, returning the previous value for the key if any.
+    fn insert(&self, key: K, value: V) -> Option<V>;
+    /// Clone of the value for `key` (clone keeps the lock short).
+    fn get(&self, key: &K) -> Option<V>;
+    /// Remove, returning the value if present.
+    fn remove(&self, key: &K) -> Option<V>;
+    /// True when the key is present.
+    fn contains(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+    /// Number of entries (aggregated; may race with writers).
+    fn len(&self) -> usize;
+    /// True when no entries exist.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Strategy name for reports.
+    fn strategy(&self) -> &'static str;
+}
+
+/// Coarse mutex map — the `Collections.synchronizedMap` analogue.
+pub struct MutexMap<K, V> {
+    inner: Mutex<HashMap<K, V>>,
+}
+
+impl<K, V> MutexMap<K, V> {
+    /// New empty map.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            inner: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+impl<K, V> Default for MutexMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, V> ConcurrentMap<K, V> for MutexMap<K, V>
+where
+    K: Eq + Hash + Send,
+    V: Clone + Send,
+{
+    fn insert(&self, key: K, value: V) -> Option<V> {
+        self.inner.lock().insert(key, value)
+    }
+    fn get(&self, key: &K) -> Option<V> {
+        self.inner.lock().get(key).cloned()
+    }
+    fn remove(&self, key: &K) -> Option<V> {
+        self.inner.lock().remove(key)
+    }
+    fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+    fn strategy(&self) -> &'static str {
+        "mutex"
+    }
+}
+
+/// Reader/writer-locked map: concurrent readers, exclusive writers.
+pub struct RwLockMap<K, V> {
+    inner: RwLock<HashMap<K, V>>,
+}
+
+impl<K, V> RwLockMap<K, V> {
+    /// New empty map.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            inner: RwLock::new(HashMap::new()),
+        }
+    }
+}
+
+impl<K, V> Default for RwLockMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, V> ConcurrentMap<K, V> for RwLockMap<K, V>
+where
+    K: Eq + Hash + Send + Sync,
+    V: Clone + Send + Sync,
+{
+    fn insert(&self, key: K, value: V) -> Option<V> {
+        self.inner.write().insert(key, value)
+    }
+    fn get(&self, key: &K) -> Option<V> {
+        self.inner.read().get(key).cloned()
+    }
+    fn remove(&self, key: &K) -> Option<V> {
+        self.inner.write().remove(key)
+    }
+    fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+    fn strategy(&self) -> &'static str {
+        "rwlock"
+    }
+}
+
+/// Sharded (striped) map: the key's hash selects one of `2^k`
+/// independently locked shards, so operations on different shards
+/// never contend — the `ConcurrentHashMap` design.
+pub struct ShardedMap<K, V> {
+    shards: Vec<RwLock<HashMap<K, V>>>,
+    hasher: RandomState,
+}
+
+impl<K: Hash, V> ShardedMap<K, V> {
+    /// Map with the given shard count (rounded up to a power of two).
+    #[must_use]
+    pub fn new(shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        Self {
+            shards: (0..n).map(|_| RwLock::new(HashMap::new())).collect(),
+            hasher: RandomState::new(),
+        }
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_for(&self, key: &K) -> &RwLock<HashMap<K, V>> {
+        let mut h = self.hasher.build_hasher();
+        key.hash(&mut h);
+        let idx = (h.finish() as usize) & (self.shards.len() - 1);
+        &self.shards[idx]
+    }
+}
+
+impl<K, V> ConcurrentMap<K, V> for ShardedMap<K, V>
+where
+    K: Eq + Hash + Send + Sync,
+    V: Clone + Send + Sync,
+{
+    fn insert(&self, key: K, value: V) -> Option<V> {
+        self.shard_for(&key).write().insert(key, value)
+    }
+    fn get(&self, key: &K) -> Option<V> {
+        self.shard_for(key).read().get(key).cloned()
+    }
+    fn remove(&self, key: &K) -> Option<V> {
+        self.shard_for(key).write().remove(key)
+    }
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+    fn strategy(&self) -> &'static str {
+        "sharded"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    fn all_maps() -> Vec<Arc<dyn ConcurrentMap<u64, u64>>> {
+        vec![
+            Arc::new(MutexMap::new()),
+            Arc::new(RwLockMap::new()),
+            Arc::new(ShardedMap::new(16)),
+        ]
+    }
+
+    #[test]
+    fn basic_crud() {
+        for m in all_maps() {
+            assert!(m.is_empty());
+            assert_eq!(m.insert(1, 10), None);
+            assert_eq!(m.insert(1, 11), Some(10));
+            assert_eq!(m.get(&1), Some(11));
+            assert!(m.contains(&1));
+            assert_eq!(m.remove(&1), Some(11));
+            assert_eq!(m.get(&1), None, "{}", m.strategy());
+            assert!(!m.contains(&1));
+        }
+    }
+
+    #[test]
+    fn concurrent_disjoint_writers() {
+        for m in all_maps() {
+            let name = m.strategy();
+            let mut joins = Vec::new();
+            for t in 0..4u64 {
+                let m = Arc::clone(&m);
+                joins.push(thread::spawn(move || {
+                    for i in 0..1000 {
+                        m.insert(t * 1000 + i, i);
+                    }
+                }));
+            }
+            for j in joins {
+                j.join().unwrap();
+            }
+            assert_eq!(m.len(), 4000, "strategy {name}");
+            assert_eq!(m.get(&2500), Some(500));
+        }
+    }
+
+    #[test]
+    fn concurrent_same_key_last_writer_wins_consistently() {
+        for m in all_maps() {
+            let mut joins = Vec::new();
+            for t in 0..4u64 {
+                let m = Arc::clone(&m);
+                joins.push(thread::spawn(move || {
+                    for _ in 0..500 {
+                        m.insert(7, t);
+                    }
+                }));
+            }
+            for j in joins {
+                j.join().unwrap();
+            }
+            // The final value is one of the writers' values; the map
+            // must not be corrupted.
+            let v = m.get(&7).unwrap();
+            assert!(v < 4);
+            assert_eq!(m.len(), 1);
+        }
+    }
+
+    #[test]
+    fn readers_see_stable_snapshot_values() {
+        for m in all_maps() {
+            for i in 0..100 {
+                m.insert(i, i * 2);
+            }
+            let readers: Vec<_> = (0..3)
+                .map(|_| {
+                    let m = Arc::clone(&m);
+                    thread::spawn(move || {
+                        for i in 0..100 {
+                            assert_eq!(m.get(&i), Some(i * 2));
+                        }
+                    })
+                })
+                .collect();
+            for r in readers {
+                r.join().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_shard_count_power_of_two() {
+        let m: ShardedMap<u64, u64> = ShardedMap::new(10);
+        assert_eq!(m.shard_count(), 16);
+        let m: ShardedMap<u64, u64> = ShardedMap::new(0);
+        assert_eq!(m.shard_count(), 1);
+    }
+}

@@ -1,0 +1,158 @@
+//! Hand-built synchronisation primitives used as comparison strategies.
+//!
+//! The course's weeks 1–5 teach students what a lock *is* before they
+//! benchmark library locks; this module keeps that pedagogy: a
+//! test-and-test-and-set spinlock with exponential backoff, built only
+//! from `AtomicBool`.
+
+use std::cell::UnsafeCell;
+use std::hint;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// A test-and-test-and-set spinlock with exponential backoff.
+///
+/// Appropriate only for very short critical sections (it burns CPU
+/// while waiting); included as the "what if we spin?" strategy in the
+/// collection benchmarks.
+pub struct SpinLock<T> {
+    locked: AtomicBool,
+    value: UnsafeCell<T>,
+}
+
+// SAFETY: the lock provides the exclusion needed to send/share T.
+unsafe impl<T: Send> Send for SpinLock<T> {}
+unsafe impl<T: Send> Sync for SpinLock<T> {}
+
+/// RAII guard for [`SpinLock`].
+pub struct SpinGuard<'a, T> {
+    lock: &'a SpinLock<T>,
+}
+
+impl<T> SpinLock<T> {
+    /// Wrap a value in a spinlock.
+    #[must_use]
+    pub fn new(value: T) -> Self {
+        Self {
+            locked: AtomicBool::new(false),
+            value: UnsafeCell::new(value),
+        }
+    }
+
+    /// Acquire the lock, spinning with backoff until free.
+    pub fn lock(&self) -> SpinGuard<'_, T> {
+        let mut spins: u32 = 0;
+        loop {
+            // Test-and-test-and-set: spin on a plain load first so the
+            // cache line stays shared while contended.
+            while self.locked.load(Ordering::Relaxed) {
+                backoff(&mut spins);
+            }
+            if self
+                .locked
+                .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+            {
+                return SpinGuard { lock: self };
+            }
+            backoff(&mut spins);
+        }
+    }
+
+    /// Try to acquire without spinning.
+    pub fn try_lock(&self) -> Option<SpinGuard<'_, T>> {
+        if self
+            .locked
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+        {
+            Some(SpinGuard { lock: self })
+        } else {
+            None
+        }
+    }
+
+    /// Consume the lock, returning the value.
+    pub fn into_inner(self) -> T {
+        self.value.into_inner()
+    }
+}
+
+fn backoff(spins: &mut u32) {
+    *spins = (*spins + 1).min(10);
+    if *spins <= 6 {
+        for _ in 0..(1u32 << *spins) {
+            hint::spin_loop();
+        }
+    } else {
+        // Heavy contention (or a single-CPU host): yield so the lock
+        // holder can run at all.
+        std::thread::yield_now();
+    }
+}
+
+impl<T> Deref for SpinGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: guard existence proves exclusive ownership.
+        unsafe { &*self.lock.value.get() }
+    }
+}
+
+impl<T> DerefMut for SpinGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: guard existence proves exclusive ownership.
+        unsafe { &mut *self.lock.value.get() }
+    }
+}
+
+impl<T> Drop for SpinGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.locked.store(false, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn guard_gives_mutable_access() {
+        let lock = SpinLock::new(5);
+        {
+            let mut g = lock.lock();
+            *g += 1;
+        }
+        assert_eq!(*lock.lock(), 6);
+        assert_eq!(lock.into_inner(), 6);
+    }
+
+    #[test]
+    fn try_lock_fails_while_held() {
+        let lock = SpinLock::new(());
+        let g = lock.lock();
+        assert!(lock.try_lock().is_none());
+        drop(g);
+        assert!(lock.try_lock().is_some());
+    }
+
+    #[test]
+    fn no_lost_updates_under_contention() {
+        let lock = Arc::new(SpinLock::new(0u64));
+        let mut joins = Vec::new();
+        for _ in 0..4 {
+            let lock = Arc::clone(&lock);
+            joins.push(thread::spawn(move || {
+                for _ in 0..10_000 {
+                    *lock.lock() += 1;
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(*lock.lock(), 40_000);
+    }
+}

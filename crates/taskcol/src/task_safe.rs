@@ -1,0 +1,311 @@
+//! Task-safe wrappers (project 6): why thread-safe is not enough.
+//!
+//! In a *threading* model a consumer may block on an empty queue: the
+//! OS will eventually schedule the producer. In a *tasking* model on a
+//! bounded worker pool, a blocking consumer wedges its worker; if every
+//! worker is a blocked consumer, the producer task sitting in the
+//! scheduler queue can never run — deadlock *through a perfectly
+//! thread-safe collection*. This is exactly the pitfall SoftEng 751's
+//! project 6 asked students to explore and fix.
+//!
+//! The fix: blocking operations must keep the runtime moving. The
+//! task-aware types here take a [`partask::RuntimeHandle`] and
+//! alternate the wait condition with [`RuntimeHandle::help_once`],
+//! executing queued tasks on the waiting worker.
+//!
+//! [`RuntimeHandle::help_once`]: partask::RuntimeHandle::help_once
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+use partask::RuntimeHandle;
+
+/// A single-assignment cell whose `get_wait` is safe to call from
+/// inside a task.
+pub struct TaskCell<T> {
+    slot: Mutex<Option<T>>,
+    cv: Condvar,
+}
+
+impl<T: Clone> TaskCell<T> {
+    /// New empty cell.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            slot: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Store the value. Panics if already set (single assignment).
+    pub fn set(&self, value: T) {
+        let mut slot = self.slot.lock();
+        assert!(slot.is_none(), "TaskCell set twice");
+        *slot = Some(value);
+        drop(slot);
+        self.cv.notify_all();
+    }
+
+    /// Non-blocking read.
+    #[must_use]
+    pub fn try_get(&self) -> Option<T> {
+        self.slot.lock().clone()
+    }
+
+    /// Task-aware blocking read: helps the runtime while the cell is
+    /// empty, so the setter task can run even on a saturated pool.
+    pub fn get_wait(&self, rt: &RuntimeHandle) -> T {
+        loop {
+            if let Some(v) = self.slot.lock().clone() {
+                return v;
+            }
+            if !rt.help_once() {
+                // Nothing to help with; short timed wait for the set.
+                let mut slot = self.slot.lock();
+                if let Some(v) = slot.clone() {
+                    return v;
+                }
+                let _ = self.cv.wait_for(&mut slot, Duration::from_micros(200));
+            }
+        }
+    }
+
+    /// Blocking read with a deadline; `None` on timeout.
+    pub fn get_wait_timeout(&self, rt: &RuntimeHandle, timeout: Duration) -> Option<T> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(v) = self.slot.lock().clone() {
+                return Some(v);
+            }
+            if Instant::now() >= deadline {
+                return None;
+            }
+            if !rt.help_once() {
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+impl<T: Clone> Default for TaskCell<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// An unbounded FIFO whose blocking pop is task-aware.
+pub struct TaskAwareQueue<T> {
+    items: Mutex<VecDeque<T>>,
+    cv: Condvar,
+}
+
+impl<T> TaskAwareQueue<T> {
+    /// New empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            items: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Enqueue a value.
+    pub fn push(&self, value: T) {
+        self.items.lock().push_back(value);
+        self.cv.notify_one();
+    }
+
+    /// Non-blocking dequeue.
+    #[must_use]
+    pub fn try_pop(&self) -> Option<T> {
+        self.items.lock().pop_front()
+    }
+
+    /// Task-aware blocking dequeue: helps the runtime while empty.
+    pub fn pop_wait(&self, rt: &RuntimeHandle) -> T {
+        loop {
+            if let Some(v) = self.items.lock().pop_front() {
+                return v;
+            }
+            if !rt.help_once() {
+                let mut items = self.items.lock();
+                if let Some(v) = items.pop_front() {
+                    return v;
+                }
+                let _ = self.cv.wait_for(&mut items, Duration::from_micros(200));
+            }
+        }
+    }
+
+    /// **The hazard** (for demonstration and tests): a naive blocking
+    /// pop that parks the worker outright, like calling
+    /// `BlockingQueue.take()` from inside a task. With a deadline so
+    /// the demonstration terminates; returns `None` when it would have
+    /// deadlocked past the deadline.
+    pub fn pop_blocking_naive(&self, deadline: Duration) -> Option<T> {
+        let end = Instant::now() + deadline;
+        let mut items = self.items.lock();
+        loop {
+            if let Some(v) = items.pop_front() {
+                return Some(v);
+            }
+            if Instant::now() >= end {
+                return None;
+            }
+            let _ = self.cv.wait_until(&mut items, end);
+        }
+    }
+
+    /// Current length.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.lock().len()
+    }
+
+    /// True when empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.lock().is_empty()
+    }
+}
+
+impl<T> Default for TaskAwareQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    use partask::TaskRuntime;
+
+    #[test]
+    fn task_cell_set_and_get() {
+        let rt = TaskRuntime::builder().workers(1).build();
+        let cell = TaskCell::new();
+        cell.set(42);
+        assert_eq!(cell.try_get(), Some(42));
+        assert_eq!(cell.get_wait(&rt.handle()), 42);
+        rt.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "set twice")]
+    fn task_cell_single_assignment() {
+        let cell = TaskCell::new();
+        cell.set(1);
+        cell.set(2);
+    }
+
+    #[test]
+    fn get_wait_helps_the_producer_run() {
+        // ONE worker. The consumer task waits on the cell that only a
+        // *later* task sets. A naive block would deadlock forever; the
+        // task-aware wait executes the producer itself.
+        let rt = TaskRuntime::builder().workers(1).build();
+        let h = rt.handle();
+        let cell = Arc::new(TaskCell::new());
+        let consumer = {
+            let cell = Arc::clone(&cell);
+            let h = h.clone();
+            rt.spawn(move || {
+                // Spawn the producer *from inside* the consumer so it
+                // is queued behind us on the single worker.
+                let producer_cell = Arc::clone(&cell);
+                let _producer = h.spawn(move || producer_cell.set(123));
+                cell.get_wait(&h)
+            })
+        };
+        assert_eq!(consumer.join().unwrap(), 123);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn naive_blocking_pop_deadlocks_on_saturated_pool() {
+        // The demonstration from the project write-up: with one worker
+        // the blocking consumer never lets the producer run, and only
+        // the deadline rescues it.
+        let rt = TaskRuntime::builder().workers(1).build();
+        let h = rt.handle();
+        let queue: Arc<TaskAwareQueue<u32>> = Arc::new(TaskAwareQueue::new());
+        let consumer = {
+            let queue = Arc::clone(&queue);
+            rt.spawn(move || {
+                let q2 = Arc::clone(&queue);
+                let _producer = h.spawn(move || q2.push(7));
+                queue.pop_blocking_naive(Duration::from_millis(100))
+            })
+        };
+        // Poll instead of joining: `join()` from this thread would
+        // *help* — run the queued producer here — and rescue the
+        // deadlock we are demonstrating.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while !consumer.is_done() {
+            assert!(std::time::Instant::now() < deadline, "demo wedged");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(
+            consumer.join().unwrap(),
+            None,
+            "the naive block must starve the producer on a 1-worker pool"
+        );
+        rt.shutdown();
+    }
+
+    #[test]
+    fn task_aware_pop_succeeds_on_same_scenario() {
+        let rt = TaskRuntime::builder().workers(1).build();
+        let h = rt.handle();
+        let queue: Arc<TaskAwareQueue<u32>> = Arc::new(TaskAwareQueue::new());
+        let consumer = {
+            let queue = Arc::clone(&queue);
+            let h2 = h.clone();
+            rt.spawn(move || {
+                let q2 = Arc::clone(&queue);
+                let _producer = h2.spawn(move || q2.push(7));
+                queue.pop_wait(&h2)
+            })
+        };
+        assert_eq!(consumer.join().unwrap(), 7);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn queue_fifo_and_len() {
+        let q = TaskAwareQueue::new();
+        assert!(q.is_empty());
+        q.push(1);
+        q.push(2);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.try_pop(), Some(1));
+        assert_eq!(q.try_pop(), Some(2));
+        assert_eq!(q.try_pop(), None);
+    }
+
+    #[test]
+    fn get_wait_timeout_expires() {
+        let rt = TaskRuntime::builder().workers(1).build();
+        let cell: TaskCell<u8> = TaskCell::new();
+        let out = cell.get_wait_timeout(&rt.handle(), Duration::from_millis(20));
+        assert_eq!(out, None);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn pop_wait_from_external_thread() {
+        let rt = TaskRuntime::builder().workers(2).build();
+        let q = Arc::new(TaskAwareQueue::new());
+        let q2 = Arc::clone(&q);
+        let _t = rt.spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            q2.push(99);
+        });
+        assert_eq!(q.pop_wait(&rt.handle()), 99);
+        rt.shutdown();
+    }
+}

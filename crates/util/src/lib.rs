@@ -1,0 +1,28 @@
+//! # parc-util
+//!
+//! Shared foundation for the SoftEng 751 reproduction: deterministic
+//! pseudo-random number generation, descriptive statistics, timing
+//! helpers and plain-text report rendering.
+//!
+//! Every experiment in the workspace is seeded, so any result in
+//! `EXPERIMENTS.md` can be regenerated bit-for-bit. The PRNGs here
+//! (SplitMix64 and Xoshiro256++) are implemented from scratch so the
+//! workspace does not depend on an external crate's evolving API for
+//! its own determinism guarantees.
+//!
+//! ```
+//! use parc_util::rng::Xoshiro256;
+//! let mut rng = Xoshiro256::seed_from_u64(42);
+//! let x = rng.gen_range_usize(0..10);
+//! assert!(x < 10);
+//! ```
+
+pub mod rng;
+pub mod stats;
+pub mod table;
+pub mod timer;
+
+pub use rng::{SplitMix64, Xoshiro256};
+pub use stats::{Histogram, Summary, Welford};
+pub use table::Table;
+pub use timer::{measure, measure_n, Stopwatch};

@@ -1,0 +1,168 @@
+//! Plain-text table rendering for experiment reports.
+//!
+//! Every example binary and the EXPERIMENTS.md regeneration path print
+//! their results through [`Table`], so that "the same rows the paper
+//! reports" come out in a uniform, diffable format.
+
+use std::fmt::Write as _;
+
+/// A simple left/right-aligned text table.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with a title and column headers.
+    #[must_use]
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Self {
+            title: title.to_string(),
+            header: header.iter().map(|s| (*s).to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row. Panics if the width does not match the header.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width must match header width"
+        );
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Append a row from displayable values.
+    pub fn row_display<D: std::fmt::Display>(&mut self, cells: &[D]) -> &mut Self {
+        let rendered: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+        self.row(&rendered)
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no data rows have been added.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render the table. The first column is left-aligned, remaining
+    /// columns right-aligned (the usual layout for label + metrics).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "== {} ==", self.title);
+        }
+        let fmt_row = |cells: &[String], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i == 0 {
+                    let _ = write!(out, "{:<width$}", cell, width = widths[0]);
+                } else {
+                    let _ = write!(out, "  {:>width$}", cell, width = widths[i]);
+                }
+            }
+            out.push('\n');
+        };
+        fmt_row(&self.header, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            fmt_row(row, &mut out);
+        }
+        out
+    }
+}
+
+/// Format a duration in a human-friendly adaptive unit.
+#[must_use]
+pub fn fmt_duration(d: std::time::Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Format a ratio as `N.NNx` (speedup/slowdown notation).
+#[must_use]
+pub fn fmt_ratio(r: f64) -> String {
+    format!("{r:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn table_renders_header_and_rows() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(&["alpha".into(), "1".into()]);
+        t.row(&["beta".into(), "22".into()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("name"));
+        assert!(s.contains("alpha"));
+        assert!(s.contains("22"));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn table_alignment_pads_columns() {
+        let mut t = Table::new("", &["a", "b"]);
+        t.row(&["x".into(), "12345".into()]);
+        let s = t.render();
+        // Right-aligned second column: header "b" padded to width 5.
+        assert!(s.lines().next().unwrap().ends_with("    b"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn table_rejects_wrong_width() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn row_display_converts() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row_display(&[1.5, 2.25]);
+        assert_eq!(t.len(), 1);
+        assert!(t.render().contains("2.25"));
+    }
+
+    #[test]
+    fn fmt_duration_units() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.50 ms");
+        assert_eq!(fmt_duration(Duration::from_millis(2500)), "2.50 s");
+        assert!(fmt_duration(Duration::from_micros(2)).contains("µs"));
+    }
+
+    #[test]
+    fn fmt_ratio_format() {
+        assert_eq!(fmt_ratio(2.0), "2.00x");
+        assert_eq!(fmt_ratio(0.5), "0.50x");
+    }
+}

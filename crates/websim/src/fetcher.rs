@@ -1,0 +1,210 @@
+//! The concurrent page fetcher and the connection-count sweep.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use partask::TaskRuntime;
+
+use crate::server::SimServer;
+
+/// Result of downloading a page set.
+#[derive(Clone, Debug)]
+pub struct FetchReport {
+    /// Number of pages fetched.
+    pub pages: usize,
+    /// Connection-pool size used.
+    pub connections: usize,
+    /// Wall-clock time of the whole download.
+    pub elapsed: std::time::Duration,
+    /// Total kilobytes transferred.
+    pub total_kb: f64,
+}
+
+impl FetchReport {
+    /// Achieved throughput in KB per wall-clock second.
+    #[must_use]
+    pub fn kb_per_sec(&self) -> f64 {
+        self.total_kb / self.elapsed.as_secs_f64().max(1e-12)
+    }
+}
+
+/// Download every page of `server` using `connections` parallel
+/// connections. Each connection is one multi-task instance pulling
+/// page ids from a shared work counter — the Parallel Task phrasing
+/// of a download pool.
+#[must_use]
+pub fn fetch_all(rt: &TaskRuntime, server: &Arc<SimServer>, connections: usize) -> FetchReport {
+    let connections = connections.max(1);
+    let pages = server.page_count();
+    let next = Arc::new(AtomicUsize::new(0));
+    let start = Instant::now();
+    let multi = rt.spawn_multi(connections, {
+        let server = Arc::clone(server);
+        let next = Arc::clone(&next);
+        move |_conn| {
+            let mut kb = 0.0;
+            loop {
+                let page = next.fetch_add(1, Ordering::Relaxed);
+                if page >= pages {
+                    break;
+                }
+                kb += server.request(page);
+            }
+            kb
+        }
+    });
+    let total_kb = multi
+        .join_reduce(0.0, |acc, kb| acc + kb)
+        .expect("fetch tasks");
+    FetchReport {
+        pages,
+        connections,
+        elapsed: start.elapsed(),
+        total_kb,
+    }
+}
+
+/// One point of the connection sweep.
+#[derive(Clone, Debug)]
+pub struct SweepPoint {
+    /// Pool size.
+    pub connections: usize,
+    /// Measured wall time in milliseconds.
+    pub wall_ms: f64,
+    /// Analytic model prediction in *simulated* milliseconds.
+    pub predicted_sim_ms: f64,
+}
+
+/// Measure the download time for each pool size in `sizes`. Also
+/// returns the analytic prediction so the E10 report can show the
+/// model curve next to the measured one.
+///
+/// The runtime must have at least `max(sizes)` workers — connections
+/// spend their life sleeping in the simulator, so a worker per
+/// connection is cheap and keeps the measured concurrency equal to
+/// the nominal pool size.
+#[must_use]
+pub fn sweep_connections(
+    rt: &TaskRuntime,
+    server: &Arc<SimServer>,
+    sizes: &[usize],
+) -> Vec<SweepPoint> {
+    let max_k = sizes.iter().copied().max().unwrap_or(1);
+    assert!(
+        rt.workers() >= max_k,
+        "sweep needs >= {max_k} workers so every connection can run concurrently"
+    );
+    sizes
+        .iter()
+        .map(|&k| {
+            let report = fetch_all(rt, server, k);
+            SweepPoint {
+                connections: k,
+                wall_ms: report.elapsed.as_secs_f64() * 1e3,
+                predicted_sim_ms: predict_fetch_sim_ms(server, k),
+            }
+        })
+        .collect()
+}
+
+/// Analytic prediction of the total download time (simulated ms) with
+/// `k` connections: pages are served in waves of `k`, each page
+/// costing the model duration at concurrency `k`; the makespan is the
+/// total work divided by `k` (fluid approximation).
+#[must_use]
+pub fn predict_fetch_sim_ms(server: &Arc<SimServer>, k: usize) -> f64 {
+    let k = k.max(1);
+    let total: f64 = (0..server.page_count())
+        .map(|p| server.model_duration_ms(p, k))
+        .sum();
+    total / k as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServerConfig;
+
+    fn quick_server(pages: usize) -> Arc<SimServer> {
+        Arc::new(SimServer::new(ServerConfig {
+            pages,
+            time_scale: 2e-6, // 2 µs per simulated ms: fast tests
+            ..ServerConfig::default()
+        }))
+    }
+
+    #[test]
+    fn fetch_all_downloads_every_page_once() {
+        let rt = TaskRuntime::builder().workers(4).build();
+        let server = quick_server(40);
+        let report = fetch_all(&rt, &server, 8);
+        assert_eq!(report.pages, 40);
+        assert_eq!(server.requests_served(), 40);
+        let expected_kb: f64 = (0..40).map(|i| server.page(i).size_kb).sum();
+        assert!((report.total_kb - expected_kb).abs() < 1e-9);
+        assert!(report.kb_per_sec() > 0.0);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn single_connection_is_serial() {
+        let rt = TaskRuntime::builder().workers(2).build();
+        let server = quick_server(10);
+        let report = fetch_all(&rt, &server, 1);
+        assert_eq!(report.connections, 1);
+        assert_eq!(server.requests_served(), 10);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn zero_connections_clamped() {
+        let rt = TaskRuntime::builder().workers(1).build();
+        let server = quick_server(4);
+        let report = fetch_all(&rt, &server, 0);
+        assert_eq!(report.connections, 1);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn prediction_has_interior_optimum() {
+        // The analytic curve must fall from k=1, reach a minimum at a
+        // moderate k, and rise again past the server's limit — the
+        // paper project's research answer.
+        let server = quick_server(100);
+        let ks = [1usize, 2, 4, 8, 16, 24, 48, 96];
+        let curve: Vec<f64> = ks
+            .iter()
+            .map(|&k| predict_fetch_sim_ms(&server, k))
+            .collect();
+        let best = curve
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert!(curve[0] > curve[best] * 2.0, "k=1 must be much slower");
+        assert!(best > 0 && best < ks.len() - 1, "optimum must be interior");
+        assert!(
+            curve[ks.len() - 1] > curve[best],
+            "over-subscription must hurt"
+        );
+    }
+
+    #[test]
+    fn measured_sweep_tracks_model_shape() {
+        let rt = TaskRuntime::builder().workers(8).build();
+        let server = quick_server(60);
+        let points = sweep_connections(&rt, &server, &[1, 8]);
+        assert_eq!(points.len(), 2);
+        // Wall time with 8 connections must beat 1 connection by a
+        // clear margin (sleeps overlap even on one CPU).
+        assert!(
+            points[1].wall_ms < points[0].wall_ms * 0.6,
+            "k=8 {} ms vs k=1 {} ms",
+            points[1].wall_ms,
+            points[0].wall_ms
+        );
+        rt.shutdown();
+    }
+}

@@ -1,0 +1,241 @@
+//! The deterministic simulated web server.
+//!
+//! Each page has a fixed round-trip latency and size drawn from a
+//! seeded PRNG. A request costs
+//!
+//! ```text
+//! rtt + size / (bandwidth / active_connections) [+ queue penalty]
+//! ```
+//!
+//! where `active_connections` is sampled when the transfer starts —
+//! a simple fluid model of a shared access link. Requests beyond
+//! `max_concurrent` pay an additional queueing penalty per excess
+//! connection. All durations are in *simulated milliseconds*,
+//! executed as real sleeps scaled by `time_scale`.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+
+use parc_util::rng::{SplitMix64, Xoshiro256};
+
+/// Static properties of one simulated page.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PageMeta {
+    /// Round-trip latency in simulated ms.
+    pub rtt_ms: f64,
+    /// Page size in kilobytes.
+    pub size_kb: f64,
+}
+
+/// Server model parameters.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Number of distinct pages served.
+    pub pages: usize,
+    /// Latency range (simulated ms).
+    pub rtt_range: (f64, f64),
+    /// Page-size range (KB).
+    pub size_range: (f64, f64),
+    /// Shared downstream bandwidth in KB per simulated ms.
+    pub bandwidth_kb_per_ms: f64,
+    /// Connections beyond this pay a queue penalty.
+    pub max_concurrent: usize,
+    /// Queue penalty per excess connection (simulated ms).
+    pub queue_penalty_ms: f64,
+    /// Real-time seconds per simulated millisecond (e.g. `1e-5` =
+    /// 10 µs of wall time per simulated ms).
+    pub time_scale: f64,
+    /// Seed for page properties.
+    pub seed: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            pages: 200,
+            rtt_range: (20.0, 120.0),
+            size_range: (10.0, 200.0),
+            bandwidth_kb_per_ms: 50.0,
+            max_concurrent: 24,
+            queue_penalty_ms: 15.0,
+            time_scale: 2e-5,
+            seed: 0x7EB,
+        }
+    }
+}
+
+/// The simulated server. Thread-safe; any number of client threads
+/// may call [`SimServer::request`] concurrently.
+pub struct SimServer {
+    config: ServerConfig,
+    pages: Vec<PageMeta>,
+    active: AtomicUsize,
+    requests_served: AtomicU64,
+    /// Total simulated milliseconds charged across all requests.
+    sim_ms_total: AtomicU64,
+}
+
+impl SimServer {
+    /// Build a server; page properties are deterministic per seed.
+    #[must_use]
+    pub fn new(config: ServerConfig) -> Self {
+        let mut rng = Xoshiro256::seed_from_u64(config.seed);
+        let pages = (0..config.pages)
+            .map(|_| PageMeta {
+                rtt_ms: rng.gen_range_f64(config.rtt_range.0..config.rtt_range.1),
+                size_kb: rng.gen_range_f64(config.size_range.0..config.size_range.1),
+            })
+            .collect();
+        Self {
+            config,
+            pages,
+            active: AtomicUsize::new(0),
+            requests_served: AtomicU64::new(0),
+            sim_ms_total: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of pages served.
+    #[must_use]
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Metadata of page `id`.
+    #[must_use]
+    pub fn page(&self, id: usize) -> PageMeta {
+        self.pages[id]
+    }
+
+    /// The simulated duration a request for `page` costs at a given
+    /// concurrency level (the analytic model, used by tests and by
+    /// [`crate::fetcher::predict_sweep`]).
+    #[must_use]
+    pub fn model_duration_ms(&self, page: usize, active: usize) -> f64 {
+        let meta = self.pages[page];
+        let active = active.max(1);
+        let share = self.config.bandwidth_kb_per_ms / active as f64;
+        let mut ms = meta.rtt_ms + meta.size_kb / share;
+        if active > self.config.max_concurrent {
+            ms += (active - self.config.max_concurrent) as f64 * self.config.queue_penalty_ms;
+        }
+        ms
+    }
+
+    /// Perform the request: blocks (sleeps) for the simulated
+    /// duration and returns the page's size in KB. A small seeded
+    /// jitter (±5 %) keeps runs realistic yet deterministic per
+    /// (page, request-count) pair.
+    pub fn request(&self, page: usize) -> f64 {
+        let active = self.active.fetch_add(1, Ordering::SeqCst) + 1;
+        let serial = self.requests_served.fetch_add(1, Ordering::Relaxed);
+        let base_ms = self.model_duration_ms(page, active);
+        let jitter = {
+            let h = SplitMix64::mix((page as u64) << 32 | (serial & 0xFFFF));
+            0.95 + 0.10 * (h as f64 / u64::MAX as f64)
+        };
+        let ms = base_ms * jitter;
+        self.sim_ms_total.fetch_add(ms as u64, Ordering::Relaxed);
+        std::thread::sleep(Duration::from_secs_f64(
+            ms * self.config.time_scale,
+        ));
+        self.active.fetch_sub(1, Ordering::SeqCst);
+        self.pages[page].size_kb
+    }
+
+    /// Requests served so far.
+    #[must_use]
+    pub fn requests_served(&self) -> u64 {
+        self.requests_served.load(Ordering::Relaxed)
+    }
+
+    /// Total simulated milliseconds charged so far.
+    #[must_use]
+    pub fn sim_ms_total(&self) -> u64 {
+        self.sim_ms_total.load(Ordering::Relaxed)
+    }
+
+    /// Current concurrent request count.
+    #[must_use]
+    pub fn active_now(&self) -> usize {
+        self.active.load(Ordering::SeqCst)
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_config() -> ServerConfig {
+        ServerConfig {
+            pages: 20,
+            time_scale: 1e-6,
+            ..ServerConfig::default()
+        }
+    }
+
+    #[test]
+    fn pages_deterministic_per_seed() {
+        let a = SimServer::new(fast_config());
+        let b = SimServer::new(fast_config());
+        for i in 0..a.page_count() {
+            assert_eq!(a.page(i), b.page(i));
+        }
+    }
+
+    #[test]
+    fn page_properties_within_ranges() {
+        let server = SimServer::new(fast_config());
+        let cfg = server.config();
+        for i in 0..server.page_count() {
+            let p = server.page(i);
+            assert!(p.rtt_ms >= cfg.rtt_range.0 && p.rtt_ms < cfg.rtt_range.1);
+            assert!(p.size_kb >= cfg.size_range.0 && p.size_kb < cfg.size_range.1);
+        }
+    }
+
+    #[test]
+    fn model_duration_grows_with_concurrency() {
+        let server = SimServer::new(fast_config());
+        let d1 = server.model_duration_ms(0, 1);
+        let d8 = server.model_duration_ms(0, 8);
+        let d100 = server.model_duration_ms(0, 100);
+        assert!(d8 > d1, "shared bandwidth must slow transfers");
+        assert!(d100 > d8 + 50.0, "queue penalty must kick in past the cap");
+    }
+
+    #[test]
+    fn request_returns_size_and_counts() {
+        let server = SimServer::new(fast_config());
+        let size = server.request(3);
+        assert_eq!(size, server.page(3).size_kb);
+        assert_eq!(server.requests_served(), 1);
+        assert!(server.sim_ms_total() > 0);
+        assert_eq!(server.active_now(), 0);
+    }
+
+    #[test]
+    fn concurrent_requests_tracked() {
+        let server = std::sync::Arc::new(SimServer::new(ServerConfig {
+            pages: 4,
+            time_scale: 2e-4, // long enough to overlap
+            ..ServerConfig::default()
+        }));
+        let mut joins = Vec::new();
+        for i in 0..4 {
+            let s = std::sync::Arc::clone(&server);
+            joins.push(std::thread::spawn(move || s.request(i)));
+        }
+        for j in joins {
+            let _ = j.join().unwrap();
+        }
+        assert_eq!(server.requests_served(), 4);
+        assert_eq!(server.active_now(), 0);
+    }
+}

@@ -1,0 +1,80 @@
+//! The course-model report: regenerates Figure 1, Figure 2, the
+//! assessment table (T1), the doodle-poll fairness study (E-ALLOC)
+//! and the survey aggregation (E-SURVEY).
+//!
+//! Run with: `cargo run --release --example course_report`
+
+use course::allocation::{fairness_summary, run_poll, AllocationConfig};
+use course::assessment::AssessmentScheme;
+use course::nexus::render_figure1;
+use course::structure::render_figure2;
+use course::survey::softeng751_survey;
+use parc_util::Table;
+
+fn main() {
+    println!("== F1: the research-teaching nexus (Figure 1) ==\n");
+    println!("{}", render_figure1());
+
+    println!("\n== F2: course structure (Figure 2) ==\n");
+    println!("{}", render_figure2());
+
+    println!("== T1: assessment scheme (Section III-C) ==\n");
+    let scheme = AssessmentScheme::softeng751();
+    let mut t = Table::new("assessment", &["component", "weight %", "group work"]);
+    for c in scheme.components() {
+        t.row(&[
+            c.name.to_string(),
+            format!("{:.0}", c.weight),
+            if c.group_work { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "group-work share: {:.0} % (the paper: only 25 % targets individual\n\
+         understanding of lecture material)\n",
+        scheme.group_weight()
+    );
+
+    println!("== E-ALLOC: first-in-first-served doodle poll (Section III-D) ==\n");
+    let outcome = run_poll(&AllocationConfig::default());
+    println!(
+        "one run (20 groups, 10 topics x 2): first-choice {:.0} %, top-3 {:.0} %, mean rank {:.2}",
+        100.0 * outcome.first_choice_rate(),
+        100.0 * outcome.top_k_rate(3),
+        outcome.mean_rank()
+    );
+    let mut t = Table::new(
+        "fairness across 200 arrival orders",
+        &["preference skew", "first-choice %", "top-3 %", "mean rank"],
+    );
+    for skew in [0.0, 1.5, 3.0] {
+        let cfg = AllocationConfig {
+            popularity_skew: skew,
+            ..AllocationConfig::default()
+        };
+        let (first, top3, rank) = fairness_summary(&cfg, 200);
+        t.row(&[
+            format!("{skew:.1}"),
+            format!("{:.1}", 100.0 * first),
+            format!("{:.1}", 100.0 * top3),
+            format!("{rank:.2}"),
+        ]);
+    }
+    println!("{}", t.render());
+
+    println!("== E-SURVEY: Likert evaluation (Section V-A) ==\n");
+    let mut t = Table::new(
+        "student evaluation (synthetic cohort of 60 calibrated to the paper's marginals)",
+        &["question", "agree+ %", "mean /5", "distribution SD..SA"],
+    );
+    for q in softeng751_survey(0x2013) {
+        t.row(&[
+            q.text.clone(),
+            format!("{:.0}", q.agreement_pct()),
+            format!("{:.2}", q.mean_score()),
+            format!("{:?}", q.distribution()),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("paper reports: 95 % / 95 % / 92 % agreement on these three questions.");
+}

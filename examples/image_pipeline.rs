@@ -1,0 +1,75 @@
+//! Project 1 extension: an image-processing pipeline using the filter
+//! set, comparing sequential vs worksharing application — plus the
+//! inverted-index extension of project 4.
+//!
+//! Run with: `cargo run --release --example image_pipeline`
+
+use docsearch::corpus::{generate_tree, CorpusConfig};
+use docsearch::InvertedIndex;
+use imaging::filter::{apply_par, apply_seq, Filter2D};
+use imaging::gen::{generate, Pattern};
+use parc_util::{Stopwatch, Table};
+use softeng751::prelude::*;
+
+fn main() {
+    let team = Team::new(4);
+    let rt = TaskRuntime::builder().workers(4).build();
+
+    // --- Filters over a large synthetic image.
+    let src = generate(Pattern::Plasma, 512, 384, 0xF17);
+    let mut table = Table::new(
+        "image filters on a 512x384 plasma (ms)",
+        &["filter", "sequential", "pyjama", "identical"],
+    );
+    for f in [
+        Filter2D::Grayscale,
+        Filter2D::Brighten(30),
+        Filter2D::BoxBlur(2),
+        Filter2D::SobelEdges,
+        Filter2D::Rotate90,
+    ] {
+        let sw = Stopwatch::start();
+        let seq = apply_seq(&src, f);
+        let seq_ms = sw.elapsed_ms();
+        let sw = Stopwatch::start();
+        let par = apply_par(&team, &src, f);
+        let par_ms = sw.elapsed_ms();
+        table.row(&[
+            f.label(),
+            format!("{seq_ms:.1}"),
+            format!("{par_ms:.1}"),
+            (seq.content_hash() == par.content_hash()).to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+
+    // --- Inverted index: build in parallel, query instantly.
+    let cfg = CorpusConfig {
+        files_per_dir: 12,
+        dirs_per_level: 3,
+        depth: 2,
+        lines_per_file: 80,
+        ..CorpusConfig::default()
+    };
+    let (tree, _) = generate_tree(&cfg);
+    let sw = Stopwatch::start();
+    let index = InvertedIndex::build_par(&rt, &tree);
+    let build_ms = sw.elapsed_ms();
+    println!(
+        "inverted index: {} files, {} distinct tokens, built in {:.1} ms",
+        index.files.len(),
+        index.vocabulary_size(),
+        build_ms
+    );
+    for term in ["parallel", "task", "water"] {
+        println!("  '{}' appears on {} (file,line) pairs", term, index.lookup(term).len());
+    }
+    let both = index.query_and(&["parallel", "task"]);
+    println!(
+        "  files containing BOTH 'parallel' and 'task': {} of {}",
+        both.len(),
+        index.files.len()
+    );
+
+    rt.shutdown();
+}

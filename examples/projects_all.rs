@@ -1,0 +1,27 @@
+//! Run all ten SoftEng 751 project scenarios end to end and print
+//! their reports — the one-command smoke test of the whole
+//! reproduction.
+//!
+//! Run with: `cargo run --release --example projects_all`
+
+use softeng751::{run_project, Engines, ProjectId};
+
+fn main() {
+    let engines = Engines::with_workers(4);
+    let mut failures = 0;
+    for id in ProjectId::all() {
+        let report = run_project(id, &engines);
+        print!("{}", report.render());
+        println!();
+        if !report.ok {
+            failures += 1;
+        }
+    }
+    engines.shutdown();
+    if failures == 0 {
+        println!("all 10 project scenarios passed.");
+    } else {
+        println!("{failures} project scenario(s) FAILED.");
+        std::process::exit(1);
+    }
+}

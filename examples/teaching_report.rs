@@ -1,0 +1,41 @@
+//! Project 8's deliverable: the full memory-model teaching write-up,
+//! regenerated with fresh executed evidence, plus the contribution-
+//! assessment demo (subversion logs + peer evaluations).
+//!
+//! Run with: `cargo run --release --example teaching_report`
+
+use course::repo::{decide_marks, synth_log, MarkDecision, PeerEvaluation};
+use memmodel::report::{build_report, cost_appendix};
+
+fn main() {
+    println!("# Understanding and coping with the memory model\n");
+    println!("(SoftEng 751 project 8 — every evidence line below was just executed)\n");
+    for topic in build_report() {
+        println!("{}", topic.render());
+    }
+    println!("{}", cost_appendix());
+
+    println!("\n# Contribution assessment (Sections III-C / IV-A)\n");
+    for (label, balanced) in [("balanced group", true), ("carried-by-one group", false)] {
+        let log = synth_log(3, 80, balanced, 0x5C3);
+        let peers = if balanced {
+            PeerEvaluation::new(vec![vec![0, 5, 4], vec![5, 0, 5], vec![4, 5, 0]])
+        } else {
+            PeerEvaluation::new(vec![vec![0, 4, 2], vec![5, 0, 2], vec![4, 4, 0]])
+        };
+        let shares: Vec<String> = log.shares().iter().map(|s| format!("{:.0}%", s * 100.0)).collect();
+        println!(
+            "{label}: {} commits, shares [{}], gini {:.2}",
+            log.len(),
+            shares.join(", "),
+            log.gini()
+        );
+        match decide_marks(&log, &peers, 0.3, 3.0) {
+            MarkDecision::Equal => println!("  -> equal marks (the paper: 'in most cases')\n"),
+            MarkDecision::Adjusted(m) => {
+                let mult: Vec<String> = m.iter().map(|x| format!("{x:.2}")).collect();
+                println!("  -> adjusted multipliers [{}]\n", mult.join(", "));
+            }
+        }
+    }
+}

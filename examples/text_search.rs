@@ -1,0 +1,74 @@
+//! Project 4 (experiment E4): parallel string/regex search over a
+//! folder tree with live interim results.
+//!
+//! Run with: `cargo run --release --example text_search`
+
+use docsearch::corpus::{generate_tree, CorpusConfig};
+use docsearch::{search_folder, Match, Query, Regex};
+use parc_util::Table;
+use softeng751::prelude::*;
+
+fn main() {
+    let rt = TaskRuntime::builder().workers(4).build();
+    let gui = EventLoop::spawn();
+
+    let cfg = CorpusConfig {
+        files_per_dir: 10,
+        dirs_per_level: 3,
+        depth: 2,
+        lines_per_file: 60,
+        needle: "concurrency bug".into(),
+        needle_rate: 0.01,
+        ..CorpusConfig::default()
+    };
+    let (tree, planted) = generate_tree(&cfg);
+    println!(
+        "corpus: {} files, {} KB, {} planted occurrences of {:?}\n",
+        tree.file_count(),
+        tree.total_bytes() / 1024,
+        planted,
+        cfg.needle
+    );
+
+    // Live results marshalled to the EDT, like the GUI list filling in.
+    let (tx, rx) = interim_channel::<Match>();
+    let shown = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    let shown2 = std::sync::Arc::clone(&shown);
+    rx.forward_to_gui(&gui.handle(), move |m| {
+        let n = shown2.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        if n < 5 {
+            println!("  [live] {}:{} col {}", m.path, m.line_no, m.column);
+        }
+    });
+
+    let report = search_folder(&rt, &tree, &Query::literal(&cfg.needle), Some(&tx), None);
+    gui.handle().drain();
+    println!(
+        "\nliteral search: {} matches in {} files (expected {planted}), {} streamed live",
+        report.matches.len(),
+        report.files_searched,
+        shown.load(std::sync::atomic::Ordering::Relaxed)
+    );
+
+    // Regex query over the same corpus.
+    let regex = Regex::new(r"parallel (task|core)").expect("valid pattern");
+    let re_report = search_folder(&rt, &tree, &Query::regex(regex), None, None);
+    let mut table = Table::new("E4: query comparison", &["query", "matches"]);
+    table.row(&[format!("literal {:?}", cfg.needle), report.matches.len().to_string()]);
+    table.row(&["regex 'parallel (task|core)'".to_string(), re_report.matches.len().to_string()]);
+    println!("\n{}", table.render());
+
+    // Cancellation path: a pre-cancelled search does no work.
+    let cancel = CancelToken::new();
+    cancel.cancel();
+    let cancelled = search_folder(&rt, &tree, &Query::literal("x"), None, Some(&cancel));
+    println!(
+        "cancelled search visited {} files and returned {} matches (cancelled = {})",
+        cancelled.files_searched,
+        cancelled.matches.len(),
+        cancelled.cancelled
+    );
+
+    rt.shutdown();
+    gui.shutdown();
+}

@@ -1,0 +1,59 @@
+//! Project 10 (experiment E10): how many concurrent connections?
+//!
+//! Downloads a simulated page set with pool sizes 1..64 and prints the
+//! measured wall time next to the analytic model's prediction: both
+//! fall steeply, bottom out, and rise again once connections oversubscribe
+//! the server — the project's research answer.
+//!
+//! Run with: `cargo run --release --example web_fetch`
+
+use std::sync::Arc;
+
+use parc_util::Table;
+use softeng751::prelude::*;
+use websim::{fetch_all, predict_fetch_sim_ms, ServerConfig, SimServer};
+
+fn main() {
+    let sizes = [1usize, 2, 4, 8, 16, 24, 32, 48, 64];
+    let rt = TaskRuntime::builder()
+        .workers(*sizes.iter().max().unwrap())
+        .build();
+    let server = Arc::new(SimServer::new(ServerConfig {
+        pages: 200,
+        time_scale: 1e-5, // 10 µs wall per simulated ms
+        ..ServerConfig::default()
+    }));
+    println!(
+        "server: {} pages, rtt {:?} ms, bandwidth {} KB/ms, {} connection slots\n",
+        server.page_count(),
+        server.config().rtt_range,
+        server.config().bandwidth_kb_per_ms,
+        server.config().max_concurrent
+    );
+
+    let mut table = Table::new(
+        "E10: connection-count sweep",
+        &["connections", "measured ms", "model sim-ms", "KB/s"],
+    );
+    let mut best = (0usize, f64::INFINITY);
+    for &k in &sizes {
+        let report = fetch_all(&rt, &server, k);
+        let wall_ms = report.elapsed.as_secs_f64() * 1e3;
+        if wall_ms < best.1 {
+            best = (k, wall_ms);
+        }
+        table.row(&[
+            k.to_string(),
+            format!("{wall_ms:.1}"),
+            format!("{:.0}", predict_fetch_sim_ms(&server, k)),
+            format!("{:.0}", report.kb_per_sec()),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "optimal pool size ~= {} connections ({}.1 ms); too few leaves the link idle,\n\
+         too many splits bandwidth thin and trips the server's queue penalty.",
+        best.0, best.1 as u64
+    );
+    rt.shutdown();
+}

@@ -1,0 +1,120 @@
+//! Determinism guarantees: every workload generator and every
+//! fixed-structure parallel computation reproduces bit-for-bit from
+//! its seed. This is what makes EXPERIMENTS.md regenerable.
+
+use std::sync::Arc;
+
+use softeng751::prelude::*;
+
+#[test]
+fn workload_generators_reproduce() {
+    // Images.
+    let a = imaging::gen::generate_folder(5, 16, 32, 42);
+    let b = imaging::gen::generate_folder(5, 16, 32, 42);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.content_hash(), y.content_hash());
+    }
+    // Text corpora.
+    let cfg = docsearch::corpus::CorpusConfig::default();
+    assert_eq!(
+        docsearch::corpus::generate_tree(&cfg).1,
+        docsearch::corpus::generate_tree(&cfg).1
+    );
+    // Graphs.
+    let g1 = kernels::graph::CsrGraph::random(100, 300, 9);
+    let g2 = kernels::graph::CsrGraph::random(100, 300, 9);
+    assert_eq!(g1.num_edges(), g2.num_edges());
+    for v in 0..100 {
+        assert_eq!(g1.neighbours(v), g2.neighbours(v));
+    }
+    // Sort inputs.
+    assert_eq!(parsort::data::random(1000, 7), parsort::data::random(1000, 7));
+    // Web pages.
+    let s1 = websim::SimServer::new(websim::ServerConfig::default());
+    let s2 = websim::SimServer::new(websim::ServerConfig::default());
+    for p in 0..s1.page_count() {
+        assert_eq!(s1.page(p), s2.page(p));
+    }
+}
+
+#[test]
+fn parallel_results_thread_count_invariant() {
+    // Fixed-structure parallel computations must not depend on the
+    // number of threads executing them.
+    let input = parsort::data::random(20_000, 3);
+
+    let sorted_by = |workers: usize| {
+        let rt = TaskRuntime::builder().workers(workers).build();
+        let mut v = input.clone();
+        parsort::quicksort_partask(&rt, &mut v);
+        rt.shutdown();
+        v
+    };
+    assert_eq!(sorted_by(1), sorted_by(4));
+
+    let team1 = Team::new(1);
+    let team4 = Team::new(4);
+    let signal = kernels::fft::test_signal(512, 5);
+    let mut f1 = signal.clone();
+    kernels::fft::fft_par(&team1, &mut f1);
+    let mut f4 = signal;
+    kernels::fft::fft_par(&team4, &mut f4);
+    for (a, b) in f1.iter().zip(&f4) {
+        assert_eq!(a.re.to_bits(), b.re.to_bits(), "FFT must be bit-identical");
+        assert_eq!(a.im.to_bits(), b.im.to_bits());
+    }
+
+    // Monte Carlo with blocked streams: bitwise identical across team
+    // sizes.
+    let mc1 = kernels::montecarlo::pi_monte_carlo_par(&team1, 50_000, 11, 8);
+    let mc4 = kernels::montecarlo::pi_monte_carlo_par(&team4, 50_000, 11, 8);
+    assert_eq!(mc1.to_bits(), mc4.to_bits());
+}
+
+#[test]
+fn static_schedule_reductions_are_deterministic() {
+    // Static scheduling + thread-ordered combining = reproducible
+    // floating-point sums for a fixed team size.
+    let team = Team::new(3);
+    let data: Vec<f64> = (0..10_000).map(|i| (f64::from(i as u32)).sin()).collect();
+    let a = team.par_reduce(0..data.len(), Schedule::Static, &SumRed, |i| data[i]);
+    let b = team.par_reduce(0..data.len(), Schedule::Static, &SumRed, |i| data[i]);
+    assert_eq!(a.to_bits(), b.to_bits());
+}
+
+#[test]
+fn course_simulations_reproduce() {
+    let cfg = course::AllocationConfig::default();
+    let a = course::run_poll(&cfg);
+    let b = course::run_poll(&cfg);
+    assert_eq!(a.assignment, b.assignment);
+    assert_eq!(a.choice_rank, b.choice_rank);
+
+    let s1 = course::survey::softeng751_survey(1);
+    let s2 = course::survey::softeng751_survey(1);
+    for (x, y) in s1.iter().zip(&s2) {
+        assert_eq!(x.responses, y.responses);
+    }
+}
+
+#[test]
+fn paged_search_reports_reproduce() {
+    use docsearch::{search_documents, Granularity, Query};
+    let cfg = docsearch::corpus::CorpusConfig::default();
+    let (docs, _) = docsearch::corpus::generate_documents(8, 4, 8, &cfg);
+    let docs = Arc::new(docs);
+    let mut runs = Vec::new();
+    for _ in 0..2 {
+        let rt = TaskRuntime::builder().workers(3).build();
+        let report = search_documents(
+            &rt,
+            &docs,
+            &Query::literal(&cfg.needle),
+            Granularity::PerPage,
+            None,
+        );
+        runs.push(report.hits);
+        rt.shutdown();
+    }
+    assert_eq!(runs[0], runs[1]);
+}

@@ -1,0 +1,224 @@
+//! Property-based tests (proptest) over the core invariants of the
+//! workspace: sorting, reductions, statistics, regex, scheduling and
+//! image resizing.
+
+use proptest::prelude::*;
+
+use softeng751::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // --- sorting --------------------------------------------------
+
+    #[test]
+    fn quicksort_seq_matches_std(mut v in prop::collection::vec(any::<u64>(), 0..2000)) {
+        let mut expected = v.clone();
+        expected.sort_unstable();
+        parsort::quicksort_seq(&mut v);
+        prop_assert_eq!(v, expected);
+    }
+
+    #[test]
+    fn mergesort_matches_std(v in prop::collection::vec(any::<i64>(), 0..1500)) {
+        let mut expected = v.clone();
+        expected.sort();
+        let mut actual = v;
+        parsort::mergesort::mergesort_seq(&mut actual);
+        prop_assert_eq!(actual, expected);
+    }
+
+    // --- statistics -----------------------------------------------
+
+    #[test]
+    fn welford_matches_batch(v in prop::collection::vec(-1e6f64..1e6, 1..500)) {
+        let batch = parc_util::Summary::from_samples(&v);
+        let mut online = parc_util::Welford::new();
+        for &x in &v {
+            online.push(x);
+        }
+        prop_assert!((online.mean() - batch.mean()).abs() < 1e-6);
+        prop_assert!((online.stddev() - batch.stddev()).abs() < 1e-5);
+        prop_assert_eq!(online.min(), batch.min());
+        prop_assert_eq!(online.max(), batch.max());
+    }
+
+    #[test]
+    fn welford_merge_is_order_independent(
+        a in prop::collection::vec(-1e3f64..1e3, 0..200),
+        b in prop::collection::vec(-1e3f64..1e3, 0..200),
+    ) {
+        prop_assume!(!a.is_empty() || !b.is_empty());
+        let mut ab = parc_util::Welford::new();
+        for &x in a.iter().chain(&b) {
+            ab.push(x);
+        }
+        let mut wa = parc_util::Welford::new();
+        for &x in &a {
+            wa.push(x);
+        }
+        let mut wb = parc_util::Welford::new();
+        for &x in &b {
+            wb.push(x);
+        }
+        wa.merge(&wb);
+        prop_assert_eq!(wa.count(), ab.count());
+        prop_assert!((wa.mean() - ab.mean()).abs() < 1e-9);
+        prop_assert!((wa.variance() - ab.variance()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn percentiles_are_monotone(v in prop::collection::vec(-1e4f64..1e4, 1..300)) {
+        let s = parc_util::Summary::from_samples(&v);
+        let mut last = f64::NEG_INFINITY;
+        for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+            let q = s.percentile(p);
+            prop_assert!(q >= last, "percentile({p}) = {q} < {last}");
+            last = q;
+        }
+        prop_assert_eq!(s.percentile(0.0), s.min());
+        prop_assert_eq!(s.percentile(100.0), s.max());
+    }
+
+    // --- PRNG -----------------------------------------------------
+
+    #[test]
+    fn next_below_always_in_range(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut rng = parc_util::Xoshiro256::seed_from_u64(seed);
+        for _ in 0..100 {
+            prop_assert!(rng.next_below(bound) < bound);
+        }
+    }
+
+    #[test]
+    fn shuffle_preserves_multiset(mut v in prop::collection::vec(any::<u32>(), 0..200), seed in any::<u64>()) {
+        let mut expected = v.clone();
+        expected.sort_unstable();
+        let mut rng = parc_util::Xoshiro256::seed_from_u64(seed);
+        rng.shuffle(&mut v);
+        v.sort_unstable();
+        prop_assert_eq!(v, expected);
+    }
+
+    // --- pyjama reductions -----------------------------------------
+
+    #[test]
+    fn parallel_sum_matches_sequential(v in prop::collection::vec(0u64..1_000_000, 1..500)) {
+        let team = Team::new(3);
+        let expected: u64 = v.iter().sum();
+        let actual = team.par_sum(0..v.len(), Schedule::Dynamic(7), |i| v[i]);
+        prop_assert_eq!(actual, expected);
+    }
+
+    #[test]
+    fn vec_concat_static_preserves_order(n in 1usize..400, threads in 1usize..5) {
+        let team = Team::new(threads);
+        let out: Vec<usize> = team.par_reduce(0..n, Schedule::Static, &VecConcat::new(), |i| vec![i]);
+        prop_assert_eq!(out, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn min_max_reductions_bracket_data(v in prop::collection::vec(any::<i64>(), 1..300)) {
+        let team = Team::new(2);
+        let min = team.par_reduce(0..v.len(), Schedule::Guided(3), &MinRed, |i| v[i]);
+        let max = team.par_reduce(0..v.len(), Schedule::Guided(3), &MaxRed, |i| v[i]);
+        prop_assert_eq!(min, *v.iter().min().unwrap());
+        prop_assert_eq!(max, *v.iter().max().unwrap());
+        prop_assert!(min <= max);
+    }
+
+    // --- regex-lite -------------------------------------------------
+
+    #[test]
+    fn literal_regex_agrees_with_str_find(
+        needle in "[a-z]{1,6}",
+        haystack in "[a-z ]{0,60}",
+    ) {
+        let re = docsearch::Regex::new(&needle).unwrap();
+        prop_assert_eq!(re.is_match(&haystack), haystack.contains(&needle));
+        if let Some((start, len)) = re.find(&haystack) {
+            prop_assert_eq!(haystack.find(&needle), Some(start));
+            prop_assert_eq!(len, needle.len());
+        }
+    }
+
+    #[test]
+    fn regex_find_all_matches_count_literal(
+        needle in "[ab]{1,3}",
+        haystack in "[abc]{0,50}",
+    ) {
+        // Compare non-overlapping counts with the std matcher.
+        let re = docsearch::Regex::new(&needle).unwrap();
+        let expected = haystack.matches(&needle).count();
+        prop_assert_eq!(re.find_all(&haystack).len(), expected);
+    }
+
+    // --- imaging -----------------------------------------------------
+
+    #[test]
+    fn resize_dimensions_always_requested(
+        sw in 1u32..64, sh in 1u32..64, dw in 1u32..32, dh in 1u32..32, seed in any::<u64>(),
+    ) {
+        let src = imaging::gen::generate(imaging::gen::Pattern::Plasma, sw, sh, seed);
+        for f in [imaging::Filter::Nearest, imaging::Filter::Bilinear, imaging::Filter::BoxAverage] {
+            let out = imaging::resize(&src, dw, dh, f);
+            prop_assert_eq!((out.width(), out.height()), (dw, dh));
+        }
+    }
+
+    // --- course ------------------------------------------------------
+
+    #[test]
+    fn poll_always_respects_capacity(
+        groups in 1usize..=20,
+        skew in 0.0f64..4.0,
+        seed in any::<u64>(),
+    ) {
+        let cfg = course::AllocationConfig {
+            groups,
+            popularity_skew: skew,
+            seed,
+            ..course::AllocationConfig::default()
+        };
+        let outcome = course::run_poll(&cfg);
+        let mut per_topic = vec![0usize; 10];
+        for &t in &outcome.assignment {
+            per_topic[t] += 1;
+        }
+        prop_assert!(per_topic.iter().all(|&c| c <= 2));
+        prop_assert_eq!(outcome.assignment.len(), groups);
+        prop_assert!(outcome.first_choice_rate() <= 1.0);
+    }
+
+    // --- kernels ------------------------------------------------------
+
+    #[test]
+    fn spmv_linear_in_x(scale in -4.0f64..4.0, seed in any::<u64>()) {
+        // A(scale * x) == scale * A(x)
+        let a = kernels::sparse::CsrMatrix::random_skewed(30, 20, 3, 1.0, seed);
+        let x: Vec<f64> = (0..20).map(|i| f64::from(i as u32) * 0.1 - 1.0).collect();
+        let xs: Vec<f64> = x.iter().map(|v| v * scale).collect();
+        let y1 = kernels::sparse::spmv_seq(&a, &xs);
+        let y2: Vec<f64> = kernels::sparse::spmv_seq(&a, &x).iter().map(|v| v * scale).collect();
+        for (u, v) in y1.iter().zip(&y2) {
+            prop_assert!((u - v).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn bfs_levels_are_valid_distances(n in 2usize..60, m in 1usize..200, seed in any::<u64>()) {
+        let g = kernels::graph::CsrGraph::random(n, m, seed);
+        let levels = kernels::graph::bfs_seq(&g, 0);
+        prop_assert_eq!(levels[0], 0);
+        // Every edge (u, v) with u reachable must satisfy
+        // level(v) <= level(u) + 1 (triangle inequality of BFS).
+        for u in 0..n {
+            if levels[u] == u32::MAX {
+                continue;
+            }
+            for &v in g.neighbours(u) {
+                prop_assert!(levels[v as usize] <= levels[u] + 1);
+            }
+        }
+    }
+}
