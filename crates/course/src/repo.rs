@@ -210,7 +210,7 @@ pub fn decide_marks(
             } else {
                 // Under-contributor on both signals: scale by how far
                 // below the fair share they fell, floored at 0.5.
-                (0.5 + share / fair).min(1.0).max(0.5)
+                (0.5 + share / fair).clamp(0.5, 1.0)
             }
         })
         .collect();

@@ -1,0 +1,176 @@
+//! A consecutive-failure circuit breaker with half-open probing.
+
+use parking_lot::Mutex;
+
+/// Observable breaker state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Requests flow normally.
+    Closed,
+    /// Requests are rejected while the dependency cools down.
+    Open,
+    /// One probe request is allowed through to test recovery.
+    HalfOpen,
+}
+
+#[derive(Debug)]
+struct Inner {
+    state: BreakerState,
+    consecutive_failures: u32,
+    /// Calls denied since the breaker opened (cooldown progress).
+    denied: u32,
+    /// Is the half-open probe currently in flight?
+    probing: bool,
+}
+
+/// Trips open after `threshold` consecutive failures; after
+/// `cooldown_calls` denied requests it half-opens and admits a single
+/// probe. A successful probe closes the breaker, a failed one re-opens
+/// it for another full cooldown.
+///
+/// Cooldown is counted in *denied calls* rather than elapsed time, so
+/// behaviour under a deterministic fault plan is itself deterministic
+/// (no wall-clock dependence). Thread-safe: all methods take `&self`.
+#[derive(Debug)]
+pub struct Breaker {
+    threshold: u32,
+    cooldown_calls: u32,
+    inner: Mutex<Inner>,
+}
+
+impl Breaker {
+    /// A breaker tripping after `threshold` consecutive failures and
+    /// cooling down over `cooldown_calls` denied requests.
+    #[must_use]
+    pub fn new(threshold: u32, cooldown_calls: u32) -> Self {
+        assert!(threshold >= 1, "threshold must be at least 1");
+        Self {
+            threshold,
+            cooldown_calls,
+            inner: Mutex::new(Inner {
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                denied: 0,
+                probing: false,
+            }),
+        }
+    }
+
+    /// May a request proceed right now? Denials advance the cooldown.
+    pub fn allow(&self) -> bool {
+        let mut g = self.inner.lock();
+        match g.state {
+            BreakerState::Closed => true,
+            BreakerState::Open => {
+                g.denied += 1;
+                if g.denied >= self.cooldown_calls {
+                    g.state = BreakerState::HalfOpen;
+                    g.probing = false;
+                }
+                false
+            }
+            BreakerState::HalfOpen => {
+                if g.probing {
+                    false
+                } else {
+                    g.probing = true;
+                    true
+                }
+            }
+        }
+    }
+
+    /// Record that an admitted request succeeded.
+    pub fn record_success(&self) {
+        let mut g = self.inner.lock();
+        g.state = BreakerState::Closed;
+        g.consecutive_failures = 0;
+        g.denied = 0;
+        g.probing = false;
+    }
+
+    /// Record that an admitted request failed.
+    pub fn record_failure(&self) {
+        let mut g = self.inner.lock();
+        match g.state {
+            BreakerState::HalfOpen => {
+                // Failed probe: straight back to a full cooldown.
+                g.state = BreakerState::Open;
+                g.denied = 0;
+                g.probing = false;
+            }
+            BreakerState::Closed => {
+                g.consecutive_failures += 1;
+                if g.consecutive_failures >= self.threshold {
+                    g.state = BreakerState::Open;
+                    g.denied = 0;
+                }
+            }
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Current state.
+    #[must_use]
+    pub fn state(&self) -> BreakerState {
+        self.inner.lock().state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_until_threshold() {
+        let b = Breaker::new(3, 5);
+        assert!(b.allow());
+        b.record_failure();
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow());
+    }
+
+    #[test]
+    fn success_resets_failure_streak() {
+        let b = Breaker::new(2, 5);
+        b.record_failure();
+        b.record_success();
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn cooldown_leads_to_half_open_probe() {
+        let b = Breaker::new(1, 3);
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        // Three denials complete the cooldown.
+        assert!(!b.allow());
+        assert!(!b.allow());
+        assert!(!b.allow());
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // Exactly one probe gets through.
+        assert!(b.allow());
+        assert!(!b.allow());
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.allow());
+    }
+
+    #[test]
+    fn failed_probe_reopens() {
+        let b = Breaker::new(1, 1);
+        b.record_failure();
+        assert!(!b.allow()); // cooldown done → HalfOpen
+        assert!(b.allow()); // probe admitted
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow()); // cooldown done again → HalfOpen
+        assert!(b.allow());
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+}

@@ -38,18 +38,21 @@ impl Complex {
 
     /// Complex addition.
     #[must_use]
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, other: Self) -> Self {
         Self::new(self.re + other.re, self.im + other.im)
     }
 
     /// Complex subtraction.
     #[must_use]
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, other: Self) -> Self {
         Self::new(self.re - other.re, self.im - other.im)
     }
 
     /// Complex multiplication.
     #[must_use]
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, other: Self) -> Self {
         Self::new(
             self.re * other.re - self.im * other.im,
@@ -74,7 +77,7 @@ fn bit_reverse_permute(data: &mut [Complex]) {
     let n = data.len();
     let bits = n.trailing_zeros();
     for i in 0..n {
-        let j = (i.reverse_bits() >> (usize::BITS - bits)) as usize;
+        let j = i.reverse_bits() >> (usize::BITS - bits);
         if i < j {
             data.swap(i, j);
         }
@@ -148,9 +151,9 @@ unsafe impl Sync for SharedSlice {}
 impl SharedSlice {
     /// SAFETY: caller guarantees `idx` is accessed by exactly one
     /// thread during the current stage.
-    unsafe fn get(&self, idx: usize) -> &mut Complex {
+    unsafe fn get(&self, idx: usize) -> *mut Complex {
         debug_assert!(idx < self.1);
-        &mut *self.0.add(idx)
+        self.0.add(idx)
     }
 }
 
@@ -178,7 +181,7 @@ fn fft_dir_par(team: &Team, data: &mut [Complex], inverse: bool) {
                 // groups are disjoint within a stage.
                 unsafe {
                     let a = *shared_ref.get(start + k);
-                    let b = shared_ref.get(start + k + half).mul(w);
+                    let b = (*shared_ref.get(start + k + half)).mul(w);
                     *shared_ref.get(start + k) = a.add(b);
                     *shared_ref.get(start + k + half) = a.sub(b);
                 }

@@ -186,10 +186,10 @@ pub fn pagerank_seq(g: &CsrGraph, d: f64, iters: usize) -> Vec<f64> {
         let dangling: f64 = (0..n).filter(|&u| g.degree(u) == 0).map(|u| rank[u]).sum();
         let base = (1.0 - d) / n as f64 + d * dangling / n as f64;
         next.iter_mut().for_each(|x| *x = base);
-        for u in 0..n {
+        for (u, r) in rank.iter().enumerate() {
             let deg = g.degree(u);
             if deg > 0 {
-                let share = d * rank[u] / deg as f64;
+                let share = d * r / deg as f64;
                 for &v in g.neighbours(u) {
                     next[v as usize] += share;
                 }

@@ -91,10 +91,10 @@ impl<T: Send + 'static> MultiHandle<T> {
     pub fn join_reduce<A>(
         self,
         init: A,
-        mut fold: impl FnMut(A, T) -> A,
+        fold: impl FnMut(A, T) -> A,
     ) -> Result<A, TaskError> {
         let values = self.join_all()?;
-        Ok(values.into_iter().fold(init, |acc, v| fold(acc, v)))
+        Ok(values.into_iter().fold(init, fold))
     }
 
     /// Watchers for every instance, e.g. to make another task depend

@@ -5,7 +5,7 @@ use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Weak};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
@@ -29,6 +29,13 @@ pub struct RuntimeStats {
     pub steals: u64,
     /// Jobs executed by helping joiners rather than pool workers.
     pub helped: u64,
+    /// Tasks that resolved to [`crate::TaskError::Cancelled`] without
+    /// running their body.
+    pub cancelled: u64,
+    /// Deadline expirations: tasks whose [`TaskRuntime::spawn_deadline`]
+    /// budget elapsed before they finished (each also requests
+    /// cooperative cancellation).
+    pub timed_out: u64,
 }
 
 pub(crate) struct RtInner {
@@ -44,6 +51,31 @@ pub(crate) struct RtInner {
     spawned: AtomicU64,
     executed: AtomicU64,
     helped: AtomicU64,
+    cancelled: AtomicU64,
+    timed_out: AtomicU64,
+    deadlines: DeadlineWatch,
+}
+
+/// One task registered with the deadline watchdog.
+struct DeadlineEntry {
+    due: Instant,
+    token: CancelToken,
+    finished: Arc<dyn Fn() -> bool + Send + Sync>,
+}
+
+#[derive(Default)]
+struct DeadlineState {
+    entries: Vec<DeadlineEntry>,
+    watcher_running: bool,
+    shutdown: bool,
+}
+
+/// Shared state of the lazily-started watchdog thread that enforces
+/// [`TaskRuntime::spawn_deadline`] budgets by cancelling overdue tasks.
+#[derive(Default)]
+struct DeadlineWatch {
+    state: Mutex<DeadlineState>,
+    cv: Condvar,
 }
 
 thread_local! {
@@ -114,6 +146,9 @@ impl Builder {
             spawned: AtomicU64::new(0),
             executed: AtomicU64::new(0),
             helped: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            timed_out: AtomicU64::new(0),
+            deadlines: DeadlineWatch::default(),
         });
         let mut joiners = Vec::with_capacity(self.workers);
         for (index, local) in locals.into_iter().enumerate() {
@@ -225,6 +260,84 @@ impl RtInner {
             self.quiescent_cv.notify_all();
         }
     }
+
+    /// Register a task with the deadline watchdog, starting the
+    /// watchdog thread on first use.
+    fn register_deadline(self: &Arc<Self>, entry: DeadlineEntry) {
+        let mut st = self.deadlines.state.lock();
+        st.entries.push(entry);
+        if !st.watcher_running {
+            st.watcher_running = true;
+            let weak = Arc::downgrade(self);
+            // Detached: exits on shutdown (or when the runtime drops)
+            // via the shutdown flag set in `stop_deadline_watch`.
+            let _ = thread::Builder::new()
+                .name("partask-deadline".to_string())
+                .spawn(move || deadline_watch_loop(&weak));
+        }
+        drop(st);
+        self.deadlines.cv.notify_all();
+    }
+
+    /// Tell the watchdog to exit (idempotent).
+    fn stop_deadline_watch(&self) {
+        let mut st = self.deadlines.state.lock();
+        st.shutdown = true;
+        drop(st);
+        self.deadlines.cv.notify_all();
+    }
+}
+
+/// Watchdog body: sleep until the earliest registered deadline, then
+/// cancel every overdue, unfinished task and count it as timed out.
+fn deadline_watch_loop(weak: &Weak<RtInner>) {
+    loop {
+        let Some(inner) = weak.upgrade() else { return };
+        let mut st = inner.deadlines.state.lock();
+        if st.shutdown {
+            st.watcher_running = false;
+            return;
+        }
+        let now = Instant::now();
+        let mut due = Vec::new();
+        let mut i = 0;
+        while i < st.entries.len() {
+            if st.entries[i].finished.as_ref()() {
+                // Completed in time: forget the deadline.
+                st.entries.swap_remove(i);
+            } else if st.entries[i].due <= now {
+                due.push(st.entries.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        if due.is_empty() {
+            let next = st.entries.iter().map(|e| e.due).min();
+            match next {
+                Some(at) => {
+                    let _ = inner.deadlines.cv.wait_until(&mut st, at);
+                }
+                None => {
+                    // Nothing registered: park until a new entry or
+                    // shutdown arrives (bounded for robustness).
+                    let _ = inner
+                        .deadlines
+                        .cv
+                        .wait_for(&mut st, Duration::from_millis(50));
+                }
+            }
+            drop(st);
+            // Drop the strong ref before looping so a dropped runtime
+            // is noticed promptly.
+            drop(inner);
+            continue;
+        }
+        drop(st);
+        for entry in due {
+            entry.token.cancel();
+            inner.timed_out.fetch_add(1, Ordering::Relaxed);
+        }
+    }
 }
 
 /// The Parallel Task worker pool. See the crate docs for an overview.
@@ -282,6 +395,32 @@ impl TaskRuntime {
         f: impl FnOnce(&CancelToken) -> T + Send + 'static,
     ) -> TaskHandle<T> {
         spawn_on(&self.inner, f)
+    }
+
+    /// Spawn a task with an execution budget: when `deadline` elapses
+    /// before the task finishes, its [`CancelToken`] is cancelled by a
+    /// watchdog thread and the expiry is counted in
+    /// [`RuntimeStats::timed_out`].
+    ///
+    /// Cancellation is cooperative, exactly as with
+    /// [`TaskRuntime::spawn_cancellable`]: a body that polls its token
+    /// stops early and decides its own result; a queued task that has
+    /// not started resolves to [`crate::TaskError::Cancelled`]; a body
+    /// that ignores its token runs to completion regardless, and only
+    /// the counter records the overrun.
+    pub fn spawn_deadline<T: Send + 'static>(
+        &self,
+        deadline: Duration,
+        f: impl FnOnce(&CancelToken) -> T + Send + 'static,
+    ) -> TaskHandle<T> {
+        let handle = spawn_on(&self.inner, f);
+        let core = Arc::clone(&handle.core);
+        self.inner.register_deadline(DeadlineEntry {
+            due: Instant::now() + deadline,
+            token: handle.cancel_token(),
+            finished: Arc::new(move || core.is_finished()),
+        });
+        handle
     }
 
     /// Spawn a task that starts only after every watcher in `deps`
@@ -347,6 +486,8 @@ impl TaskRuntime {
             global_pops: inner.counters.global_pops.load(Ordering::Relaxed),
             steals: inner.counters.steals.load(Ordering::Relaxed),
             helped: inner.helped.load(Ordering::Relaxed),
+            cancelled: inner.cancelled.load(Ordering::Relaxed),
+            timed_out: inner.timed_out.load(Ordering::Relaxed),
         }
     }
 
@@ -358,6 +499,7 @@ impl TaskRuntime {
     fn shutdown_impl(&self) {
         self.wait_quiescent();
         self.inner.stop.store(true, Ordering::Release);
+        self.inner.stop_deadline_watch();
         self.inner.wake_all();
         let joiners = std::mem::take(&mut *self.joiners.lock());
         let self_id = thread::current().id();
@@ -468,9 +610,12 @@ pub(crate) fn spawn_on<T: Send + 'static>(
     let job_core = Arc::clone(&core);
     let job_inner = Arc::downgrade(inner);
     let job: Job = Box::new(move || {
-        job_core.run(f);
+        let was_cancelled = job_core.run(f);
         if let Some(inner) = job_inner.upgrade() {
             inner.executed.fetch_add(1, Ordering::Relaxed);
+            if was_cancelled {
+                inner.cancelled.fetch_add(1, Ordering::Relaxed);
+            }
             inner.job_finished();
         }
     });
@@ -492,9 +637,12 @@ pub(crate) fn spawn_after_on<T: Send + 'static>(
     let job_core = Arc::clone(&core);
     let job_inner = Arc::downgrade(inner);
     let job: Job = Box::new(move || {
-        job_core.run(f);
+        let was_cancelled = job_core.run(f);
         if let Some(inner) = job_inner.upgrade() {
             inner.executed.fetch_add(1, Ordering::Relaxed);
+            if was_cancelled {
+                inner.cancelled.fetch_add(1, Ordering::Relaxed);
+            }
             inner.job_finished();
         }
     });

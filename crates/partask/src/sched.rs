@@ -24,18 +24,13 @@ use parking_lot::Mutex;
 pub(crate) type Job = Box<dyn FnOnce() + Send>;
 
 /// Which scheduling policy a [`crate::TaskRuntime`] uses.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum SchedulerKind {
     /// Per-worker deques with stealing (default).
+    #[default]
     WorkStealing,
     /// Single shared FIFO queue.
     WorkSharing,
-}
-
-impl Default for SchedulerKind {
-    fn default() -> Self {
-        SchedulerKind::WorkStealing
-    }
 }
 
 /// Counters describing where jobs were found.

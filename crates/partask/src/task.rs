@@ -42,6 +42,10 @@ pub enum TaskError {
     Panicked(String),
     /// The task was cancelled before it started running.
     Cancelled,
+    /// A join deadline elapsed before the task finished. The task has
+    /// been asked to cancel cooperatively, but the joiner stopped
+    /// waiting; the body may still be running.
+    TimedOut,
     /// The result was already taken or was routed to a continuation.
     ResultTaken,
 }
@@ -51,6 +55,7 @@ impl fmt::Display for TaskError {
         match self {
             TaskError::Panicked(msg) => write!(f, "task panicked: {msg}"),
             TaskError::Cancelled => write!(f, "task was cancelled before running"),
+            TaskError::TimedOut => write!(f, "join deadline elapsed before the task finished"),
             TaskError::ResultTaken => write!(f, "task result already taken"),
         }
     }
@@ -125,15 +130,18 @@ impl<T: Send + 'static> Core<T> {
 
     /// Execute the task body (worker side). Checks the cancellation
     /// flag first, contains panics, then completes the future.
-    pub(crate) fn run(self: &Arc<Self>, body: impl FnOnce(&CancelToken) -> T) {
+    /// Returns `true` when the task resolved to `Cancelled` without
+    /// running (so the runtime can count skipped bodies).
+    pub(crate) fn run(self: &Arc<Self>, body: impl FnOnce(&CancelToken) -> T) -> bool {
         if self.cancel.is_cancelled() {
             self.complete(Err(TaskError::Cancelled));
-            return;
+            return true;
         }
         let token = self.cancel.clone();
         let outcome = catch_unwind(AssertUnwindSafe(|| body(&token)));
         let result = outcome.map_err(|payload| TaskError::Panicked(panic_message(&*payload)));
         self.complete(result);
+        false
     }
 
     /// Resolve the future: route the result to a pre-registered
@@ -292,6 +300,35 @@ impl<T: Send + 'static> TaskHandle<T> {
             }
         } else {
             self.core.wait_blocking();
+        }
+    }
+
+    /// Block until the task completes or `timeout` elapses.
+    ///
+    /// On completion the result is returned as with
+    /// [`TaskHandle::join`]. On expiry the task is asked to cancel
+    /// cooperatively (its [`CancelToken`] flips) and
+    /// [`TaskError::TimedOut`] is returned — a body that never checks
+    /// its token keeps running detached, but the joiner is free.
+    ///
+    /// Unlike [`TaskHandle::join`], a bounded join never *helps* (runs
+    /// queued tasks while waiting): a helped job of arbitrary length
+    /// would blow the deadline — and helping can even pull in the
+    /// joined task itself, whose body may be waiting on this very
+    /// timeout to cancel it. The timeout alone keeps a bounded pool
+    /// deadlock-free: every such join returns by its deadline.
+    pub fn join_timeout(self, timeout: std::time::Duration) -> Result<T, TaskError> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            if self.core.is_finished() {
+                return self.core.take_result();
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                self.cancel();
+                return Err(TaskError::TimedOut);
+            }
+            let _ = self.core.wait_timeout(deadline - now);
         }
     }
 

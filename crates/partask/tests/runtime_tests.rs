@@ -440,3 +440,97 @@ fn heavy_spawn_storm_completes() {
     assert_eq!(counter.load(Ordering::Relaxed), 400);
     rt.shutdown();
 }
+
+#[test]
+fn join_timeout_returns_value_when_fast_enough() {
+    let rt = TaskRuntime::builder().workers(2).build();
+    let t = rt.spawn(|| 6 * 7);
+    assert_eq!(t.join_timeout(Duration::from_secs(5)).unwrap(), 42);
+    rt.shutdown();
+}
+
+#[test]
+fn join_timeout_expires_and_cancels() {
+    let rt = TaskRuntime::builder().workers(2).build();
+    let released = Arc::new(AtomicUsize::new(0));
+    let t = rt.spawn_cancellable({
+        let released = Arc::clone(&released);
+        move |token| {
+            // Cooperative slow loop: spins until cancelled.
+            while !token.is_cancelled() {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            released.fetch_add(1, Ordering::SeqCst);
+        }
+    });
+    let token = t.cancel_token();
+    assert_eq!(
+        t.join_timeout(Duration::from_millis(20)),
+        Err(TaskError::TimedOut)
+    );
+    assert!(token.is_cancelled(), "expiry must request cancellation");
+    rt.shutdown(); // waits for the (now-released) body to finish
+    assert_eq!(released.load(Ordering::SeqCst), 1);
+}
+
+#[test]
+fn spawn_deadline_cancels_overdue_task() {
+    let rt = TaskRuntime::builder().workers(2).build();
+    let t = rt.spawn_deadline(Duration::from_millis(15), |token| {
+        let mut polls = 0u64;
+        while !token.is_cancelled() {
+            std::thread::sleep(Duration::from_millis(1));
+            polls += 1;
+            assert!(polls < 10_000, "deadline never fired");
+        }
+        "stopped early"
+    });
+    assert_eq!(t.join().unwrap(), "stopped early");
+    let stats = rt.stats();
+    assert_eq!(stats.timed_out, 1, "watchdog must count the expiry");
+    rt.shutdown();
+}
+
+#[test]
+fn spawn_deadline_is_free_for_fast_tasks() {
+    let rt = TaskRuntime::builder().workers(2).build();
+    for i in 0..20 {
+        let t = rt.spawn_deadline(Duration::from_secs(10), move |_| i * 2);
+        assert_eq!(t.join().unwrap(), i * 2);
+    }
+    let stats = rt.stats();
+    assert_eq!(stats.timed_out, 0);
+    rt.shutdown();
+}
+
+#[test]
+fn stats_count_cancelled_tasks() {
+    let rt = TaskRuntime::builder().workers(1).build();
+    // Occupy the single worker so queued tasks can be cancelled
+    // before starting.
+    let gate = Arc::new(AtomicUsize::new(0));
+    let blocker = rt.spawn({
+        let gate = Arc::clone(&gate);
+        move || {
+            while gate.load(Ordering::SeqCst) == 0 {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+    });
+    let doomed: Vec<_> = (0..5).map(|_| rt.spawn(|| ())).collect();
+    for t in &doomed {
+        t.cancel();
+    }
+    gate.store(1, Ordering::SeqCst);
+    blocker.join().unwrap();
+    let mut cancelled = 0;
+    for t in doomed {
+        if t.join() == Err(TaskError::Cancelled) {
+            cancelled += 1;
+        }
+    }
+    rt.wait_quiescent();
+    assert_eq!(rt.stats().cancelled, cancelled);
+    assert!(cancelled > 0, "at least one queued task must be cancelled");
+    rt.shutdown();
+}

@@ -8,9 +8,16 @@
 
 use parking_lot::{Condvar, Mutex};
 
+/// Error returned by [`Barrier::try_wait`] once the barrier has been
+/// [poisoned](Barrier::poison): some participant cannot arrive (it
+/// panicked), so waiting for it would deadlock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BarrierPoisoned;
+
 struct State {
     arrived: usize,
     generation: u64,
+    poisoned: bool,
 }
 
 /// Reusable barrier for a fixed number of participants.
@@ -30,6 +37,7 @@ impl Barrier {
             state: Mutex::new(State {
                 arrived: 0,
                 generation: 0,
+                poisoned: false,
             }),
             cv: Condvar::new(),
         }
@@ -44,11 +52,26 @@ impl Barrier {
     /// Block until all `n` participants have called `wait` for this
     /// generation. Returns `true` on exactly one participant (the
     /// last to arrive), like `std::sync::Barrier`'s leader flag.
+    ///
+    /// Panics if the barrier has been [poisoned](Barrier::poison);
+    /// callers that need to observe poisoning gracefully should use
+    /// [`Barrier::try_wait`].
     pub fn wait(&self) -> bool {
-        if self.n == 1 {
-            return true;
-        }
+        self.try_wait()
+            .expect("barrier poisoned: a participant panicked and cannot arrive")
+    }
+
+    /// Like [`Barrier::wait`], but returns `Err(BarrierPoisoned)`
+    /// instead of blocking forever (or panicking) when the barrier is
+    /// — or becomes, while this thread waits — poisoned.
+    pub fn try_wait(&self) -> Result<bool, BarrierPoisoned> {
         let mut st = self.state.lock();
+        if st.poisoned {
+            return Err(BarrierPoisoned);
+        }
+        if self.n == 1 {
+            return Ok(true);
+        }
         let gen = st.generation;
         st.arrived += 1;
         if st.arrived == self.n {
@@ -56,13 +79,33 @@ impl Barrier {
             st.generation += 1;
             drop(st);
             self.cv.notify_all();
-            true
+            Ok(true)
         } else {
-            while st.generation == gen {
+            while st.generation == gen && !st.poisoned {
                 self.cv.wait(&mut st);
             }
-            false
+            if st.generation == gen {
+                // Woken by poisoning, not by the last arrival.
+                Err(BarrierPoisoned)
+            } else {
+                Ok(false)
+            }
         }
+    }
+
+    /// Permanently poison the barrier: every current and future
+    /// waiter observes `Err(BarrierPoisoned)` from
+    /// [`Barrier::try_wait`]. Called when a participant panics and
+    /// will therefore never arrive.
+    pub fn poison(&self) {
+        self.state.lock().poisoned = true;
+        self.cv.notify_all();
+    }
+
+    /// Whether the barrier has been poisoned.
+    #[must_use]
+    pub fn is_poisoned(&self) -> bool {
+        self.state.lock().poisoned
     }
 }
 
@@ -135,5 +178,43 @@ mod tests {
     #[should_panic(expected = "at least one participant")]
     fn zero_participants_rejected() {
         let _ = Barrier::new(0);
+    }
+
+    #[test]
+    fn poison_wakes_current_waiters() {
+        let b = Arc::new(Barrier::new(3));
+        let mut joins = Vec::new();
+        for _ in 0..2 {
+            let b = Arc::clone(&b);
+            joins.push(thread::spawn(move || b.try_wait()));
+        }
+        // Give both waiters time to block, then poison instead of
+        // arriving as the third participant.
+        thread::sleep(std::time::Duration::from_millis(20));
+        b.poison();
+        for j in joins {
+            assert_eq!(j.join().unwrap(), Err(BarrierPoisoned));
+        }
+    }
+
+    #[test]
+    fn poisoned_barrier_rejects_future_waiters() {
+        let b = Barrier::new(2);
+        b.poison();
+        assert!(b.is_poisoned());
+        assert_eq!(b.try_wait(), Err(BarrierPoisoned));
+        // Even the degenerate single-participant barrier reports it.
+        let solo = Barrier::new(1);
+        assert_eq!(solo.try_wait(), Ok(true));
+        solo.poison();
+        assert_eq!(solo.try_wait(), Err(BarrierPoisoned));
+    }
+
+    #[test]
+    #[should_panic(expected = "barrier poisoned")]
+    fn wait_panics_after_poison() {
+        let b = Barrier::new(2);
+        b.poison();
+        let _ = b.wait();
     }
 }

@@ -53,4 +53,4 @@ pub use reduction::{
     SumRed, TopK, VecConcat,
 };
 pub use schedule::Schedule;
-pub use team::{Ctx, Team};
+pub use team::{Ctx, Team, TeamError};

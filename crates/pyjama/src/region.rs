@@ -23,6 +23,10 @@ pub(crate) struct RegionState {
     constructs: Mutex<HashMap<usize, Arc<dyn Any + Send + Sync>>>,
     /// `single` construct ids already claimed by a thread.
     singles_claimed: Mutex<HashMap<usize, ()>>,
+    /// First team member whose region body panicked: `(tid, payload)`.
+    /// Recording a panic also poisons the region barrier so siblings
+    /// unblock instead of waiting forever for the dead member.
+    panic_info: Mutex<Option<(usize, String)>>,
 }
 
 impl RegionState {
@@ -31,7 +35,32 @@ impl RegionState {
             barrier: Barrier::new(n_threads),
             constructs: Mutex::new(HashMap::new()),
             singles_claimed: Mutex::new(HashMap::new()),
+            panic_info: Mutex::new(None),
         })
+    }
+
+    /// Record that team member `member` panicked with `payload` and
+    /// poison the region barrier. Only the first panic is kept (it is
+    /// the root cause; later ones are usually cascade failures).
+    pub(crate) fn record_panic(&self, member: usize, payload: String) {
+        {
+            let mut info = self.panic_info.lock();
+            if info.is_none() {
+                *info = Some((member, payload));
+            }
+        }
+        self.barrier.poison();
+    }
+
+    /// Take the recorded panic, if any (called once, by the region
+    /// launcher, after all members have finished).
+    pub(crate) fn take_panic(&self) -> Option<(usize, String)> {
+        self.panic_info.lock().take()
+    }
+
+    /// Whether a member panic has poisoned this region.
+    pub(crate) fn is_poisoned(&self) -> bool {
+        self.barrier.is_poisoned()
     }
 
     /// Get or create the shared state for construct `id`.
@@ -85,6 +114,17 @@ mod tests {
         assert!(region.claim_single(3));
         assert!(!region.claim_single(3));
         assert!(region.claim_single(4));
+    }
+
+    #[test]
+    fn first_panic_wins_and_poisons_barrier() {
+        let region = RegionState::new(2);
+        assert!(!region.is_poisoned());
+        region.record_panic(1, "boom".to_string());
+        region.record_panic(0, "cascade".to_string());
+        assert!(region.is_poisoned());
+        assert_eq!(region.take_panic(), Some((1, "boom".to_string())));
+        assert_eq!(region.take_panic(), None);
     }
 
     #[test]

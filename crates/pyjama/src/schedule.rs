@@ -104,16 +104,13 @@ impl<'a> ChunkStream<'a> {
                 let c = c.max(1);
                 // The cursor counts this thread's chunks; global chunk
                 // index = thread + cursor * n_threads.
-                loop {
-                    let chunk_idx = self.thread + self.cursor * self.n_threads;
-                    self.cursor += 1;
-                    let lo = chunk_idx * c;
-                    if lo >= self.len {
-                        return None;
-                    }
-                    let hi = (lo + c).min(self.len);
-                    break lo..hi;
+                let chunk_idx = self.thread + self.cursor * self.n_threads;
+                self.cursor += 1;
+                let lo = chunk_idx * c;
+                if lo >= self.len {
+                    return None;
                 }
+                lo..(lo + c).min(self.len)
             }
             Schedule::Dynamic(c) => {
                 let c = c.max(1);

@@ -1,7 +1,9 @@
 //! The persistent thread team and parallel-region execution.
 
+use std::any::Any;
 use std::cell::Cell;
 use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread;
@@ -11,6 +13,66 @@ use parking_lot::{Condvar, Mutex};
 use crate::reduction::Reduction;
 use crate::region::RegionState;
 use crate::schedule::{ChunkStream, LoopShared, Schedule};
+
+/// Why a parallel region failed. Returned by [`Team::try_parallel`];
+/// the analogue of Parallel Task's `asyncCatch` handler observing an
+/// exception that escaped a task body — here the "task" is one team
+/// member's execution of the region closure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TeamError {
+    /// A team member's region body panicked. The panic poisoned the
+    /// region barrier, so every sibling blocked on a barrier (explicit
+    /// or implied by a worksharing construct) unblocked and abandoned
+    /// the region instead of deadlocking.
+    MemberPanicked {
+        /// Thread index (`omp_get_thread_num`) of the first panicker.
+        member: usize,
+        /// Stringified panic payload of that member.
+        payload: String,
+    },
+}
+
+impl std::fmt::Display for TeamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::MemberPanicked { member, payload } => {
+                write!(f, "team member {member} panicked: {payload}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TeamError {}
+
+/// Marker payload used when a *sibling* of a panicked member unwinds
+/// out of a poisoned barrier. Wrappers recognise it and do not record
+/// it as a fresh panic — the root cause is already in `RegionState`.
+struct PoisonUnwind;
+
+/// Unwind the current thread out of a poisoned region. The payload is
+/// recognised (and swallowed) by the per-member `catch_unwind` wrapper.
+fn poison_unwind() -> ! {
+    std::panic::panic_any(PoisonUnwind);
+}
+
+fn payload_to_string(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Route one member's unwind into the region's panic record, unless it
+/// is the poison-cascade marker (already recorded by the root cause).
+fn note_region_panic(region: &RegionState, member: usize, payload: Box<dyn Any + Send>) {
+    if payload.downcast_ref::<PoisonUnwind>().is_some() {
+        return;
+    }
+    region.record_panic(member, payload_to_string(&*payload));
+}
 
 thread_local! {
     /// Set while the current thread executes a parallel region; makes
@@ -142,31 +204,70 @@ impl Team {
     /// Execute a parallel region on a sub-team of `n` threads
     /// (OpenMP's `num_threads(n)` clause). `n` is clamped to the team
     /// size; threads beyond the sub-team sit the region out.
+    ///
+    /// Panics if a member's region body panicked (see
+    /// [`Team::try_parallel_with`] for the non-panicking form).
     pub fn parallel_with<F: Fn(&Ctx) + Sync>(&self, n: usize, f: F) {
-        self.parallel_impl(n.clamp(1, self.inner.n), f);
+        if let Err(e) = self.try_parallel_with(n, f) {
+            panic!("pyjama {e}");
+        }
     }
 
     /// Execute a parallel region: `f` runs once on every team thread,
     /// each receiving its own [`Ctx`]. Blocks until all threads have
     /// finished the region. Nested calls (from inside a region)
     /// serialise onto the calling thread with a team of one.
+    ///
+    /// Panics if a member's region body panicked (see
+    /// [`Team::try_parallel`] for the non-panicking form).
     pub fn parallel<F: Fn(&Ctx) + Sync>(&self, f: F) {
-        self.parallel_impl(self.inner.n, f);
+        if let Err(e) = self.try_parallel(f) {
+            panic!("pyjama {e}");
+        }
     }
 
-    fn parallel_impl<F: Fn(&Ctx) + Sync>(&self, active: usize, f: F) {
+    /// Like [`Team::parallel`], but a panicking member yields
+    /// `Err(TeamError::MemberPanicked)` instead of propagating the
+    /// panic. The region **never deadlocks on a dead member**: the
+    /// panic poisons the region barrier, siblings blocked on any
+    /// barrier unwind and abandon the region, and the team itself
+    /// survives for subsequent regions.
+    pub fn try_parallel<F: Fn(&Ctx) + Sync>(&self, f: F) -> Result<(), TeamError> {
+        self.try_parallel_impl(self.inner.n, f)
+    }
+
+    /// [`Team::parallel_with`] with [`Team::try_parallel`]'s error
+    /// handling.
+    pub fn try_parallel_with<F: Fn(&Ctx) + Sync>(&self, n: usize, f: F) -> Result<(), TeamError> {
+        self.try_parallel_impl(n.clamp(1, self.inner.n), f)
+    }
+
+    fn try_parallel_impl<F: Fn(&Ctx) + Sync>(&self, active: usize, f: F) -> Result<(), TeamError> {
         if IN_REGION.with(Cell::get) {
             // Nested region: serial execution, own single-thread state.
             let region = RegionState::new(1);
-            let ctx = Ctx {
-                team: &self.inner,
-                region: &region,
-                tid: 0,
-                n_threads: 1,
-                construct_counter: AtomicUsize::new(0),
+            let unwound = catch_unwind(AssertUnwindSafe(|| {
+                let ctx = Ctx {
+                    team: &self.inner,
+                    region: &region,
+                    tid: 0,
+                    n_threads: 1,
+                    construct_counter: AtomicUsize::new(0),
+                };
+                f(&ctx);
+            }));
+            return match unwound {
+                Ok(()) => Ok(()),
+                // A poison cascade from the *outer* region must keep
+                // unwinding to the outer member wrapper.
+                Err(p) if p.downcast_ref::<PoisonUnwind>().is_some() => {
+                    std::panic::resume_unwind(p)
+                }
+                Err(p) => Err(TeamError::MemberPanicked {
+                    member: 0,
+                    payload: payload_to_string(&*p),
+                }),
             };
-            f(&ctx);
-            return;
         }
         let _region_guard = self.inner.region_lock.lock();
         let region = RegionState::new(active);
@@ -188,18 +289,30 @@ impl Team {
             drop(slot);
             self.inner.slot_cv.notify_all();
         }
-        // The caller is thread 0.
+        // The caller is thread 0. Its body is caught exactly like a
+        // worker's so a thread-0 panic also poisons (rather than
+        // unwinding past) the region — we still must wait on the
+        // latch, or the erased closure pointer would dangle.
         IN_REGION.with(|c| c.set(true));
-        let ctx = Ctx {
-            team: &self.inner,
-            region: &region,
-            tid: 0,
-            n_threads: active,
-            construct_counter: AtomicUsize::new(0),
-        };
-        f(&ctx);
+        let unwound = catch_unwind(AssertUnwindSafe(|| {
+            let ctx = Ctx {
+                team: &self.inner,
+                region: &region,
+                tid: 0,
+                n_threads: active,
+                construct_counter: AtomicUsize::new(0),
+            };
+            f(&ctx);
+        }));
         IN_REGION.with(|c| c.set(false));
+        if let Err(payload) = unwound {
+            note_region_panic(&region, 0, payload);
+        }
         latch.wait();
+        match region.take_panic() {
+            Some((member, payload)) => Err(TeamError::MemberPanicked { member, payload }),
+            None => Ok(()),
+        }
     }
 
     /// Convenience: `parallel` + `pfor` in one call (the
@@ -270,7 +383,7 @@ fn worker_loop(inner: &Arc<TeamInner>, tid: usize) {
             continue;
         }
         IN_REGION.with(|c| c.set(true));
-        {
+        let unwound = catch_unwind(AssertUnwindSafe(|| {
             let ctx = Ctx {
                 team: inner,
                 region: &msg.region,
@@ -281,8 +394,15 @@ fn worker_loop(inner: &Arc<TeamInner>, tid: usize) {
             // SAFETY: pointer valid until we count the latch down.
             let f = unsafe { &*msg.f };
             f(&ctx);
-        }
+        }));
         IN_REGION.with(|c| c.set(false));
+        if let Err(payload) = unwound {
+            // A member panic must not kill the team thread: record it
+            // (poisoning the region so siblings unblock) and keep the
+            // worker alive for future regions. The latch is counted
+            // down on every path so the launcher never deadlocks.
+            note_region_panic(&msg.region, tid, payload);
+        }
         msg.latch.count_down();
     }
 }
@@ -318,8 +438,16 @@ impl<'r> Ctx<'r> {
     }
 
     /// Block until every team thread reaches this barrier.
+    ///
+    /// If a sibling's region body panics, the barrier is poisoned and
+    /// this call *unwinds* (instead of blocking forever on a member
+    /// that will never arrive); the unwind is absorbed by the team's
+    /// per-member wrapper and surfaces as
+    /// [`TeamError::MemberPanicked`] from [`Team::try_parallel`].
     pub fn barrier(&self) {
-        self.region.barrier.wait();
+        if self.region.barrier.try_wait().is_err() {
+            poison_unwind();
+        }
     }
 
     /// Run `f` only on thread 0. No implied barrier (OpenMP `master`).
@@ -432,8 +560,15 @@ impl<'r> Ctx<'r> {
         if self.tid == 0 {
             let mut combined = red.identity();
             for slot in &slots.partials {
-                let part = slot.lock().take().expect("every thread stored a partial");
-                combined = red.combine(combined, part);
+                // A panicked member never stores its partial; skipping
+                // it keeps the combine well-defined (the region still
+                // reports the failure via barrier poisoning — this
+                // combine only runs when all members arrived, but stays
+                // defensive so a poisoned region can never turn a
+                // missing partial into a second panic).
+                if let Some(part) = slot.lock().take() {
+                    combined = red.combine(combined, part);
+                }
             }
             *slots.combined.lock() = Some(combined);
         }
@@ -476,7 +611,10 @@ impl<'r> Ctx<'r> {
             .construct(self.next_construct(), || OrderedState {
                 next: AtomicUsize::new(range.start),
             });
-        let gate = OrderedGate { state: gate_state };
+        let gate = OrderedGate {
+            state: gate_state,
+            region: Arc::clone(self.region),
+        };
         let mut stream = ChunkStream::new(
             schedule,
             self.tid,
@@ -515,13 +653,21 @@ struct OrderedState {
 /// Sequencing gate for [`Ctx::pfor_ordered`].
 pub struct OrderedGate {
     state: Arc<OrderedState>,
+    region: Arc<RegionState>,
 }
 
 impl OrderedGate {
     /// Run `f` for iteration `i`, after every earlier iteration's
     /// ordered region has completed and before any later one starts.
+    ///
+    /// If a sibling panics while holding an earlier turn, its turn
+    /// never completes; the spin loop observes the poisoned region and
+    /// unwinds instead of spinning forever.
     pub fn run<T>(&self, i: usize, f: impl FnOnce() -> T) -> T {
         while self.state.next.load(Ordering::Acquire) != i {
+            if self.region.is_poisoned() {
+                poison_unwind();
+            }
             std::hint::spin_loop();
             std::thread::yield_now();
         }

@@ -249,7 +249,8 @@ fn project_quicksort(engines: &Engines) -> Outcome {
     let mut details = Vec::new();
     let mut metrics = Vec::new();
     let mut ok = true;
-    let variants: Vec<(&str, Box<dyn Fn() -> Vec<u64>>)> = vec![
+    type SortVariant<'a> = (&'a str, Box<dyn Fn() -> Vec<u64> + 'a>);
+    let variants: Vec<SortVariant> = vec![
         ("sequential", {
             let input = input.clone();
             Box::new(move || {
@@ -541,14 +542,69 @@ fn project_web(engines: &Engines) -> Outcome {
     let serial = fetch_all(&rt, &server, 1);
     let pooled = fetch_all(&rt, &server, 16);
     let speedup = serial.elapsed.as_secs_f64() / pooled.elapsed.as_secs_f64().max(1e-9);
-    let ok = speedup > 2.0 && server.requests_served() == 160;
-    rt.shutdown();
-    let details = vec![format!(
+    let mut ok = speedup > 2.0 && server.requests_served() == 160;
+    let mut details = vec![format!(
         "16 concurrent connections downloaded {} pages {:.1}x faster than 1 connection",
         serial.pages, speedup
     )];
-    let metrics = vec![("connection_speedup_16v1".into(), speedup)];
+    let mut metrics = vec![("connection_speedup_16v1".into(), speedup)];
+
+    // Variant: the fault-tolerant crawler against a flaky server.
+    let chaos = fault_tolerant_crawl(&rt, 0xC4A0_17E5, 8);
+    ok &= chaos.fully_succeeded() && chaos.retries > 0;
+    details.push(format!(
+        "fault-tolerant crawler recovered all {} pages from a flaky server \
+         ({} retries over {} attempts; {} transient, {} timeouts, {} contained panics)",
+        chaos.succeeded,
+        chaos.retries,
+        chaos.attempts_total,
+        chaos.transient_errors,
+        chaos.timeouts,
+        chaos.panics,
+    ));
+    metrics.push(("crawler_retries".into(), chaos.retries as f64));
+    metrics.push(("crawler_failed_pages".into(), chaos.failed_pages.len() as f64));
+    rt.shutdown();
     (ok, details, metrics)
+}
+
+/// The E10 *fault-tolerant crawler* variant: download a page set from
+/// a server that injects deterministic transient errors, timeouts and
+/// panics (seeded by `seed`), retrying each page under an exponential
+/// backoff policy. The returned [`websim::FetchOutcome`] is
+/// reproducible — identical counts for identical seeds, whatever the
+/// thread interleaving.
+#[must_use]
+pub fn fault_tolerant_crawl(
+    rt: &TaskRuntime,
+    seed: u64,
+    connections: usize,
+) -> websim::FetchOutcome {
+    use faultsim::{FaultInjector, FaultPlan, RetryPolicy};
+    use std::time::Duration;
+    use websim::{try_fetch_all, ServerConfig, SimServer};
+    let plan = FaultPlan::reliable(seed)
+        .with_error_rate(0.15)
+        .with_timeout_rate(0.05)
+        .with_panic_rate(0.02)
+        .with_latency_spikes(0.05, 40.0)
+        .fail_key_n_times(7, 3);
+    let server = Arc::new(SimServer::with_faults(
+        ServerConfig {
+            pages: 80,
+            time_scale: 5e-6,
+            ..ServerConfig::default()
+        },
+        FaultInjector::new(plan),
+    ));
+    let policy = RetryPolicy::exponential(
+        Duration::from_millis(2),
+        2.0,
+        Duration::from_millis(20),
+    )
+    .with_jitter(0.2)
+    .with_max_attempts(6);
+    try_fetch_all(rt, &server, connections, &policy)
 }
 
 #[cfg(test)]

@@ -30,6 +30,7 @@ pub use catalogue::{run_project, Engines, ProjectId, ProjectReport};
 // Re-export the subsystem crates under one roof.
 pub use course;
 pub use docsearch;
+pub use faultsim;
 pub use guievent;
 pub use imaging;
 pub use kernels;

@@ -13,6 +13,7 @@
 //! rt.shutdown();
 //! ```
 
+pub use faultsim::{Breaker, FaultInjector, FaultPlan, RetryPolicy};
 pub use guievent::{EventLoop, GuiHandle, Probe};
 pub use parc_util::{Stopwatch, Summary, Table};
 pub use partask::{
@@ -21,5 +22,5 @@ pub use partask::{
 };
 pub use pyjama::{
     BitAndRed, BitOrRed, BitXorRed, Ctx, MapMerge, MaxRed, MinRed, ProdRed, Reduction, Schedule,
-    SetUnion, SumRed, Team, TopK, VecConcat,
+    SetUnion, SumRed, Team, TeamError, TopK, VecConcat,
 };

@@ -6,7 +6,7 @@
 //! striped-locking analogue).
 
 use std::collections::HashMap;
-use std::hash::{BuildHasher, Hash, Hasher, RandomState};
+use std::hash::{BuildHasher, Hash, RandomState};
 
 use parking_lot::{Mutex, RwLock};
 
@@ -144,9 +144,7 @@ impl<K: Hash, V> ShardedMap<K, V> {
     }
 
     fn shard_for(&self, key: &K) -> &RwLock<HashMap<K, V>> {
-        let mut h = self.hasher.build_hasher();
-        key.hash(&mut h);
-        let idx = (h.finish() as usize) & (self.shards.len() - 1);
+        let idx = (self.hasher.hash_one(key) as usize) & (self.shards.len() - 1);
         &self.shards[idx]
     }
 }

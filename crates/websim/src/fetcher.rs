@@ -1,9 +1,18 @@
 //! The concurrent page fetcher and the connection-count sweep.
+//!
+//! Two entry points: [`fetch_all`] is the original project-10 code
+//! path (no faults expected, panics impossible by construction), and
+//! [`try_fetch_all`] is the fault-tolerant crawler — per-page retries
+//! under a [`RetryPolicy`], injected panics contained per attempt, and
+//! a [`FetchOutcome`] recording exactly what happened to every page.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+use faultsim::{RetryError, RetryPolicy};
+use parc_util::rng::SplitMix64;
 use partask::TaskRuntime;
 
 use crate::server::SimServer;
@@ -29,40 +38,219 @@ impl FetchReport {
     }
 }
 
+/// What happened to one page during a fault-tolerant crawl.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PageOutcome {
+    /// The page id.
+    pub page: usize,
+    /// Attempts spent on it (including the successful one, if any).
+    pub attempts: u32,
+    /// Kilobytes transferred, or `None` if the page permanently
+    /// failed (attempts/deadline exhausted).
+    pub kb: Option<f64>,
+}
+
+/// Full accounting of a [`try_fetch_all`] crawl.
+///
+/// With a deterministic fault plan this is reproducible: per-page
+/// attempt counts, retry totals and the failed-page set are identical
+/// across reruns with the same seeds, regardless of how connection
+/// threads interleave (`tests/chaos.rs` asserts this bit-for-bit).
+#[derive(Clone, Debug)]
+pub struct FetchOutcome {
+    /// Wall-time/throughput summary (`total_kb` counts successes only).
+    pub report: FetchReport,
+    /// Per-page record, sorted by page id.
+    pub pages: Vec<PageOutcome>,
+    /// Pages fetched successfully.
+    pub succeeded: usize,
+    /// Pages that exhausted their retry budget, sorted.
+    pub failed_pages: Vec<usize>,
+    /// Total attempts across all pages.
+    pub attempts_total: u64,
+    /// Attempts beyond each page's first (the retry overhead).
+    pub retries: u64,
+    /// Attempts that failed with a transient error.
+    pub transient_errors: u64,
+    /// Attempts that failed by timeout.
+    pub timeouts: u64,
+    /// Attempts that failed by injected panic (contained per attempt).
+    pub panics: u64,
+    /// True only if the crawl was torn down externally (runtime
+    /// cancellation) before accounting completed.
+    pub aborted: bool,
+}
+
+impl FetchOutcome {
+    /// Did every page come back?
+    #[must_use]
+    pub fn fully_succeeded(&self) -> bool {
+        !self.aborted && self.failed_pages.is_empty()
+    }
+}
+
+/// Per-connection accumulator merged across the pool after the crawl.
+#[derive(Clone, Debug, Default)]
+struct ConnPartial {
+    pages: Vec<PageOutcome>,
+    transient_errors: u64,
+    timeouts: u64,
+    panics: u64,
+}
+
+impl ConnPartial {
+    fn merge(mut self, other: Self) -> Self {
+        self.pages.extend(other.pages);
+        self.transient_errors += other.transient_errors;
+        self.timeouts += other.timeouts;
+        self.panics += other.panics;
+        self
+    }
+}
+
+/// One attempt's failure, as seen by the retry loop.
+enum AttemptError {
+    Transient,
+    Timeout,
+    Panicked,
+}
+
 /// Download every page of `server` using `connections` parallel
 /// connections. Each connection is one multi-task instance pulling
 /// page ids from a shared work counter — the Parallel Task phrasing
 /// of a download pool.
+///
+/// This is the original, fault-oblivious entry point, now a thin
+/// wrapper over [`try_fetch_all`] with a single-attempt policy: on a
+/// fault-free server it behaves exactly as before, and a faulty page
+/// degrades the report instead of panicking the joining task.
 #[must_use]
 pub fn fetch_all(rt: &TaskRuntime, server: &Arc<SimServer>, connections: usize) -> FetchReport {
+    let once = RetryPolicy::fixed(Duration::ZERO).with_max_attempts(1);
+    try_fetch_all(rt, server, connections, &once).report
+}
+
+/// Download every page of `server` with `connections` parallel
+/// connections, retrying each page under `policy`.
+///
+/// Resilience guarantees:
+/// * every attempt (including its injected-panic outcome) is contained
+///   to that attempt — a panic is caught, counted, and retried like
+///   any other failure;
+/// * a page that exhausts `policy` is recorded in
+///   [`FetchOutcome::failed_pages`] rather than failing the crawl;
+/// * backoff delays are interpreted as *simulated* milliseconds and
+///   slept at the server's `time_scale`, with deterministic per-page
+///   jitter seeds.
+#[must_use]
+pub fn try_fetch_all(
+    rt: &TaskRuntime,
+    server: &Arc<SimServer>,
+    connections: usize,
+    policy: &RetryPolicy,
+) -> FetchOutcome {
     let connections = connections.max(1);
-    let pages = server.page_count();
+    let page_count = server.page_count();
     let next = Arc::new(AtomicUsize::new(0));
+    let policy = *policy;
+    let time_scale = server.config().time_scale;
+    let seed = server.config().seed;
     let start = Instant::now();
     let multi = rt.spawn_multi(connections, {
         let server = Arc::clone(server);
         let next = Arc::clone(&next);
         move |_conn| {
-            let mut kb = 0.0;
+            let mut partial = ConnPartial::default();
             loop {
                 let page = next.fetch_add(1, Ordering::Relaxed);
-                if page >= pages {
+                if page >= page_count {
                     break;
                 }
-                kb += server.request(page);
+                fetch_one(&server, page, &policy, seed, time_scale, &mut partial);
             }
-            kb
+            partial
         }
     });
-    let total_kb = multi
-        .join_reduce(0.0, |acc, kb| acc + kb)
-        .expect("fetch tasks");
-    FetchReport {
+    let (partial, aborted) = match multi.join_reduce(ConnPartial::default(), ConnPartial::merge) {
+        Ok(p) => (p, false),
+        // Only reachable if the runtime is cancelled externally:
+        // connection bodies contain their own panics.
+        Err(_) => (ConnPartial::default(), true),
+    };
+    let mut pages = partial.pages;
+    pages.sort_by_key(|p| p.page);
+    let failed_pages: Vec<usize> = pages.iter().filter(|p| p.kb.is_none()).map(|p| p.page).collect();
+    let succeeded = pages.len() - failed_pages.len();
+    let attempts_total: u64 = pages.iter().map(|p| u64::from(p.attempts)).sum();
+    let retries = attempts_total - pages.len() as u64;
+    let total_kb: f64 = pages.iter().filter_map(|p| p.kb).sum();
+    FetchOutcome {
+        report: FetchReport {
+            pages: page_count,
+            connections,
+            elapsed: start.elapsed(),
+            total_kb,
+        },
         pages,
-        connections,
-        elapsed: start.elapsed(),
-        total_kb,
+        succeeded,
+        failed_pages,
+        attempts_total,
+        retries,
+        transient_errors: partial.transient_errors,
+        timeouts: partial.timeouts,
+        panics: partial.panics,
+        aborted,
     }
+}
+
+/// Fetch one page to completion or retry exhaustion, recording the
+/// outcome and failure tallies into `partial`.
+fn fetch_one(
+    server: &Arc<SimServer>,
+    page: usize,
+    policy: &RetryPolicy,
+    seed: u64,
+    time_scale: f64,
+    partial: &mut ConnPartial,
+) {
+    let page_seed = SplitMix64::mix(seed ^ (page as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let sleep_scaled = |d: Duration| {
+        // Policy delays are simulated milliseconds; convert to wall
+        // time the same way the server scales its own sleeps.
+        let sim_ms = d.as_secs_f64() * 1e3;
+        std::thread::sleep(Duration::from_secs_f64(sim_ms * time_scale));
+    };
+    let result = policy.execute_with(page_seed, sleep_scaled, |attempt| {
+        match catch_unwind(AssertUnwindSafe(|| server.try_request(page, attempt))) {
+            Ok(Ok(kb)) => Ok(kb),
+            Ok(Err(crate::server::RequestError::Transient { .. })) => {
+                partial.transient_errors += 1;
+                Err(AttemptError::Transient)
+            }
+            Ok(Err(crate::server::RequestError::TimedOut { .. })) => {
+                partial.timeouts += 1;
+                Err(AttemptError::Timeout)
+            }
+            Err(_panic_payload) => {
+                partial.panics += 1;
+                Err(AttemptError::Panicked)
+            }
+        }
+    });
+    partial.pages.push(match result {
+        Ok(done) => PageOutcome {
+            page,
+            attempts: done.attempts,
+            kb: Some(done.value),
+        },
+        Err(err @ (RetryError::Exhausted { .. } | RetryError::DeadlineExceeded { .. })) => {
+            PageOutcome {
+                page,
+                attempts: err.attempts(),
+                kb: None,
+            }
+        }
+    });
 }
 
 /// One point of the connection sweep.
@@ -163,6 +351,79 @@ mod tests {
         let server = quick_server(4);
         let report = fetch_all(&rt, &server, 0);
         assert_eq!(report.connections, 1);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn try_fetch_all_retries_through_transient_faults() {
+        use faultsim::{FaultInjector, FaultPlan};
+        let rt = TaskRuntime::builder().workers(4).build();
+        let server = Arc::new(SimServer::with_faults(
+            ServerConfig {
+                pages: 30,
+                time_scale: 2e-6,
+                ..ServerConfig::default()
+            },
+            FaultInjector::new(
+                FaultPlan::reliable(11)
+                    .with_error_rate(0.3)
+                    .fail_key_n_times(7, 2),
+            ),
+        ));
+        let policy = RetryPolicy::fixed(Duration::from_millis(1)).with_max_attempts(6);
+        let out = try_fetch_all(&rt, &server, 6, &policy);
+        assert!(out.fully_succeeded(), "failed pages: {:?}", out.failed_pages);
+        assert_eq!(out.succeeded, 30);
+        assert!(out.retries > 0, "plan must have forced at least one retry");
+        assert!(out.transient_errors > 0);
+        let page7 = out.pages.iter().find(|p| p.page == 7).unwrap();
+        assert!(page7.attempts >= 3, "page 7 fails twice before recovering");
+        let expected_kb: f64 = (0..30).map(|i| server.page(i).size_kb).sum();
+        assert!((out.report.total_kb - expected_kb).abs() < 1e-9);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn exhausted_pages_degrade_instead_of_panicking() {
+        use faultsim::{FaultInjector, FaultPlan};
+        let rt = TaskRuntime::builder().workers(2).build();
+        let server = Arc::new(SimServer::with_faults(
+            ServerConfig {
+                pages: 10,
+                time_scale: 2e-6,
+                ..ServerConfig::default()
+            },
+            FaultInjector::new(FaultPlan::reliable(3).fail_key_n_times(4, 99)),
+        ));
+        let policy = RetryPolicy::fixed(Duration::from_millis(1)).with_max_attempts(3);
+        let out = try_fetch_all(&rt, &server, 4, &policy);
+        assert_eq!(out.failed_pages, vec![4]);
+        assert_eq!(out.succeeded, 9);
+        let page4 = out.pages.iter().find(|p| p.page == 4).unwrap();
+        assert_eq!(page4.attempts, 3);
+        assert_eq!(page4.kb, None);
+        // The old code path also no longer panics on a faulty server.
+        let report = fetch_all(&rt, &server, 4);
+        assert_eq!(report.pages, 10);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn injected_panics_are_contained_and_retried() {
+        use faultsim::{FaultInjector, FaultPlan};
+        let rt = TaskRuntime::builder().workers(4).build();
+        let server = Arc::new(SimServer::with_faults(
+            ServerConfig {
+                pages: 40,
+                time_scale: 2e-6,
+                ..ServerConfig::default()
+            },
+            FaultInjector::new(FaultPlan::reliable(23).with_panic_rate(0.15)),
+        ));
+        let policy = RetryPolicy::fixed(Duration::from_millis(1)).with_max_attempts(8);
+        let out = try_fetch_all(&rt, &server, 6, &policy);
+        assert!(out.panics > 0, "panic rate 0.15 over 40 pages must fire");
+        assert!(out.fully_succeeded(), "failed pages: {:?}", out.failed_pages);
         rt.shutdown();
     }
 

@@ -27,5 +27,8 @@
 pub mod fetcher;
 pub mod server;
 
-pub use fetcher::{fetch_all, predict_fetch_sim_ms, sweep_connections, FetchReport, SweepPoint};
-pub use server::{PageMeta, ServerConfig, SimServer};
+pub use fetcher::{
+    fetch_all, predict_fetch_sim_ms, sweep_connections, try_fetch_all, FetchOutcome, FetchReport,
+    PageOutcome, SweepPoint,
+};
+pub use server::{PageMeta, RequestError, ServerConfig, SimServer};

@@ -13,9 +13,11 @@
 //! connection. All durations are in *simulated milliseconds*,
 //! executed as real sleeps scaled by `time_scale`.
 
+use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Duration;
 
+use faultsim::{Fault, FaultInjector};
 use parc_util::rng::{SplitMix64, Xoshiro256};
 
 /// Static properties of one simulated page.
@@ -64,13 +66,66 @@ impl Default for ServerConfig {
     }
 }
 
+/// Why a [`SimServer::try_request`] attempt failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RequestError {
+    /// A retryable connection-level failure (reset, 5xx, ...).
+    Transient {
+        /// The page requested.
+        page: usize,
+        /// The 1-based attempt that failed.
+        attempt: u32,
+    },
+    /// The transfer exceeded its time budget and was abandoned.
+    TimedOut {
+        /// The page requested.
+        page: usize,
+        /// The 1-based attempt that failed.
+        attempt: u32,
+    },
+}
+
+impl RequestError {
+    /// The page the failed attempt was for.
+    #[must_use]
+    pub fn page(&self) -> usize {
+        match self {
+            RequestError::Transient { page, .. } | RequestError::TimedOut { page, .. } => *page,
+        }
+    }
+}
+
+impl fmt::Display for RequestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RequestError::Transient { page, attempt } => {
+                write!(f, "transient error fetching page {page} (attempt {attempt})")
+            }
+            RequestError::TimedOut { page, attempt } => {
+                write!(f, "timeout fetching page {page} (attempt {attempt})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
+
 /// The simulated server. Thread-safe; any number of client threads
 /// may call [`SimServer::request`] concurrently.
+///
+/// A server built with [`SimServer::with_faults`] consults its
+/// [`FaultInjector`] on every [`SimServer::try_request`]: since each
+/// decision is a pure function of `(plan seed, page, attempt)`, the
+/// set of injected failures is identical across reruns no matter how
+/// client threads interleave. The legacy [`SimServer::request`] path
+/// never fails and ignores the injector.
 pub struct SimServer {
     config: ServerConfig,
     pages: Vec<PageMeta>,
+    injector: Option<FaultInjector>,
     active: AtomicUsize,
     requests_served: AtomicU64,
+    faults_injected: AtomicU64,
     /// Total simulated milliseconds charged across all requests.
     sim_ms_total: AtomicU64,
 }
@@ -79,6 +134,17 @@ impl SimServer {
     /// Build a server; page properties are deterministic per seed.
     #[must_use]
     pub fn new(config: ServerConfig) -> Self {
+        Self::build(config, None)
+    }
+
+    /// Build a server whose [`SimServer::try_request`] fails according
+    /// to `injector`'s plan.
+    #[must_use]
+    pub fn with_faults(config: ServerConfig, injector: FaultInjector) -> Self {
+        Self::build(config, Some(injector))
+    }
+
+    fn build(config: ServerConfig, injector: Option<FaultInjector>) -> Self {
         let mut rng = Xoshiro256::seed_from_u64(config.seed);
         let pages = (0..config.pages)
             .map(|_| PageMeta {
@@ -89,8 +155,10 @@ impl SimServer {
         Self {
             config,
             pages,
+            injector,
             active: AtomicUsize::new(0),
             requests_served: AtomicU64::new(0),
+            faults_injected: AtomicU64::new(0),
             sim_ms_total: AtomicU64::new(0),
         }
     }
@@ -125,8 +193,57 @@ impl SimServer {
     /// Perform the request: blocks (sleeps) for the simulated
     /// duration and returns the page's size in KB. A small seeded
     /// jitter (±5 %) keeps runs realistic yet deterministic per
-    /// (page, request-count) pair.
+    /// (page, request-count) pair. Never fails — fault injection
+    /// applies only to [`SimServer::try_request`].
     pub fn request(&self, page: usize) -> f64 {
+        self.perform(page, 0.0)
+    }
+
+    /// Perform one attempt at fetching `page`, subject to the server's
+    /// fault plan. `attempt` is 1-based and is part of the fault
+    /// decision, so a page can fail its first attempts and then
+    /// recover. Failed attempts still cost simulated time: a transient
+    /// error burns the round trip, a timeout burns the whole transfer
+    /// budget before giving up.
+    ///
+    /// # Panics
+    /// If the fault plan schedules [`Fault::Panic`] for this attempt —
+    /// that is the injector doing its job (exercising callers'
+    /// panic-safety), not a bug.
+    pub fn try_request(&self, page: usize, attempt: u32) -> Result<f64, RequestError> {
+        let fault = self
+            .injector
+            .as_ref()
+            .map_or(Fault::None, |inj| inj.decide(page as u64, attempt));
+        if fault != Fault::None {
+            self.faults_injected.fetch_add(1, Ordering::Relaxed);
+        }
+        match fault {
+            Fault::None => Ok(self.perform(page, 0.0)),
+            Fault::LatencySpike { extra_ms } => Ok(self.perform(page, extra_ms)),
+            Fault::TransientError => {
+                // Connection died early: pay the round trip only.
+                self.charge_and_sleep(self.pages[page].rtt_ms);
+                self.requests_served.fetch_add(1, Ordering::Relaxed);
+                Err(RequestError::Transient { page, attempt })
+            }
+            Fault::Timeout => {
+                // Client waited the full transfer before giving up.
+                let active = self.active.load(Ordering::SeqCst).max(1);
+                self.charge_and_sleep(self.model_duration_ms(page, active));
+                self.requests_served.fetch_add(1, Ordering::Relaxed);
+                Err(RequestError::TimedOut { page, attempt })
+            }
+            Fault::Panic => {
+                panic!(
+                    "{} fetching page {page} (attempt {attempt})",
+                    faultsim::INJECTED_PANIC_PREFIX
+                )
+            }
+        }
+    }
+
+    fn perform(&self, page: usize, extra_ms: f64) -> f64 {
         let active = self.active.fetch_add(1, Ordering::SeqCst) + 1;
         let serial = self.requests_served.fetch_add(1, Ordering::Relaxed);
         let base_ms = self.model_duration_ms(page, active);
@@ -134,7 +251,7 @@ impl SimServer {
             let h = SplitMix64::mix((page as u64) << 32 | (serial & 0xFFFF));
             0.95 + 0.10 * (h as f64 / u64::MAX as f64)
         };
-        let ms = base_ms * jitter;
+        let ms = base_ms * jitter + extra_ms;
         self.sim_ms_total.fetch_add(ms as u64, Ordering::Relaxed);
         std::thread::sleep(Duration::from_secs_f64(
             ms * self.config.time_scale,
@@ -143,10 +260,29 @@ impl SimServer {
         self.pages[page].size_kb
     }
 
-    /// Requests served so far.
+    /// Account `ms` of simulated time and sleep it at the configured
+    /// scale (used by failure paths that hold no connection slot).
+    fn charge_and_sleep(&self, ms: f64) {
+        self.sim_ms_total.fetch_add(ms as u64, Ordering::Relaxed);
+        std::thread::sleep(Duration::from_secs_f64(ms * self.config.time_scale));
+    }
+
+    /// Requests served so far (successful and failed attempts alike).
     #[must_use]
     pub fn requests_served(&self) -> u64 {
         self.requests_served.load(Ordering::Relaxed)
+    }
+
+    /// Faults injected so far (any non-`None` decision).
+    #[must_use]
+    pub fn faults_injected(&self) -> u64 {
+        self.faults_injected.load(Ordering::Relaxed)
+    }
+
+    /// The fault injector, if this server was built with one.
+    #[must_use]
+    pub fn injector(&self) -> Option<&FaultInjector> {
+        self.injector.as_ref()
     }
 
     /// Total simulated milliseconds charged so far.
@@ -218,6 +354,55 @@ mod tests {
         assert_eq!(server.requests_served(), 1);
         assert!(server.sim_ms_total() > 0);
         assert_eq!(server.active_now(), 0);
+    }
+
+    #[test]
+    fn try_request_without_injector_never_fails() {
+        let server = SimServer::new(fast_config());
+        for page in 0..5 {
+            for attempt in 1..4 {
+                assert!(server.try_request(page, attempt).is_ok());
+            }
+        }
+        assert_eq!(server.faults_injected(), 0);
+    }
+
+    #[test]
+    fn fail_n_then_recover_is_visible_to_clients() {
+        use faultsim::{FaultInjector, FaultPlan};
+        let server = SimServer::with_faults(
+            fast_config(),
+            FaultInjector::new(FaultPlan::reliable(5).fail_key_n_times(2, 2)),
+        );
+        assert_eq!(
+            server.try_request(2, 1),
+            Err(RequestError::Transient { page: 2, attempt: 1 })
+        );
+        assert_eq!(
+            server.try_request(2, 2),
+            Err(RequestError::Transient { page: 2, attempt: 2 })
+        );
+        assert!(server.try_request(2, 3).is_ok());
+        assert!(server.try_request(3, 1).is_ok());
+        assert_eq!(server.faults_injected(), 2);
+    }
+
+    #[test]
+    fn injected_failures_are_deterministic_across_servers() {
+        use faultsim::{FaultInjector, FaultPlan};
+        let plan = FaultPlan::reliable(77).with_error_rate(0.3).with_timeout_rate(0.1);
+        let a = SimServer::with_faults(fast_config(), FaultInjector::new(plan.clone()));
+        let b = SimServer::with_faults(fast_config(), FaultInjector::new(plan));
+        for page in 0..a.page_count() {
+            for attempt in 1..3 {
+                assert_eq!(
+                    a.try_request(page, attempt).is_ok(),
+                    b.try_request(page, attempt).is_ok(),
+                    "page {page} attempt {attempt} diverged"
+                );
+            }
+        }
+        assert_eq!(a.faults_injected(), b.faults_injected());
     }
 
     #[test]

@@ -1,0 +1,278 @@
+//! Vendored shim for the subset of `criterion` this workspace uses.
+//!
+//! The build container has no network and an empty registry, so the
+//! real crate cannot be fetched. This shim keeps every bench target
+//! compiling and runnable: it performs straightforward warm-up +
+//! sampled timing and prints mean per-iteration time in a
+//! criterion-like one-line format. It does no statistical analysis,
+//! outlier detection, or HTML reporting.
+//!
+//! Surface provided: `Criterion` (builder methods, `benchmark_group`,
+//! `final_summary`), `BenchmarkGroup` (`bench_function`,
+//! `bench_with_input`, `finish`), `BenchmarkId`, `Bencher`
+//! (`iter`, `iter_batched`), `BatchSize`, `black_box`.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-exported `std::hint::black_box`: an identity function opaque to
+/// the optimiser.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// How `iter_batched` amortises setup cost. The shim runs one setup
+/// per routine call regardless of variant; the enum exists for source
+/// compatibility.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Identifier for a benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// Timing configuration plus the entry point to benchmark groups.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Time spent warming up before sampling.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Target total sampling time per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Real criterion parses CLI filters/baselines here; the shim
+    /// accepts and ignores them so bench invocations keep working.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Print a closing line (real criterion prints the summary report).
+    pub fn final_summary(&mut self) {
+        println!("(shim criterion: all benchmarks complete)");
+    }
+}
+
+/// A named collection of benchmarks sharing one `Criterion` config.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run a benchmark with no external input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into(), &mut f);
+        self
+    }
+
+    /// Run a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.into(), &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Close the group (no-op beyond source compatibility).
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: BenchmarkId, f: &mut dyn FnMut(&mut Bencher)) {
+        let cfg = &*self.criterion;
+        // Warm-up: repeat until the warm-up budget is spent.
+        let warm_deadline = Instant::now() + cfg.warm_up_time;
+        let mut bencher = Bencher { elapsed: Duration::ZERO, iters: 0 };
+        while Instant::now() < warm_deadline {
+            f(&mut bencher);
+        }
+        // Sampling: reset counters, then take `sample_size` samples
+        // within (roughly) the measurement budget.
+        bencher = Bencher { elapsed: Duration::ZERO, iters: 0 };
+        let sample_deadline = Instant::now() + cfg.measurement_time;
+        for done in 0..cfg.sample_size {
+            f(&mut bencher);
+            if done > 0 && Instant::now() > sample_deadline {
+                break;
+            }
+        }
+        let mean = if bencher.iters == 0 {
+            Duration::ZERO
+        } else {
+            bencher.elapsed / u32::try_from(bencher.iters.min(u64::from(u32::MAX))).unwrap_or(1)
+        };
+        println!(
+            "{}/{}: {:>12} /iter  ({} iters)",
+            self.name,
+            id.id,
+            format_duration(mean),
+            bencher.iters
+        );
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", d.as_secs_f64() * 1e3)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", d.as_secs_f64() * 1e6)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Measures closures handed to it by a benchmark body.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        black_box(routine());
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_counts_iters() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(50))
+            .configure_from_args();
+        let mut total = 0u64;
+        {
+            let mut group = c.benchmark_group("shim-test");
+            group.bench_function("count", |b| b.iter(|| total += 1));
+            group.bench_with_input(BenchmarkId::new("with-input", 4), &4u64, |b, &n| {
+                b.iter_batched(|| n, |x| x * 2, BatchSize::SmallInput);
+            });
+            group.finish();
+        }
+        c.final_summary();
+        assert!(total >= 3);
+    }
+
+    #[test]
+    fn benchmark_id_forms() {
+        assert_eq!(BenchmarkId::new("f", 8).id, "f/8");
+        assert_eq!(BenchmarkId::from_parameter("p").id, "p");
+        assert_eq!(BenchmarkId::from("s").id, "s");
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(format_duration(Duration::from_nanos(12)), "12 ns");
+        assert!(format_duration(Duration::from_micros(12)).ends_with("µs"));
+        assert!(format_duration(Duration::from_millis(12)).ends_with("ms"));
+        assert!(format_duration(Duration::from_secs(2)).ends_with(" s"));
+    }
+}

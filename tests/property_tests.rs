@@ -221,4 +221,102 @@ proptest! {
             }
         }
     }
+
+    // --- retry policies (faultsim) --------------------------------
+
+    #[test]
+    fn exponential_backoff_is_monotone(
+        base_us in 1u64..10_000,
+        factor in 1.0f64..4.0,
+        max_ms in 1u64..5_000,
+    ) {
+        let policy = RetryPolicy::exponential(
+            std::time::Duration::from_micros(base_us),
+            factor,
+            std::time::Duration::from_millis(max_ms),
+        );
+        let mut prev = std::time::Duration::ZERO;
+        for k in 1..=25u32 {
+            let d = policy.raw_delay(k);
+            prop_assert!(d >= prev, "raw_delay({}) shrank", k);
+            // Never beyond the cap (with float-rounding headroom).
+            prop_assert!(d.as_secs_f64() <= max_ms as f64 * 1e-3 * (1.0 + 1e-9));
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn jittered_delays_are_deterministic_and_bounded(
+        base_us in 1u64..50_000,
+        jitter in 0.0f64..0.9,
+        seed in any::<u64>(),
+    ) {
+        let policy = RetryPolicy::fixed(std::time::Duration::from_micros(base_us))
+            .with_jitter(jitter)
+            .with_max_attempts(8);
+        for k in 1..8u32 {
+            let once = policy.delay_after(k, seed);
+            let again = policy.delay_after(k, seed);
+            // Pure function of (seed, k): replay gives the same wait.
+            prop_assert_eq!(once, again);
+            let raw = policy.raw_delay(k).as_secs_f64();
+            prop_assert!(once.as_secs_f64() >= raw * (1.0 - jitter) - 1e-12);
+            prop_assert!(once.as_secs_f64() <= raw * (1.0 + jitter) + 1e-12);
+        }
+        // And the whole schedule is seed-stable too.
+        prop_assert_eq!(policy.schedule(seed), policy.schedule(seed));
+    }
+
+    #[test]
+    fn schedule_total_respects_overall_deadline(
+        base_us in 1u64..20_000,
+        factor in 1.0f64..3.0,
+        deadline_us in 1u64..200_000,
+        seed in any::<u64>(),
+    ) {
+        let policy = RetryPolicy::exponential(
+            std::time::Duration::from_micros(base_us),
+            factor,
+            std::time::Duration::from_millis(50),
+        )
+        .with_jitter(0.3)
+        .with_max_attempts(12)
+        .with_overall_deadline(std::time::Duration::from_micros(deadline_us));
+        let schedule = policy.schedule(seed);
+        let total: std::time::Duration = schedule.iter().sum();
+        prop_assert!(total <= std::time::Duration::from_micros(deadline_us));
+        prop_assert!(schedule.len() < 12);
+    }
+
+    #[test]
+    fn execute_retries_until_the_scripted_success(
+        fail_first in 0u32..6,
+        max_attempts in 1u32..8,
+        seed in any::<u64>(),
+    ) {
+        let policy = RetryPolicy::fixed(std::time::Duration::from_micros(10))
+            .with_jitter(0.5)
+            .with_max_attempts(max_attempts);
+        let mut slept = Vec::new();
+        let result = policy.execute_with(
+            seed,
+            |d| slept.push(d),
+            |attempt| if attempt > fail_first { Ok(attempt) } else { Err(attempt) },
+        );
+        if fail_first < max_attempts {
+            let retried = result.unwrap();
+            prop_assert_eq!(retried.attempts, fail_first + 1);
+            prop_assert_eq!(retried.value, fail_first + 1);
+            prop_assert_eq!(slept.len() as u32, fail_first);
+        } else {
+            let err = result.unwrap_err();
+            prop_assert_eq!(err.attempts(), max_attempts);
+            prop_assert_eq!(slept.len() as u32, max_attempts - 1);
+        }
+        // The sleeps are exactly the policy's deterministic schedule.
+        let expected: Vec<_> = (1..=slept.len() as u32)
+            .map(|k| policy.delay_after(k, seed))
+            .collect();
+        prop_assert_eq!(slept, expected);
+    }
 }
