@@ -1,5 +1,6 @@
 //! A consecutive-failure circuit breaker with half-open probing.
 
+use parc_trace::{BreakerPhase, MarkKind, TraceHandle};
 use parking_lot::Mutex;
 
 /// Observable breaker state.
@@ -11,6 +12,16 @@ pub enum BreakerState {
     Open,
     /// One probe request is allowed through to test recovery.
     HalfOpen,
+}
+
+impl BreakerState {
+    fn phase(self) -> BreakerPhase {
+        match self {
+            BreakerState::Closed => BreakerPhase::Closed,
+            BreakerState::Open => BreakerPhase::Open,
+            BreakerState::HalfOpen => BreakerPhase::HalfOpen,
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -36,6 +47,8 @@ pub struct Breaker {
     threshold: u32,
     cooldown_calls: u32,
     inner: Mutex<Inner>,
+    trace: TraceHandle,
+    pid: u32,
 }
 
 impl Breaker {
@@ -53,13 +66,36 @@ impl Breaker {
                 denied: 0,
                 probing: false,
             }),
+            trace: TraceHandle::default(),
+            pid: 0,
+        }
+    }
+
+    /// Record this breaker's state transitions through `trace` on the
+    /// track `pid` (obtain one with
+    /// [`parc_trace::TraceHandle::register_track`]).
+    #[must_use]
+    pub fn with_trace(mut self, trace: &TraceHandle, pid: u32) -> Self {
+        self.trace = trace.clone();
+        self.pid = pid;
+        self
+    }
+
+    /// Emit a transition mark when the state actually changed.
+    fn trace_transition(&self, from: BreakerState, to: BreakerState) {
+        if from != to {
+            self.trace.mark(
+                self.pid,
+                MarkKind::BreakerTransition { from: from.phase(), to: to.phase() },
+            );
         }
     }
 
     /// May a request proceed right now? Denials advance the cooldown.
     pub fn allow(&self) -> bool {
         let mut g = self.inner.lock();
-        match g.state {
+        let before = g.state;
+        let decision = match g.state {
             BreakerState::Closed => true,
             BreakerState::Open => {
                 g.denied += 1;
@@ -77,21 +113,29 @@ impl Breaker {
                     true
                 }
             }
-        }
+        };
+        let after = g.state;
+        drop(g);
+        self.trace_transition(before, after);
+        decision
     }
 
     /// Record that an admitted request succeeded.
     pub fn record_success(&self) {
         let mut g = self.inner.lock();
+        let before = g.state;
         g.state = BreakerState::Closed;
         g.consecutive_failures = 0;
         g.denied = 0;
         g.probing = false;
+        drop(g);
+        self.trace_transition(before, BreakerState::Closed);
     }
 
     /// Record that an admitted request failed.
     pub fn record_failure(&self) {
         let mut g = self.inner.lock();
+        let before = g.state;
         match g.state {
             BreakerState::HalfOpen => {
                 // Failed probe: straight back to a full cooldown.
@@ -108,6 +152,9 @@ impl Breaker {
             }
             BreakerState::Open => {}
         }
+        let after = g.state;
+        drop(g);
+        self.trace_transition(before, after);
     }
 
     /// Current state.
@@ -158,6 +205,21 @@ mod tests {
         b.record_success();
         assert_eq!(b.state(), BreakerState::Closed);
         assert!(b.allow());
+    }
+
+    #[test]
+    fn transitions_are_traced() {
+        let col = parc_trace::Collector::new();
+        let h = col.handle();
+        let pid = h.register_track("breaker");
+        let b = Breaker::new(1, 1).with_trace(&h, pid);
+        b.record_failure(); // Closed -> Open
+        assert!(!b.allow()); // cooldown done: Open -> HalfOpen
+        assert!(b.allow()); // probe admitted, no transition
+        b.record_success(); // HalfOpen -> Closed
+        b.record_success(); // already Closed: no transition
+        let trace = col.snapshot();
+        assert_eq!(trace.counts_by_name()["breaker.transition"], 3);
     }
 
     #[test]

@@ -256,6 +256,39 @@ impl RetryPolicy {
     ) -> Result<Retried<T>, RetryError<E>> {
         self.execute_with(seed, std::thread::sleep, op)
     }
+
+    /// [`execute_with`](Self::execute_with), recording the operation
+    /// as a `retry.op` span on `trace` with a `retry.wait` mark for
+    /// every backoff delay. `key` identifies the operation in the
+    /// trace (websim uses the page id).
+    pub fn execute_traced<T, E>(
+        &self,
+        seed: u64,
+        trace: &parc_trace::TraceHandle,
+        pid: u32,
+        key: u64,
+        mut sleep: impl FnMut(Duration),
+        op: impl FnMut(u32) -> Result<T, E>,
+    ) -> Result<Retried<T>, RetryError<E>> {
+        let _span = trace.span(pid, parc_trace::SpanKind::RetryOp { key });
+        let mut failed_attempt = 0u32;
+        self.execute_with(
+            seed,
+            |delay| {
+                failed_attempt += 1;
+                trace.mark(
+                    pid,
+                    parc_trace::MarkKind::RetryWait {
+                        key,
+                        failed_attempt,
+                        delay_ns: u64::try_from(delay.as_nanos()).unwrap_or(u64::MAX),
+                    },
+                );
+                sleep(delay);
+            },
+            op,
+        )
+    }
 }
 
 #[cfg(test)]
@@ -337,6 +370,25 @@ mod tests {
         assert_eq!(err.attempts(), 4);
         assert_eq!(*err.last_error(), "always");
         assert!(matches!(err, RetryError::Exhausted { .. }));
+    }
+
+    #[test]
+    fn execute_traced_records_span_and_waits() {
+        let col = parc_trace::Collector::new();
+        let h = col.handle();
+        let pid = h.register_track("retry");
+        let p = RetryPolicy::fixed(Duration::from_millis(1)).with_max_attempts(5);
+        let out = p
+            .execute_traced(9, &h, pid, 42, |_| {}, |attempt| {
+                if attempt < 3 { Err("boom") } else { Ok(attempt) }
+            })
+            .expect("succeeds on attempt 3");
+        assert_eq!(out.attempts, 3);
+        let trace = col.snapshot();
+        let counts = trace.counts_by_name();
+        assert_eq!(counts["retry.op"], 1);
+        assert_eq!(counts["retry.wait"], 2, "two failed attempts, two waits");
+        assert_eq!(trace.spans().len(), 1);
     }
 
     #[test]

@@ -34,11 +34,12 @@ pub mod timer;
 pub use probe::{Probe, ProbeReport};
 pub use timer::{invoke_after, repeat_every, Timer};
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::{self, ThreadId};
 use std::time::Instant;
 
+use parc_trace::{Counter, TraceHandle};
 use parking_lot::{Condvar, Mutex};
 use queue::EventQueue;
 
@@ -70,9 +71,14 @@ struct Shared {
     dispatch_thread: Mutex<Option<ThreadId>>,
     started: Condvar,
     repaint_pending: AtomicBool,
-    events_dispatched: AtomicU64,
-    repaints_performed: AtomicU64,
-    repaints_requested: AtomicU64,
+    // Counters live on the parc-trace metrics registry when a
+    // collector is attached; increments stay one relaxed atomic op
+    // either way.
+    events_dispatched: Arc<Counter>,
+    repaints_performed: Arc<Counter>,
+    repaints_requested: Arc<Counter>,
+    pub(crate) trace: TraceHandle,
+    pub(crate) pid: u32,
 }
 
 /// Handle for posting work to the event loop. Cloneable and `Send`.
@@ -92,14 +98,39 @@ impl EventLoop {
     /// Start a dispatch thread and return the loop.
     #[must_use]
     pub fn spawn() -> Self {
+        Self::spawn_traced(&TraceHandle::default())
+    }
+
+    /// [`EventLoop::spawn`], recording through `trace` on a track
+    /// named `guievent`: dispatch counters are registered as
+    /// `guievent.*` on the collector's metrics registry, and a
+    /// [`Probe`] attached to this loop emits one `gui.probe` mark per
+    /// latency sample.
+    #[must_use]
+    pub fn spawn_traced(trace: &TraceHandle) -> Self {
+        let pid = trace.register_track("guievent");
+        let events_dispatched = Arc::new(Counter::new());
+        let repaints_performed = Arc::new(Counter::new());
+        let repaints_requested = Arc::new(Counter::new());
+        if let Some(reg) = trace.metrics() {
+            for (name, counter) in [
+                ("guievent.events_dispatched", &events_dispatched),
+                ("guievent.repaints_performed", &repaints_performed),
+                ("guievent.repaints_requested", &repaints_requested),
+            ] {
+                reg.register_counter(name, counter);
+            }
+        }
         let shared = Arc::new(Shared {
             queue: EventQueue::new(),
             dispatch_thread: Mutex::new(None),
             started: Condvar::new(),
             repaint_pending: AtomicBool::new(false),
-            events_dispatched: AtomicU64::new(0),
-            repaints_performed: AtomicU64::new(0),
-            repaints_requested: AtomicU64::new(0),
+            events_dispatched,
+            repaints_performed,
+            repaints_requested,
+            trace: trace.clone(),
+            pid,
         });
         let thread_shared = Arc::clone(&shared);
         let joiner = thread::Builder::new()
@@ -201,7 +232,7 @@ impl GuiHandle {
     /// to them are coalesced into a single repaint, like a real
     /// toolkit's dirty flag.
     pub fn request_repaint(&self) {
-        self.shared.repaints_requested.fetch_add(1, Ordering::Relaxed);
+        self.shared.repaints_requested.inc();
         if !self.shared.repaint_pending.swap(true, Ordering::AcqRel) {
             let depth = self.shared.queue.push(Event::Repaint);
             self.note_depth(depth);
@@ -218,9 +249,9 @@ impl GuiHandle {
     #[must_use]
     pub fn stats(&self) -> GuiStats {
         GuiStats {
-            events_dispatched: self.shared.events_dispatched.load(Ordering::Relaxed),
-            repaints_performed: self.shared.repaints_performed.load(Ordering::Relaxed),
-            repaints_requested: self.shared.repaints_requested.load(Ordering::Relaxed),
+            events_dispatched: self.shared.events_dispatched.get(),
+            repaints_performed: self.shared.repaints_performed.get(),
+            repaints_requested: self.shared.repaints_requested.get(),
             max_queue_depth: self.shared.queue.max_depth(),
         }
     }
@@ -249,12 +280,12 @@ fn dispatch_loop(shared: &Arc<Shared>) {
             Event::Invoke(f) => {
                 // Count before running: `invoke_and_wait` callers may
                 // read the stats as soon as their closure completes.
-                shared.events_dispatched.fetch_add(1, Ordering::Relaxed);
+                shared.events_dispatched.inc();
                 f();
             }
             Event::Repaint => {
                 shared.repaint_pending.store(false, Ordering::Release);
-                shared.repaints_performed.fetch_add(1, Ordering::Relaxed);
+                shared.repaints_performed.inc();
             }
             Event::Shutdown => break,
         }

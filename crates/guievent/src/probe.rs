@@ -88,12 +88,24 @@ impl Probe {
         let pacer = thread::Builder::new()
             .name("gui-probe".to_string())
             .spawn(move || {
+                let trace = pacer_gui.shared.trace.clone();
+                let pid = pacer_gui.shared.pid;
                 while !pacer_stop.load(Ordering::Acquire) {
                     let posted = Instant::now();
                     let samples = Arc::clone(&pacer_samples);
+                    let trace = trace.clone();
                     pacer_gui.invoke_later(move || {
-                        let latency_ms = posted.elapsed().as_secs_f64() * 1e3;
-                        samples.lock().push(latency_ms);
+                        let latency = posted.elapsed();
+                        samples.lock().push(latency.as_secs_f64() * 1e3);
+                        // Marked on the EDT, so probe samples land on
+                        // the dispatch thread's trace lane.
+                        trace.mark(
+                            pid,
+                            parc_trace::MarkKind::GuiProbe {
+                                latency_ns: u64::try_from(latency.as_nanos())
+                                    .unwrap_or(u64::MAX),
+                            },
+                        );
                     });
                     thread::sleep(interval);
                 }
@@ -166,6 +178,25 @@ mod tests {
             report.worst_ms()
         );
         gui.shutdown();
+    }
+
+    #[test]
+    fn traced_probe_marks_match_samples() {
+        let col = parc_trace::Collector::new();
+        let gui = EventLoop::spawn_traced(&col.handle());
+        let probe = Probe::start(gui.handle(), Duration::from_millis(1));
+        thread::sleep(Duration::from_millis(20));
+        let report = probe.finish();
+        gui.shutdown();
+        let trace = col.snapshot();
+        assert_eq!(
+            trace.counts_by_name().get("gui.probe").copied().unwrap_or(0),
+            report.len() as u64,
+            "one gui.probe mark per latency sample"
+        );
+        // The dispatch counters rode along on the metrics registry.
+        let counters = col.metrics().counter_values();
+        assert!(counters["guievent.events_dispatched"] >= report.len() as u64);
     }
 
     #[test]

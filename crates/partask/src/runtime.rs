@@ -2,11 +2,12 @@
 //! and shutdown.
 
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Weak};
 use std::thread;
 use std::time::{Duration, Instant};
 
+use parc_trace::{Counter, MarkKind, Outcome, SpanKind, TraceHandle};
 use parking_lot::{Condvar, Mutex};
 
 use crate::sched::{Job, LocalQueue, SchedCounters, SchedulerKind, SharedSched};
@@ -48,17 +49,20 @@ pub(crate) struct RtInner {
     idle: Mutex<()>,
     idle_cv: Condvar,
     quiescent_cv: Condvar,
-    spawned: AtomicU64,
-    executed: AtomicU64,
-    helped: AtomicU64,
-    cancelled: AtomicU64,
-    timed_out: AtomicU64,
+    spawned: Arc<Counter>,
+    executed: Arc<Counter>,
+    helped: Arc<Counter>,
+    cancelled: Arc<Counter>,
+    timed_out: Arc<Counter>,
+    pub(crate) trace: TraceHandle,
+    pub(crate) pid: u32,
     deadlines: DeadlineWatch,
 }
 
 /// One task registered with the deadline watchdog.
 struct DeadlineEntry {
     due: Instant,
+    task: u64,
     token: CancelToken,
     finished: Arc<dyn Fn() -> bool + Send + Sync>,
 }
@@ -95,6 +99,7 @@ pub struct Builder {
     workers: usize,
     kind: SchedulerKind,
     name: String,
+    trace: TraceHandle,
 }
 
 impl Default for Builder {
@@ -103,6 +108,7 @@ impl Default for Builder {
             workers: thread::available_parallelism().map_or(1, usize::from),
             kind: SchedulerKind::default(),
             name: "partask".to_string(),
+            trace: TraceHandle::default(),
         }
     }
 }
@@ -130,24 +136,60 @@ impl Builder {
         self
     }
 
+    /// Record this runtime's events and counters through `trace`
+    /// (spawn/run/steal/outcome events on a track named after the
+    /// runtime, counters registered as `<name>.<counter>`).
+    #[must_use]
+    pub fn trace(mut self, trace: &TraceHandle) -> Self {
+        self.trace = trace.clone();
+        self
+    }
+
     /// Start the worker pool.
     #[must_use]
     pub fn build(self) -> TaskRuntime {
         let (sched, locals) = SharedSched::new(self.kind, self.workers);
+        let pid = self.trace.register_track(&self.name);
+        let counters = SchedCounters {
+            trace: self.trace.clone(),
+            pid,
+            ..SchedCounters::default()
+        };
+        let spawned = Arc::new(Counter::new());
+        let executed = Arc::new(Counter::new());
+        let helped = Arc::new(Counter::new());
+        let cancelled = Arc::new(Counter::new());
+        let timed_out = Arc::new(Counter::new());
+        if let Some(reg) = self.trace.metrics() {
+            for (suffix, counter) in [
+                ("spawned", &spawned),
+                ("executed", &executed),
+                ("helped", &helped),
+                ("cancelled", &cancelled),
+                ("timed_out", &timed_out),
+                ("local_pops", &counters.local_pops),
+                ("global_pops", &counters.global_pops),
+                ("steals", &counters.steals),
+            ] {
+                reg.register_counter(&format!("{}.{suffix}", self.name), counter);
+            }
+        }
         let inner = Arc::new(RtInner {
             sched,
-            counters: SchedCounters::default(),
+            counters,
             n_workers: self.workers,
             stop: AtomicBool::new(false),
             live_jobs: AtomicUsize::new(0),
             idle: Mutex::new(()),
             idle_cv: Condvar::new(),
             quiescent_cv: Condvar::new(),
-            spawned: AtomicU64::new(0),
-            executed: AtomicU64::new(0),
-            helped: AtomicU64::new(0),
-            cancelled: AtomicU64::new(0),
-            timed_out: AtomicU64::new(0),
+            spawned,
+            executed,
+            helped,
+            cancelled,
+            timed_out,
+            trace: self.trace,
+            pid,
             deadlines: DeadlineWatch::default(),
         });
         let mut joiners = Vec::with_capacity(self.workers);
@@ -244,7 +286,7 @@ impl RtInner {
     /// used both by helping joins and by external threads.
     fn help_once(self: &Arc<Self>) -> bool {
         if let Some(job) = self.sched.pop_shared(&self.counters) {
-            self.helped.fetch_add(1, Ordering::Relaxed);
+            self.helped.inc();
             job();
             true
         } else {
@@ -335,7 +377,11 @@ fn deadline_watch_loop(weak: &Weak<RtInner>) {
         drop(st);
         for entry in due {
             entry.token.cancel();
-            inner.timed_out.fetch_add(1, Ordering::Relaxed);
+            inner.timed_out.inc();
+            inner.trace.mark(
+                inner.pid,
+                MarkKind::TaskOutcome { task: entry.task, outcome: Outcome::TimedOut },
+            );
         }
     }
 }
@@ -417,6 +463,7 @@ impl TaskRuntime {
         let core = Arc::clone(&handle.core);
         self.inner.register_deadline(DeadlineEntry {
             due: Instant::now() + deadline,
+            task: core.id.as_u64(),
             token: handle.cancel_token(),
             finished: Arc::new(move || core.is_finished()),
         });
@@ -480,14 +527,14 @@ impl TaskRuntime {
     pub fn stats(&self) -> RuntimeStats {
         let inner = &self.inner;
         RuntimeStats {
-            spawned: inner.spawned.load(Ordering::Relaxed),
-            executed: inner.executed.load(Ordering::Relaxed),
-            local_pops: inner.counters.local_pops.load(Ordering::Relaxed),
-            global_pops: inner.counters.global_pops.load(Ordering::Relaxed),
-            steals: inner.counters.steals.load(Ordering::Relaxed),
-            helped: inner.helped.load(Ordering::Relaxed),
-            cancelled: inner.cancelled.load(Ordering::Relaxed),
-            timed_out: inner.timed_out.load(Ordering::Relaxed),
+            spawned: inner.spawned.get(),
+            executed: inner.executed.get(),
+            local_pops: inner.counters.local_pops.get(),
+            global_pops: inner.counters.global_pops.get(),
+            steals: inner.counters.steals.get(),
+            helped: inner.helped.get(),
+            cancelled: inner.cancelled.get(),
+            timed_out: inner.timed_out.get(),
         }
     }
 
@@ -600,25 +647,50 @@ fn make_helper(inner: &Arc<RtInner>) -> HelpHook {
     }))
 }
 
+/// The shared tail of both spawn paths: count the submission, emit the
+/// spawn mark (linked to the spawning thread's current span), and
+/// build the worker-side job closure that runs the body inside a
+/// `task.run` span and records its outcome.
+fn make_traced_job<T: Send + 'static>(
+    inner: &Arc<RtInner>,
+    core: &Arc<Core<T>>,
+    f: impl FnOnce(&CancelToken) -> T + Send + 'static,
+) -> Job {
+    let task = core.id.as_u64();
+    inner.spawned.inc();
+    inner.trace.mark(
+        inner.pid,
+        MarkKind::TaskSpawn { task, parent_span: inner.trace.current_span() },
+    );
+    inner.live_jobs.fetch_add(1, Ordering::AcqRel);
+    let job_core = Arc::clone(core);
+    let job_inner = Arc::downgrade(inner);
+    Box::new(move || {
+        let rt = job_inner.upgrade();
+        let was_cancelled = {
+            let _span = rt.as_ref().map(|i| i.trace.span(i.pid, SpanKind::TaskRun { task }));
+            job_core.run(f)
+        };
+        if let Some(inner) = rt {
+            inner.executed.inc();
+            let outcome = if was_cancelled {
+                inner.cancelled.inc();
+                Outcome::Cancelled
+            } else {
+                Outcome::Completed
+            };
+            inner.trace.mark(inner.pid, MarkKind::TaskOutcome { task, outcome });
+            inner.job_finished();
+        }
+    })
+}
+
 pub(crate) fn spawn_on<T: Send + 'static>(
     inner: &Arc<RtInner>,
     f: impl FnOnce(&CancelToken) -> T + Send + 'static,
 ) -> TaskHandle<T> {
     let core = Core::new();
-    inner.spawned.fetch_add(1, Ordering::Relaxed);
-    inner.live_jobs.fetch_add(1, Ordering::AcqRel);
-    let job_core = Arc::clone(&core);
-    let job_inner = Arc::downgrade(inner);
-    let job: Job = Box::new(move || {
-        let was_cancelled = job_core.run(f);
-        if let Some(inner) = job_inner.upgrade() {
-            inner.executed.fetch_add(1, Ordering::Relaxed);
-            if was_cancelled {
-                inner.cancelled.fetch_add(1, Ordering::Relaxed);
-            }
-            inner.job_finished();
-        }
-    });
+    let job = make_traced_job(inner, &core, f);
     inner.push_job(job);
     TaskHandle {
         core,
@@ -632,20 +704,7 @@ pub(crate) fn spawn_after_on<T: Send + 'static>(
     f: impl FnOnce(&CancelToken) -> T + Send + 'static,
 ) -> TaskHandle<T> {
     let core = Core::new();
-    inner.spawned.fetch_add(1, Ordering::Relaxed);
-    inner.live_jobs.fetch_add(1, Ordering::AcqRel);
-    let job_core = Arc::clone(&core);
-    let job_inner = Arc::downgrade(inner);
-    let job: Job = Box::new(move || {
-        let was_cancelled = job_core.run(f);
-        if let Some(inner) = job_inner.upgrade() {
-            inner.executed.fetch_add(1, Ordering::Relaxed);
-            if was_cancelled {
-                inner.cancelled.fetch_add(1, Ordering::Relaxed);
-            }
-            inner.job_finished();
-        }
-    });
+    let job = make_traced_job(inner, &core, f);
     if deps.is_empty() {
         inner.push_job(job);
     } else {

@@ -15,9 +15,10 @@
 //!   task count.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use parc_trace::{Counter, MarkKind, TraceHandle};
 use parking_lot::Mutex;
 
 /// A unit of scheduled work.
@@ -33,15 +34,21 @@ pub enum SchedulerKind {
     WorkSharing,
 }
 
-/// Counters describing where jobs were found.
-#[derive(Debug, Default)]
+/// Counters describing where jobs were found, shared with the metrics
+/// registry when tracing is attached, plus the trace handle steal
+/// marks are emitted through.
+#[derive(Default)]
 pub(crate) struct SchedCounters {
     /// Jobs popped from the owner's local deque.
-    pub local_pops: AtomicU64,
+    pub local_pops: Arc<Counter>,
     /// Jobs taken from the global injector / shared queue.
-    pub global_pops: AtomicU64,
+    pub global_pops: Arc<Counter>,
     /// Jobs stolen from another worker's deque.
-    pub steals: AtomicU64,
+    pub steals: Arc<Counter>,
+    /// Where scheduling events are recorded (disabled by default).
+    pub trace: TraceHandle,
+    /// The runtime's trace track.
+    pub pid: u32,
 }
 
 /// The shared (thread-safe) half of a scheduler.
@@ -114,14 +121,14 @@ impl SharedSched {
         match (self, local) {
             (SharedSched::Stealing { injector, stealers }, LocalQueue::Stealing(w)) => {
                 if let Some(job) = w.pop() {
-                    counters.local_pops.fetch_add(1, Ordering::Relaxed);
+                    counters.local_pops.inc();
                     return Some(job);
                 }
                 // Refill from the injector in a batch, then steal.
                 loop {
                     match injector.steal_batch_and_pop(w) {
                         Steal::Success(job) => {
-                            counters.global_pops.fetch_add(1, Ordering::Relaxed);
+                            counters.global_pops.inc();
                             return Some(job);
                         }
                         Steal::Empty => break,
@@ -135,7 +142,11 @@ impl SharedSched {
                     loop {
                         match stealer.steal() {
                             Steal::Success(job) => {
-                                counters.steals.fetch_add(1, Ordering::Relaxed);
+                                counters.steals.inc();
+                                counters.trace.mark(
+                                    counters.pid,
+                                    MarkKind::Steal { victim: victim as u32 },
+                                );
                                 return Some(job);
                             }
                             Steal::Empty => break,
@@ -148,7 +159,7 @@ impl SharedSched {
             (SharedSched::Sharing { queue }, LocalQueue::Sharing) => {
                 let job = queue.lock().pop_front();
                 if job.is_some() {
-                    counters.global_pops.fetch_add(1, Ordering::Relaxed);
+                    counters.global_pops.inc();
                 }
                 job
             }
@@ -164,18 +175,22 @@ impl SharedSched {
                 loop {
                     match injector.steal() {
                         Steal::Success(job) => {
-                            counters.global_pops.fetch_add(1, Ordering::Relaxed);
+                            counters.global_pops.inc();
                             return Some(job);
                         }
                         Steal::Empty => break,
                         Steal::Retry => {}
                     }
                 }
-                for stealer in stealers {
+                for (victim, stealer) in stealers.iter().enumerate() {
                     loop {
                         match stealer.steal() {
                             Steal::Success(job) => {
-                                counters.steals.fetch_add(1, Ordering::Relaxed);
+                                counters.steals.inc();
+                                counters.trace.mark(
+                                    counters.pid,
+                                    MarkKind::Steal { victim: victim as u32 },
+                                );
                                 return Some(job);
                             }
                             Steal::Empty => break,
@@ -188,7 +203,7 @@ impl SharedSched {
             SharedSched::Sharing { queue } => {
                 let job = queue.lock().pop_front();
                 if job.is_some() {
-                    counters.global_pops.fetch_add(1, Ordering::Relaxed);
+                    counters.global_pops.inc();
                 }
                 job
             }
@@ -209,7 +224,7 @@ impl SharedSched {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
+    use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Arc;
 
     fn run_all(shared: &SharedSched, local: &LocalQueue, counters: &SchedCounters) -> usize {
@@ -234,7 +249,7 @@ mod tests {
         assert_eq!(run_all(&shared, &local, &counters), 3);
         // Owner pops LIFO.
         assert_eq!(*log.lock(), vec![2, 1, 0]);
-        assert_eq!(counters.local_pops.load(Ordering::Relaxed), 3);
+        assert_eq!(counters.local_pops.get(), 3);
     }
 
     #[test]
@@ -285,7 +300,7 @@ mod tests {
             stolen += 1;
         }
         assert_eq!(stolen, 5);
-        assert_eq!(counters.steals.load(Ordering::Relaxed), 5);
+        assert_eq!(counters.steals.get(), 5);
     }
 
     #[test]

@@ -8,11 +8,22 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread;
 
+use parc_trace::{MarkKind, MetricHistogram, SchedTag, SpanKind, TraceHandle};
 use parking_lot::{Condvar, Mutex};
 
 use crate::reduction::Reduction;
 use crate::region::RegionState;
 use crate::schedule::{ChunkStream, LoopShared, Schedule};
+
+/// The trace tag for a worksharing schedule.
+fn sched_tag(schedule: Schedule) -> SchedTag {
+    match schedule {
+        Schedule::Static => SchedTag::Static,
+        Schedule::StaticChunk(_) => SchedTag::StaticChunk,
+        Schedule::Dynamic(_) => SchedTag::Dynamic,
+        Schedule::Guided(_) => SchedTag::Guided,
+    }
+}
 
 /// Why a parallel region failed. Returned by [`Team::try_parallel`];
 /// the analogue of Parallel Task's `asyncCatch` handler observing an
@@ -152,6 +163,14 @@ struct TeamInner {
     region_lock: Mutex<()>,
     criticals: Mutex<std::collections::HashMap<String, Arc<Mutex<()>>>>,
     joiners: Mutex<Vec<thread::JoinHandle<()>>>,
+    /// Where region/barrier/chunk events are recorded (disabled by
+    /// default).
+    trace: TraceHandle,
+    /// The team's trace track.
+    pid: u32,
+    /// Per-member barrier wait times, registered with the collector's
+    /// metrics registry when tracing is attached.
+    barrier_hist: Option<Arc<MetricHistogram>>,
 }
 
 /// A persistent team of threads executing parallel regions; the
@@ -168,7 +187,20 @@ impl Team {
     /// spawned; the caller of [`Team::parallel`] acts as thread 0).
     #[must_use]
     pub fn new(n: usize) -> Self {
+        Self::with_trace(n, &TraceHandle::default())
+    }
+
+    /// [`Team::new`], recording region, barrier and chunk-dispatch
+    /// events through `trace` on a track named `pyjama`. Per-member
+    /// barrier wait times are also registered as the
+    /// `pyjama.barrier_wait_ms` histogram.
+    #[must_use]
+    pub fn with_trace(n: usize, trace: &TraceHandle) -> Self {
         assert!(n >= 1, "a team needs at least one thread");
+        let pid = trace.register_track("pyjama");
+        let barrier_hist = trace
+            .metrics()
+            .map(|reg| reg.histogram("pyjama.barrier_wait_ms", 0.0, 50.0, 20));
         let inner = Arc::new(TeamInner {
             n,
             slot: Mutex::new(DispatchSlot {
@@ -180,6 +212,9 @@ impl Team {
             region_lock: Mutex::new(()),
             criticals: Mutex::new(std::collections::HashMap::new()),
             joiners: Mutex::new(Vec::new()),
+            trace: trace.clone(),
+            pid,
+            barrier_hist,
         });
         let mut joiners = Vec::with_capacity(n.saturating_sub(1));
         for tid in 1..n {
@@ -295,6 +330,9 @@ impl Team {
         // latch, or the erased closure pointer would dangle.
         IN_REGION.with(|c| c.set(true));
         let unwound = catch_unwind(AssertUnwindSafe(|| {
+            // The guard's Drop emits the span end even when the body
+            // unwinds, keeping begin/end pairs balanced.
+            let _span = self.inner.trace.span(self.inner.pid, SpanKind::Region { member: 0 });
             let ctx = Ctx {
                 team: &self.inner,
                 region: &region,
@@ -384,6 +422,7 @@ fn worker_loop(inner: &Arc<TeamInner>, tid: usize) {
         }
         IN_REGION.with(|c| c.set(true));
         let unwound = catch_unwind(AssertUnwindSafe(|| {
+            let _span = inner.trace.span(inner.pid, SpanKind::Region { member: tid as u32 });
             let ctx = Ctx {
                 team: inner,
                 region: &msg.region,
@@ -437,6 +476,19 @@ impl<'r> Ctx<'r> {
         self.construct_counter.fetch_add(1, Ordering::Relaxed)
     }
 
+    /// Record one dealt chunk of a worksharing construct.
+    fn mark_chunk(&self, construct: usize, chunk: &Range<usize>, schedule: SchedTag) {
+        self.team.trace.mark(
+            self.team.pid,
+            MarkKind::ChunkDispatch {
+                construct: construct as u32,
+                lo: chunk.start as u64,
+                len: chunk.len() as u64,
+                schedule,
+            },
+        );
+    }
+
     /// Block until every team thread reaches this barrier.
     ///
     /// If a sibling's region body panics, the barrier is poisoned and
@@ -445,8 +497,33 @@ impl<'r> Ctx<'r> {
     /// per-member wrapper and surfaces as
     /// [`TeamError::MemberPanicked`] from [`Team::try_parallel`].
     pub fn barrier(&self) {
-        if self.region.barrier.try_wait().is_err() {
+        let trace = &self.team.trace;
+        if !trace.enabled() {
+            if self.region.barrier.try_wait().is_err() {
+                poison_unwind();
+            }
+            return;
+        }
+        let member = self.tid as u32;
+        let start = std::time::Instant::now();
+        let arrived = {
+            let _span = trace.span(self.team.pid, SpanKind::BarrierWait { member });
+            self.region.barrier.try_wait()
+        };
+        let waited = start.elapsed();
+        if arrived.is_err() {
+            trace.mark(self.team.pid, MarkKind::BarrierPoison { member });
             poison_unwind();
+        }
+        trace.mark(
+            self.team.pid,
+            MarkKind::BarrierRelease {
+                member,
+                waited_ns: u64::try_from(waited.as_nanos()).unwrap_or(u64::MAX),
+            },
+        );
+        if let Some(hist) = &self.team.barrier_hist {
+            hist.record(waited.as_secs_f64() * 1e3);
         }
     }
 
@@ -516,6 +593,7 @@ impl<'r> Ctx<'r> {
             shared.as_deref(),
         );
         while let Some(chunk) = stream.next_chunk() {
+            self.mark_chunk(id, &chunk, sched_tag(schedule));
             for i in chunk {
                 body(i);
             }
@@ -551,6 +629,7 @@ impl<'r> Ctx<'r> {
             shared.as_deref(),
         );
         while let Some(chunk) = stream.next_chunk() {
+            self.mark_chunk(id, &chunk, sched_tag(schedule));
             for i in chunk {
                 acc = red.fold(acc, map(i));
             }
@@ -623,6 +702,7 @@ impl<'r> Ctx<'r> {
             shared.as_deref(),
         );
         while let Some(chunk) = stream.next_chunk() {
+            self.mark_chunk(id, &chunk, sched_tag(schedule));
             for i in chunk {
                 body(i, &gate);
             }
@@ -640,6 +720,7 @@ impl<'r> Ctx<'r> {
             if k >= sections.len() {
                 break;
             }
+            self.mark_chunk(id, &(k..k + 1), SchedTag::Sections);
             sections[k]();
         }
         self.barrier();

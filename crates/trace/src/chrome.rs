@@ -1,0 +1,251 @@
+//! Chrome Trace Event Format exporter.
+//!
+//! Emits the `{"traceEvents": [...]}` JSON that `chrome://tracing` and
+//! Perfetto load directly: one *process* per registered track (i.e.
+//! per instrumented runtime), one *thread* per recording OS thread,
+//! `B`/`E` duration pairs for spans and `i` instants for marks.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use crate::collector::Trace;
+use crate::event::{EventKind, MarkKind, SpanKind};
+use crate::json::escape;
+
+/// Render `trace` as a Chrome Trace Event Format JSON document.
+#[must_use]
+pub fn to_chrome_json(trace: &Trace) -> String {
+    let mut out = String::with_capacity(trace.events.len() * 96 + 256);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    let push = |entry: String, out: &mut String, first: &mut bool| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        out.push('\n');
+        out.push_str(&entry);
+    };
+
+    // Metadata: name every (pid) and (pid, tid) lane actually used, so
+    // the viewer shows runtime/thread names instead of bare numbers.
+    let mut pids: BTreeSet<u32> = BTreeSet::new();
+    let mut lanes: BTreeSet<(u32, u32)> = BTreeSet::new();
+    for ev in &trace.events {
+        pids.insert(ev.pid);
+        lanes.insert((ev.pid, ev.tid));
+    }
+    for pid in &pids {
+        push(
+            format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\"tid\":0,\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                pid,
+                escape(trace.track_name(*pid)),
+            ),
+            &mut out,
+            &mut first,
+        );
+    }
+    for (pid, tid) in &lanes {
+        push(
+            format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{},\"tid\":{},\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                pid,
+                tid,
+                escape(trace.lane_name(*tid)),
+            ),
+            &mut out,
+            &mut first,
+        );
+    }
+
+    for ev in &trace.events {
+        let ts_us = ev.ts_ns as f64 / 1000.0;
+        let entry = match ev.kind {
+            EventKind::SpanBegin { id, parent, what } => format!(
+                "{{\"name\":\"{}\",\"ph\":\"B\",\"ts\":{:.3},\"pid\":{},\"tid\":{},\
+                 \"args\":{{\"span\":{},\"parent\":{}{}}}}}",
+                escape(what.name()),
+                ts_us,
+                ev.pid,
+                ev.tid,
+                id,
+                parent,
+                span_args(what),
+            ),
+            EventKind::SpanEnd { id, what } => format!(
+                "{{\"name\":\"{}\",\"ph\":\"E\",\"ts\":{:.3},\"pid\":{},\"tid\":{},\
+                 \"args\":{{\"span\":{}}}}}",
+                escape(what.name()),
+                ts_us,
+                ev.pid,
+                ev.tid,
+                id,
+            ),
+            EventKind::Mark { what } => format!(
+                "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{:.3},\
+                 \"pid\":{},\"tid\":{},\"args\":{{{}}}}}",
+                escape(what.name()),
+                ts_us,
+                ev.pid,
+                ev.tid,
+                mark_args(what),
+            ),
+        };
+        push(entry, &mut out, &mut first);
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Extra `args` members for a span begin, with a leading comma.
+fn span_args(what: SpanKind) -> String {
+    let mut s = String::new();
+    match what {
+        SpanKind::TaskRun { task } => {
+            let _ = write!(s, ",\"task\":{task}");
+        }
+        SpanKind::BarrierWait { member } | SpanKind::Region { member } => {
+            let _ = write!(s, ",\"member\":{member}");
+        }
+        SpanKind::FetchAttempt { page, attempt } => {
+            let _ = write!(s, ",\"page\":{page},\"attempt\":{attempt}");
+        }
+        SpanKind::Crawl { pages } => {
+            let _ = write!(s, ",\"pages\":{pages}");
+        }
+        SpanKind::RetryOp { key } => {
+            let _ = write!(s, ",\"key\":{key}");
+        }
+    }
+    s
+}
+
+/// The `args` members for a mark (no leading comma).
+fn mark_args(what: MarkKind) -> String {
+    match what {
+        MarkKind::TaskSpawn { task, parent_span } => {
+            format!("\"task\":{task},\"parent_span\":{parent_span}")
+        }
+        MarkKind::TaskOutcome { task, outcome } => {
+            format!("\"task\":{task},\"outcome\":\"{}\"", outcome.name())
+        }
+        MarkKind::Steal { victim } => format!("\"victim\":{victim}"),
+        MarkKind::BarrierRelease { member, waited_ns } => {
+            format!("\"member\":{member},\"waited_ns\":{waited_ns}")
+        }
+        MarkKind::BarrierPoison { member } => format!("\"member\":{member}"),
+        MarkKind::ChunkDispatch { construct, lo, len, schedule } => format!(
+            "\"construct\":{construct},\"lo\":{lo},\"len\":{len},\"schedule\":\"{}\"",
+            schedule.name()
+        ),
+        MarkKind::FetchResult { page, attempt, result } => format!(
+            "\"page\":{page},\"attempt\":{attempt},\"result\":\"{}\"",
+            result.name()
+        ),
+        MarkKind::RetryWait { key, failed_attempt, delay_ns } => {
+            format!("\"key\":{key},\"failed_attempt\":{failed_attempt},\"delay_ns\":{delay_ns}")
+        }
+        MarkKind::BreakerTransition { from, to } => {
+            format!("\"from\":\"{}\",\"to\":\"{}\"", from.name(), to.name())
+        }
+        MarkKind::FaultInjected { key, attempt, fault } => format!(
+            "\"key\":{key},\"attempt\":{attempt},\"fault\":\"{}\"",
+            fault.name()
+        ),
+        MarkKind::GuiProbe { latency_ns } => format!("\"latency_ns\":{latency_ns}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::Collector;
+    use crate::event::{FetchTag, Outcome};
+    use crate::json::{parse, Json};
+
+    fn sample_trace() -> Trace {
+        let col = Collector::new();
+        let h = col.handle();
+        let pid = h.register_track("partask");
+        {
+            let _crawl = h.span(pid, SpanKind::Crawl { pages: 3 });
+            {
+                let _a = h.span(pid, SpanKind::FetchAttempt { page: 1, attempt: 1 });
+                h.mark(
+                    pid,
+                    MarkKind::FetchResult { page: 1, attempt: 1, result: FetchTag::Ok },
+                );
+            }
+            h.mark(pid, MarkKind::TaskOutcome { task: 5, outcome: Outcome::Completed });
+        }
+        col.snapshot()
+    }
+
+    #[test]
+    fn exporter_emits_valid_json() {
+        let json = to_chrome_json(&sample_trace());
+        let doc = parse(&json).expect("exporter output must parse");
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        // 1 process_name + 1 thread_name + 2 B + 2 E + 2 i.
+        assert_eq!(events.len(), 8);
+        for ev in events {
+            assert!(ev.get("name").unwrap().as_str().is_some());
+            assert!(ev.get("ph").unwrap().as_str().is_some());
+            assert!(ev.get("pid").unwrap().as_f64().is_some());
+        }
+    }
+
+    #[test]
+    fn span_pairs_balance_per_lane() {
+        let json = to_chrome_json(&sample_trace());
+        let doc = parse(&json).unwrap();
+        let mut depth = 0i64;
+        for ev in doc.get("traceEvents").unwrap().as_arr().unwrap() {
+            match ev.get("ph").unwrap().as_str().unwrap() {
+                "B" => depth += 1,
+                "E" => {
+                    depth -= 1;
+                    assert!(depth >= 0, "E without matching B");
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(depth, 0, "every B needs a matching E");
+    }
+
+    #[test]
+    fn metadata_names_tracks_and_lanes() {
+        let json = to_chrome_json(&sample_trace());
+        let doc = parse(&json).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let proc_meta = events
+            .iter()
+            .find(|e| e.get("name") == Some(&Json::Str("process_name".into())))
+            .expect("process_name metadata present");
+        assert_eq!(
+            proc_meta.get("args").unwrap().get("name").unwrap().as_str(),
+            Some("partask")
+        );
+        assert!(events
+            .iter()
+            .any(|e| e.get("name") == Some(&Json::Str("thread_name".into()))));
+    }
+
+    #[test]
+    fn timestamps_are_microseconds_nondecreasing() {
+        let json = to_chrome_json(&sample_trace());
+        let doc = parse(&json).unwrap();
+        let mut last = f64::NEG_INFINITY;
+        for ev in doc.get("traceEvents").unwrap().as_arr().unwrap() {
+            if ev.get("ph").unwrap().as_str() == Some("M") {
+                continue;
+            }
+            let ts = ev.get("ts").unwrap().as_f64().unwrap();
+            assert!(ts >= last, "events must be time-ordered");
+            last = ts;
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! The metrics registry: named counters, gauges and fixed-bucket
+//! histograms (built on [`parc_util::stats::Histogram`]).
+//!
+//! Runtimes own their counters (`Arc<Counter>`) so increments stay a
+//! single relaxed atomic op, and *register* them under prefixed names
+//! when a collector is attached; the registry then snapshots every
+//! registered metric into one deterministic, alphabetised table for
+//! the experiment reports.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parc_util::stats::Histogram;
+use parc_util::table::Table;
+use parking_lot::Mutex;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed instantaneous value (queue depths, live-job counts).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A gauge at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Add a (possibly negative) delta.
+    #[inline]
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A shareable fixed-bucket histogram
+/// (mutex-wrapped [`parc_util::stats::Histogram`] — recording a sample
+/// is off the event hot path, so a short lock is fine here).
+#[derive(Debug)]
+pub struct MetricHistogram {
+    inner: Mutex<Histogram>,
+}
+
+impl MetricHistogram {
+    /// Histogram over `[lo, hi)` with `buckets` equal-width buckets.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64, buckets: usize) -> Self {
+        Self { inner: Mutex::new(Histogram::new(lo, hi, buckets)) }
+    }
+
+    /// Record one observation.
+    pub fn record(&self, x: f64) {
+        self.inner.lock().record(x);
+    }
+
+    /// Total recorded observations, including out-of-range ones.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.inner.lock().total()
+    }
+
+    /// A copy of the underlying histogram for inspection.
+    #[must_use]
+    pub fn snapshot(&self) -> Histogram {
+        self.inner.lock().clone()
+    }
+
+    /// Render the ASCII bar chart (`width` chars for the tallest bar).
+    #[must_use]
+    pub fn render(&self, width: usize) -> String {
+        self.inner.lock().render(width)
+    }
+}
+
+/// A registry of named metrics with deterministic (alphabetical)
+/// snapshot order.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<MetricHistogram>>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or create the counter `name`.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        Arc::clone(
+            self.counters
+                .lock()
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Counter::new())),
+        )
+    }
+
+    /// Register an existing counter under `name` (replacing any
+    /// previous registration). This is how runtimes expose the
+    /// counters they own and increment internally.
+    pub fn register_counter(&self, name: &str, counter: &Arc<Counter>) {
+        self.counters.lock().insert(name.to_string(), Arc::clone(counter));
+    }
+
+    /// Get or create the gauge `name`.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        Arc::clone(
+            self.gauges
+                .lock()
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Gauge::new())),
+        )
+    }
+
+    /// Get or create the histogram `name` over `[lo, hi)` with
+    /// `buckets` buckets. The range of an existing histogram wins.
+    #[must_use]
+    pub fn histogram(&self, name: &str, lo: f64, hi: f64, buckets: usize) -> Arc<MetricHistogram> {
+        Arc::clone(
+            self.histograms
+                .lock()
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(MetricHistogram::new(lo, hi, buckets))),
+        )
+    }
+
+    /// Every counter's current value, alphabetised.
+    #[must_use]
+    pub fn counter_values(&self) -> BTreeMap<String, u64> {
+        self.counters
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+
+    /// Every gauge's current value, alphabetised.
+    #[must_use]
+    pub fn gauge_values(&self) -> BTreeMap<String, i64> {
+        self.gauges
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+
+    /// Histogram names with sample totals, alphabetised.
+    #[must_use]
+    pub fn histogram_totals(&self) -> BTreeMap<String, u64> {
+        self.histograms
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.total()))
+            .collect()
+    }
+
+    /// Render the flat metrics summary — one row per metric, sorted by
+    /// name — used by the teaching reports and EXPERIMENTS.md.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut table = Table::new("metrics", &["metric", "kind", "value"]);
+        for (name, value) in self.counter_values() {
+            table.row(&[name, "counter".into(), value.to_string()]);
+        }
+        for (name, value) in self.gauge_values() {
+            table.row(&[name, "gauge".into(), value.to_string()]);
+        }
+        for (name, total) in self.histogram_totals() {
+            table.row(&[name, "histogram".into(), format!("{total} samples")]);
+        }
+        table.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        g.set(7);
+        g.add(-3);
+        assert_eq!(g.get(), 4);
+    }
+
+    #[test]
+    fn registry_get_or_create_shares() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.inc();
+        assert_eq!(b.get(), 1);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn registered_counter_is_visible() {
+        let reg = MetricsRegistry::new();
+        let owned = Arc::new(Counter::new());
+        owned.add(42);
+        reg.register_counter("rt.spawned", &owned);
+        assert_eq!(reg.counter_values()["rt.spawned"], 42);
+        owned.inc();
+        assert_eq!(reg.counter("rt.spawned").get(), 43);
+    }
+
+    #[test]
+    fn histogram_records_through_registry() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("wait_ms", 0.0, 10.0, 5);
+        h.record(1.0);
+        h.record(3.0);
+        h.record(99.0); // overflow still counts toward total
+        assert_eq!(reg.histogram_totals()["wait_ms"], 3);
+        let snap = h.snapshot();
+        assert_eq!(snap.overflow(), 1);
+    }
+
+    #[test]
+    fn render_is_alphabetised_and_complete() {
+        let reg = MetricsRegistry::new();
+        reg.counter("b.count").add(2);
+        reg.counter("a.count").add(1);
+        reg.gauge("depth").set(3);
+        let _ = reg.histogram("lat", 0.0, 1.0, 2);
+        let text = reg.render();
+        let a = text.find("a.count").unwrap();
+        let b = text.find("b.count").unwrap();
+        assert!(a < b, "counters must render alphabetised");
+        assert!(text.contains("gauge"));
+        assert!(text.contains("histogram"));
+        assert!(text.contains("== metrics =="));
+    }
+}

@@ -1,0 +1,127 @@
+//! ASCII Gantt/timeline renderer for terminal teaching reports.
+//!
+//! Each lane (one per recording thread, grouped by track) gets a row
+//! whose bar shows *when that thread was inside a span*: `#` marks a
+//! busy time bucket, `.` an idle one. A second glance-level table of
+//! span counts and busy fractions rides along, rendered through
+//! [`parc_util::table::Table`] so it matches every other report in the
+//! workspace.
+
+use std::collections::BTreeMap;
+
+use parc_util::table::Table;
+
+use crate::collector::{CompletedSpan, Trace};
+
+/// Render the per-lane activity timeline. `width` is the number of
+/// time buckets (bar characters) per lane. Returns a note when the
+/// trace has no completed spans.
+#[must_use]
+pub fn render_timeline(trace: &Trace, width: usize) -> String {
+    let width = width.max(8);
+    let spans = trace.spans();
+    if spans.is_empty() {
+        return String::from("(timeline: no completed spans recorded)\n");
+    }
+    let t0 = spans.iter().map(|s| s.start_ns).min().unwrap_or(0);
+    let t1 = spans.iter().map(|s| s.end_ns).max().unwrap_or(t0 + 1);
+    let total_ns = (t1 - t0).max(1);
+
+    // Group spans per (pid, tid) lane, deterministically ordered.
+    let mut by_lane: BTreeMap<(u32, u32), Vec<&CompletedSpan>> = BTreeMap::new();
+    for s in &spans {
+        by_lane.entry((s.pid, s.tid)).or_default().push(s);
+    }
+
+    let mut table = Table::new(
+        &format!("timeline ({:.3} ms total)", total_ns as f64 / 1e6),
+        &["lane", "spans", "busy", "activity"],
+    );
+    for ((pid, tid), lane_spans) in &by_lane {
+        let mut buckets = vec![false; width];
+        let mut busy_ns = 0u64;
+        // Merge per-lane span intervals so nesting doesn't double-count.
+        let mut intervals: Vec<(u64, u64)> =
+            lane_spans.iter().map(|s| (s.start_ns, s.end_ns.max(s.start_ns))).collect();
+        intervals.sort_unstable();
+        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(intervals.len());
+        for (lo, hi) in intervals {
+            match merged.last_mut() {
+                Some((_, mhi)) if lo <= *mhi => *mhi = (*mhi).max(hi),
+                _ => merged.push((lo, hi)),
+            }
+        }
+        for (lo, hi) in &merged {
+            busy_ns += hi - lo;
+            let b0 = ((lo - t0) as u128 * width as u128 / total_ns as u128) as usize;
+            let b1 = ((hi - t0) as u128 * width as u128 / total_ns as u128) as usize;
+            for b in buckets.iter_mut().take(b1.min(width - 1) + 1).skip(b0) {
+                *b = true;
+            }
+        }
+        let bar: String = buckets.iter().map(|&b| if b { '#' } else { '.' }).collect();
+        let busy_pct = busy_ns as f64 * 100.0 / total_ns as f64;
+        table.row(&[
+            format!("{}/{}", trace.track_name(*pid), trace.lane_name(*tid)),
+            lane_spans.len().to_string(),
+            format!("{busy_pct:.0}%"),
+            bar,
+        ]);
+    }
+    table.render()
+}
+
+/// Render per-event-name counts as a table — the "what happened, how
+/// often" companion to the timeline.
+#[must_use]
+pub fn render_event_counts(trace: &Trace) -> String {
+    let mut table = Table::new("event counts", &["event", "count"]);
+    for (name, count) in trace.counts_by_name() {
+        table.row(&[name.to_string(), count.to_string()]);
+    }
+    if trace.dropped > 0 {
+        table.row(&["(dropped: ring full)".to_string(), trace.dropped.to_string()]);
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::Collector;
+    use crate::event::SpanKind;
+
+    #[test]
+    fn timeline_renders_lane_rows() {
+        let col = Collector::new();
+        let h = col.handle();
+        let pid = h.register_track("demo");
+        {
+            let _s = h.span(pid, SpanKind::Crawl { pages: 1 });
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let text = render_timeline(&col.snapshot(), 32);
+        assert!(text.contains("timeline"));
+        assert!(text.contains("demo/"));
+        assert!(text.contains('#'), "a completed span must mark busy buckets");
+    }
+
+    #[test]
+    fn empty_trace_has_fallback() {
+        let col = Collector::new();
+        let text = render_timeline(&col.snapshot(), 32);
+        assert!(text.contains("no completed spans"));
+    }
+
+    #[test]
+    fn event_counts_table_lists_names() {
+        let col = Collector::new();
+        let h = col.handle();
+        let pid = h.register_track("demo");
+        drop(h.span(pid, SpanKind::RetryOp { key: 1 }));
+        drop(h.span(pid, SpanKind::RetryOp { key: 2 }));
+        let text = render_event_counts(&col.snapshot());
+        assert!(text.contains("retry.op"));
+        assert!(text.contains('2'));
+    }
+}

@@ -12,10 +12,11 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use faultsim::{RetryError, RetryPolicy};
+use parc_trace::{FetchTag, MarkKind, SpanKind};
 use parc_util::rng::SplitMix64;
 use partask::TaskRuntime;
 
-use crate::server::SimServer;
+use crate::server::{RequestError, SimServer};
 
 /// Result of downloading a page set.
 #[derive(Clone, Debug)]
@@ -48,6 +49,12 @@ pub struct PageOutcome {
     /// Kilobytes transferred, or `None` if the page permanently
     /// failed (attempts/deadline exhausted).
     pub kb: Option<f64>,
+    /// Attempts on this page that failed with a transient error.
+    pub transient_errors: u32,
+    /// Attempts on this page that failed by timeout.
+    pub timeouts: u32,
+    /// Attempts on this page that failed by injected panic.
+    pub panics: u32,
 }
 
 /// Full accounting of a [`try_fetch_all`] crawl.
@@ -70,7 +77,8 @@ pub struct FetchOutcome {
     pub attempts_total: u64,
     /// Attempts beyond each page's first (the retry overhead).
     pub retries: u64,
-    /// Attempts that failed with a transient error.
+    /// Attempts that failed with a transient error. Derived from the
+    /// per-page records, like every other aggregate here.
     pub transient_errors: u64,
     /// Attempts that failed by timeout.
     pub timeouts: u64,
@@ -86,25 +94,6 @@ impl FetchOutcome {
     #[must_use]
     pub fn fully_succeeded(&self) -> bool {
         !self.aborted && self.failed_pages.is_empty()
-    }
-}
-
-/// Per-connection accumulator merged across the pool after the crawl.
-#[derive(Clone, Debug, Default)]
-struct ConnPartial {
-    pages: Vec<PageOutcome>,
-    transient_errors: u64,
-    timeouts: u64,
-    panics: u64,
-}
-
-impl ConnPartial {
-    fn merge(mut self, other: Self) -> Self {
-        self.pages.extend(other.pages);
-        self.transient_errors += other.transient_errors;
-        self.timeouts += other.timeouts;
-        self.panics += other.panics;
-        self
     }
 }
 
@@ -156,34 +145,47 @@ pub fn try_fetch_all(
     let time_scale = server.config().time_scale;
     let seed = server.config().seed;
     let start = Instant::now();
+    let crawl_span = server
+        .trace
+        .span(server.pid, SpanKind::Crawl { pages: page_count as u32 });
     let multi = rt.spawn_multi(connections, {
         let server = Arc::clone(server);
         let next = Arc::clone(&next);
         move |_conn| {
-            let mut partial = ConnPartial::default();
+            let mut pages = Vec::new();
             loop {
                 let page = next.fetch_add(1, Ordering::Relaxed);
                 if page >= page_count {
                     break;
                 }
-                fetch_one(&server, page, &policy, seed, time_scale, &mut partial);
+                fetch_one(&server, page, &policy, seed, time_scale, &mut pages);
             }
-            partial
+            pages
         }
     });
-    let (partial, aborted) = match multi.join_reduce(ConnPartial::default(), ConnPartial::merge) {
+    let (mut pages, aborted) = match multi.join_reduce(Vec::new(), |mut acc: Vec<PageOutcome>, part| {
+        acc.extend(part);
+        acc
+    }) {
         Ok(p) => (p, false),
         // Only reachable if the runtime is cancelled externally:
         // connection bodies contain their own panics.
-        Err(_) => (ConnPartial::default(), true),
+        Err(_) => (Vec::new(), true),
     };
-    let mut pages = partial.pages;
+    drop(crawl_span);
     pages.sort_by_key(|p| p.page);
+    // Every aggregate below is derived from the per-page records —
+    // there is exactly one source of truth for the tallies
+    // (`fetcher::tests::aggregates_derive_from_page_records` pins the
+    // cross-field identities).
     let failed_pages: Vec<usize> = pages.iter().filter(|p| p.kb.is_none()).map(|p| p.page).collect();
     let succeeded = pages.len() - failed_pages.len();
     let attempts_total: u64 = pages.iter().map(|p| u64::from(p.attempts)).sum();
     let retries = attempts_total - pages.len() as u64;
     let total_kb: f64 = pages.iter().filter_map(|p| p.kb).sum();
+    let transient_errors: u64 = pages.iter().map(|p| u64::from(p.transient_errors)).sum();
+    let timeouts: u64 = pages.iter().map(|p| u64::from(p.timeouts)).sum();
+    let panics: u64 = pages.iter().map(|p| u64::from(p.panics)).sum();
     FetchOutcome {
         report: FetchReport {
             pages: page_count,
@@ -196,22 +198,22 @@ pub fn try_fetch_all(
         failed_pages,
         attempts_total,
         retries,
-        transient_errors: partial.transient_errors,
-        timeouts: partial.timeouts,
-        panics: partial.panics,
+        transient_errors,
+        timeouts,
+        panics,
         aborted,
     }
 }
 
-/// Fetch one page to completion or retry exhaustion, recording the
-/// outcome and failure tallies into `partial`.
+/// Fetch one page to completion or retry exhaustion, pushing its
+/// [`PageOutcome`] (with per-page failure tallies) onto `out`.
 fn fetch_one(
     server: &Arc<SimServer>,
     page: usize,
     policy: &RetryPolicy,
     seed: u64,
     time_scale: f64,
-    partial: &mut ConnPartial,
+    out: &mut Vec<PageOutcome>,
 ) {
     let page_seed = SplitMix64::mix(seed ^ (page as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
     let sleep_scaled = |d: Duration| {
@@ -220,34 +222,53 @@ fn fetch_one(
         let sim_ms = d.as_secs_f64() * 1e3;
         std::thread::sleep(Duration::from_secs_f64(sim_ms * time_scale));
     };
+    let mut transient_errors = 0u32;
+    let mut timeouts = 0u32;
+    let mut panics = 0u32;
     let result = policy.execute_with(page_seed, sleep_scaled, |attempt| {
-        match catch_unwind(AssertUnwindSafe(|| server.try_request(page, attempt))) {
-            Ok(Ok(kb)) => Ok(kb),
-            Ok(Err(crate::server::RequestError::Transient { .. })) => {
-                partial.transient_errors += 1;
-                Err(AttemptError::Transient)
-            }
-            Ok(Err(crate::server::RequestError::TimedOut { .. })) => {
-                partial.timeouts += 1;
-                Err(AttemptError::Timeout)
-            }
-            Err(_panic_payload) => {
-                partial.panics += 1;
-                Err(AttemptError::Panicked)
-            }
-        }
+        let _span = server.trace.span(
+            server.pid,
+            SpanKind::FetchAttempt { page: page as u32, attempt },
+        );
+        let (outcome, tag) =
+            match catch_unwind(AssertUnwindSafe(|| server.try_request(page, attempt))) {
+                Ok(Ok(kb)) => (Ok(kb), FetchTag::Ok),
+                Ok(Err(RequestError::Transient { .. })) => {
+                    transient_errors += 1;
+                    (Err(AttemptError::Transient), FetchTag::Transient)
+                }
+                Ok(Err(RequestError::TimedOut { .. })) => {
+                    timeouts += 1;
+                    (Err(AttemptError::Timeout), FetchTag::TimedOut)
+                }
+                Err(_panic_payload) => {
+                    panics += 1;
+                    (Err(AttemptError::Panicked), FetchTag::Panicked)
+                }
+            };
+        server.trace.mark(
+            server.pid,
+            MarkKind::FetchResult { page: page as u32, attempt, result: tag },
+        );
+        outcome
     });
-    partial.pages.push(match result {
+    out.push(match result {
         Ok(done) => PageOutcome {
             page,
             attempts: done.attempts,
             kb: Some(done.value),
+            transient_errors,
+            timeouts,
+            panics,
         },
         Err(err @ (RetryError::Exhausted { .. } | RetryError::DeadlineExceeded { .. })) => {
             PageOutcome {
                 page,
                 attempts: err.attempts(),
                 kb: None,
+                transient_errors,
+                timeouts,
+                panics,
             }
         }
     });
@@ -424,6 +445,64 @@ mod tests {
         let out = try_fetch_all(&rt, &server, 6, &policy);
         assert!(out.panics > 0, "panic rate 0.15 over 40 pages must fire");
         assert!(out.fully_succeeded(), "failed pages: {:?}", out.failed_pages);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn aggregates_derive_from_page_records() {
+        // Regression guard for the old double-bookkeeping bug: the
+        // outcome's totals were once tallied separately from the
+        // per-page records and could drift. Now the per-page records
+        // are the single source of truth; pin every identity.
+        use faultsim::{FaultInjector, FaultPlan};
+        let rt = TaskRuntime::builder().workers(4).build();
+        let server = Arc::new(SimServer::with_faults(
+            ServerConfig {
+                pages: 25,
+                time_scale: 2e-6,
+                ..ServerConfig::default()
+            },
+            FaultInjector::new(
+                FaultPlan::reliable(17)
+                    .with_error_rate(0.25)
+                    .with_timeout_rate(0.1)
+                    .with_panic_rate(0.1)
+                    .fail_key_n_times(3, 99),
+            ),
+        ));
+        let policy = RetryPolicy::fixed(Duration::from_millis(1)).with_max_attempts(4);
+        let out = try_fetch_all(&rt, &server, 5, &policy);
+        assert_eq!(out.pages.len(), 25, "one record per page");
+        let attempts: u64 = out.pages.iter().map(|p| u64::from(p.attempts)).sum();
+        assert_eq!(out.attempts_total, attempts);
+        assert_eq!(out.retries, attempts - 25);
+        assert_eq!(
+            out.transient_errors,
+            out.pages.iter().map(|p| u64::from(p.transient_errors)).sum::<u64>()
+        );
+        assert_eq!(
+            out.timeouts,
+            out.pages.iter().map(|p| u64::from(p.timeouts)).sum::<u64>()
+        );
+        assert_eq!(
+            out.panics,
+            out.pages.iter().map(|p| u64::from(p.panics)).sum::<u64>()
+        );
+        assert_eq!(
+            out.succeeded,
+            out.pages.iter().filter(|p| p.kb.is_some()).count()
+        );
+        assert_eq!(
+            out.failed_pages,
+            out.pages.iter().filter(|p| p.kb.is_none()).map(|p| p.page).collect::<Vec<_>>()
+        );
+        // Per page, attempts account for every failure plus at most
+        // one success.
+        for p in &out.pages {
+            let failures = p.transient_errors + p.timeouts + p.panics;
+            let successes = u32::from(p.kb.is_some());
+            assert_eq!(p.attempts, failures + successes, "page {}", p.page);
+        }
         rt.shutdown();
     }
 

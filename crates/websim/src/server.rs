@@ -18,6 +18,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Duration;
 
 use faultsim::{Fault, FaultInjector};
+use parc_trace::{FaultTag, MarkKind, TraceHandle};
 use parc_util::rng::{SplitMix64, Xoshiro256};
 
 /// Static properties of one simulated page.
@@ -123,6 +124,8 @@ pub struct SimServer {
     config: ServerConfig,
     pages: Vec<PageMeta>,
     injector: Option<FaultInjector>,
+    pub(crate) trace: TraceHandle,
+    pub(crate) pid: u32,
     active: AtomicUsize,
     requests_served: AtomicU64,
     faults_injected: AtomicU64,
@@ -156,11 +159,23 @@ impl SimServer {
             config,
             pages,
             injector,
+            trace: TraceHandle::default(),
+            pid: 0,
             active: AtomicUsize::new(0),
             requests_served: AtomicU64::new(0),
             faults_injected: AtomicU64::new(0),
             sim_ms_total: AtomicU64::new(0),
         }
+    }
+
+    /// Record this server's activity (injected faults, and the fetch
+    /// attempts/crawls made by [`crate::fetcher`]) through `trace` on a
+    /// track named `"websim"`.
+    #[must_use]
+    pub fn with_trace(mut self, trace: &TraceHandle) -> Self {
+        self.pid = trace.register_track("websim");
+        self.trace = trace.clone();
+        self
     }
 
     /// Number of pages served.
@@ -217,6 +232,12 @@ impl SimServer {
             .map_or(Fault::None, |inj| inj.decide(page as u64, attempt));
         if fault != Fault::None {
             self.faults_injected.fetch_add(1, Ordering::Relaxed);
+            if let Some(tag) = fault_tag(fault) {
+                self.trace.mark(
+                    self.pid,
+                    MarkKind::FaultInjected { key: page as u64, attempt, fault: tag },
+                );
+            }
         }
         match fault {
             Fault::None => Ok(self.perform(page, 0.0)),
@@ -301,6 +322,17 @@ impl SimServer {
     #[must_use]
     pub fn config(&self) -> &ServerConfig {
         &self.config
+    }
+}
+
+/// The trace tag for an injected fault (`None` carries no tag).
+fn fault_tag(fault: Fault) -> Option<FaultTag> {
+    match fault {
+        Fault::None => None,
+        Fault::TransientError => Some(FaultTag::Transient),
+        Fault::Timeout => Some(FaultTag::Timeout),
+        Fault::Panic => Some(FaultTag::Panic),
+        Fault::LatencySpike { .. } => Some(FaultTag::LatencySpike),
     }
 }
 
@@ -403,6 +435,23 @@ mod tests {
             }
         }
         assert_eq!(a.faults_injected(), b.faults_injected());
+    }
+
+    #[test]
+    fn injected_faults_emit_trace_marks() {
+        use faultsim::{FaultInjector, FaultPlan};
+        let col = parc_trace::Collector::new();
+        let server = SimServer::with_faults(
+            fast_config(),
+            FaultInjector::new(FaultPlan::reliable(5).fail_key_n_times(2, 2)),
+        )
+        .with_trace(&col.handle());
+        assert!(server.try_request(2, 1).is_err());
+        assert!(server.try_request(2, 2).is_err());
+        assert!(server.try_request(2, 3).is_ok());
+        let trace = col.snapshot();
+        assert_eq!(trace.counts_by_name()["fault.injected"], 2);
+        assert_eq!(server.faults_injected(), 2);
     }
 
     #[test]

@@ -1,0 +1,135 @@
+//! Observability demo: run a seeded quicksort (partask + pyjama) and a
+//! fault-injected web crawl (websim) with the `parc-trace` collector
+//! attached, write a Chrome-trace JSON next to `target/`, and print the
+//! ASCII timeline, event counts and metrics that the teaching reports
+//! embed.
+//!
+//! Run with: `cargo run --release --example trace_viewer [out.trace.json]`
+//!
+//! Load the emitted file in `chrome://tracing` or
+//! <https://ui.perfetto.dev>: one process per runtime (partask, pyjama,
+//! websim), one thread per worker, `B`/`E` span pairs for task bodies,
+//! barrier waits and fetch attempts, instants for steals, retries and
+//! injected faults.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use faultsim::{FaultInjector, FaultPlan, RetryPolicy};
+use parc_trace::{render_event_counts, render_timeline, to_chrome_json, Collector};
+use parsort::{data, quicksort_partask};
+use partask::TaskRuntime;
+use pyjama::{Schedule, Team};
+use websim::{try_fetch_all, ServerConfig, SimServer};
+
+fn main() {
+    // The crawl injects panics on purpose; keep them out of stderr.
+    faultsim::silence_injected_panics();
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "target/trace_viewer.trace.json".to_string());
+    let collector = Collector::new();
+    let trace = collector.handle();
+
+    // --- Workload 1: seeded quicksort on the task runtime.
+    let rt = TaskRuntime::builder()
+        .workers(4)
+        .name("partask")
+        .trace(&trace)
+        .build();
+    let mut v = data::random(200_000, 0xC0FFEE);
+    quicksort_partask(&rt, &mut v);
+    assert!(v.windows(2).all(|w| w[0] <= w[1]));
+
+    // --- Workload 2: a worksharing region with barriers on a team.
+    let team = Team::with_trace(4, &trace);
+    let sums: Vec<std::sync::atomic::AtomicU64> =
+        (0..4).map(|_| std::sync::atomic::AtomicU64::new(0)).collect();
+    team.parallel(|ctx| {
+        ctx.pfor(0..10_000, Schedule::Dynamic(512), |i: usize| {
+            sums[i % 4].fetch_add(i as u64, std::sync::atomic::Ordering::Relaxed);
+        });
+        ctx.barrier();
+    });
+
+    // --- Workload 3: fault-injected crawl with per-page retries.
+    let server = Arc::new(
+        SimServer::with_faults(
+            ServerConfig {
+                pages: 40,
+                time_scale: 2e-5,
+                ..ServerConfig::default()
+            },
+            FaultInjector::new(
+                FaultPlan::reliable(42)
+                    .with_error_rate(0.2)
+                    .with_panic_rate(0.05),
+            ),
+        )
+        .with_trace(&trace),
+    );
+    let policy = RetryPolicy::fixed(Duration::from_millis(1)).with_max_attempts(6);
+    let outcome = try_fetch_all(&rt, &server, 6, &policy);
+    rt.shutdown();
+
+    // --- Export: Chrome trace + terminal views.
+    let snapshot = collector.snapshot();
+    let json = to_chrome_json(&snapshot);
+    validate_chrome_trace(&json);
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(&out_path, &json).expect("write trace file");
+
+    println!("# E-obs: one instrumented run, three runtimes\n");
+    println!(
+        "crawl: {}/{} pages ok, {} attempts ({} retries, {} transient, {} panics contained)\n",
+        outcome.succeeded,
+        outcome.report.pages,
+        outcome.attempts_total,
+        outcome.retries,
+        outcome.transient_errors,
+        outcome.panics,
+    );
+    println!("{}", render_timeline(&snapshot, 64));
+    println!("{}", render_event_counts(&snapshot));
+    println!("{}", collector.metrics().render());
+    println!(
+        "wrote {} trace events to {out_path} — load it in chrome://tracing or ui.perfetto.dev",
+        snapshot.len(),
+    );
+}
+
+/// Shape-check the export with the in-repo JSON parser before writing:
+/// it must round-trip, and `B`/`E` span pairs must balance per lane —
+/// the property that makes the viewer nest spans as durations. CI runs
+/// this example and relies on the process failing here if the exporter
+/// regresses.
+fn validate_chrome_trace(json: &str) {
+    use std::collections::BTreeMap;
+    let doc = parc_trace::parse_json(json).expect("trace must be valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .expect("traceEvents key")
+        .as_arr()
+        .expect("traceEvents must be an array");
+    let mut depth: BTreeMap<(i64, i64), i64> = BTreeMap::new();
+    for ev in events {
+        let pid = ev.get("pid").unwrap().as_f64().unwrap() as i64;
+        let tid = ev.get("tid").unwrap().as_f64().unwrap() as i64;
+        match ev.get("ph").unwrap().as_str().unwrap() {
+            "B" => *depth.entry((pid, tid)).or_insert(0) += 1,
+            "E" => {
+                let d = depth.entry((pid, tid)).or_insert(0);
+                *d -= 1;
+                assert!(*d >= 0, "lane ({pid},{tid}): E without matching B");
+            }
+            _ => {}
+        }
+    }
+    assert!(
+        depth.values().all(|&d| d == 0),
+        "unbalanced span pairs: {depth:?}"
+    );
+    println!("trace validated: {} entries, span pairs balanced\n", events.len());
+}
