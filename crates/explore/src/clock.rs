@@ -1,0 +1,103 @@
+//! Vector clocks — the partial order underlying the race detector.
+//!
+//! Each simulated thread `t` carries a clock `VC_t`; entry `VC_t[u]`
+//! is the latest operation of thread `u` that happens-before `t`'s
+//! next operation. An access recorded at epoch `c@u` happens-before
+//! thread `t`'s current point iff `c <= VC_t[u]` — the FastTrack
+//! epoch test. Clocks grow on demand so dynamically spawned threads
+//! need no pre-sizing.
+
+/// A grow-on-demand vector clock. Missing entries read as 0.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VectorClock {
+    entries: Vec<u64>,
+}
+
+impl VectorClock {
+    /// The zero clock.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Component for thread `tid` (0 if never set).
+    #[must_use]
+    pub fn get(&self, tid: usize) -> u64 {
+        self.entries.get(tid).copied().unwrap_or(0)
+    }
+
+    /// Set component `tid` to `value`, growing as needed.
+    pub fn set(&mut self, tid: usize, value: u64) {
+        if self.entries.len() <= tid {
+            self.entries.resize(tid + 1, 0);
+        }
+        self.entries[tid] = value;
+    }
+
+    /// Advance this thread's own component by one (a release "tick").
+    pub fn tick(&mut self, tid: usize) {
+        self.set(tid, self.get(tid) + 1);
+    }
+
+    /// Pointwise maximum: afterwards `self >= other` componentwise.
+    pub fn join(&mut self, other: &VectorClock) {
+        if self.entries.len() < other.entries.len() {
+            self.entries.resize(other.entries.len(), 0);
+        }
+        for (i, &v) in other.entries.iter().enumerate() {
+            if self.entries[i] < v {
+                self.entries[i] = v;
+            }
+        }
+    }
+
+    /// Does the epoch `clock@tid` happen-before this clock's owner?
+    #[must_use]
+    pub fn covers(&self, tid: usize, clock: u64) -> bool {
+        clock <= self.get(tid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_entries_read_zero() {
+        let vc = VectorClock::new();
+        assert_eq!(vc.get(7), 0);
+        assert!(vc.covers(7, 0));
+        assert!(!vc.covers(7, 1));
+    }
+
+    #[test]
+    fn tick_and_set_grow_on_demand() {
+        let mut vc = VectorClock::new();
+        vc.tick(2);
+        assert_eq!(vc.get(2), 1);
+        vc.set(0, 5);
+        assert_eq!(vc.get(0), 5);
+        assert_eq!(vc.get(1), 0);
+    }
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let mut a = VectorClock::new();
+        a.set(0, 3);
+        a.set(1, 1);
+        let mut b = VectorClock::new();
+        b.set(1, 4);
+        b.set(2, 2);
+        a.join(&b);
+        assert_eq!((a.get(0), a.get(1), a.get(2)), (3, 4, 2));
+    }
+
+    #[test]
+    fn covers_matches_epoch_test() {
+        let mut vc = VectorClock::new();
+        vc.set(1, 4);
+        assert!(vc.covers(1, 4));
+        assert!(vc.covers(1, 3));
+        assert!(!vc.covers(1, 5));
+    }
+}

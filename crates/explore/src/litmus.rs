@@ -1,0 +1,433 @@
+//! The ported litmus catalogue.
+//!
+//! Each entry is one of the `memmodel::demos` litmus tests or a
+//! `taskcol` collection strategy, rewritten against the shim
+//! primitives in [`crate::sync`] so the explorer can enumerate its
+//! interleavings. `expect_race` is the ground-truth verdict the CI
+//! `explore` job (and the `memmodel`/`taskcol` test suites) assert:
+//! every racy variant must have a concrete racing schedule, every
+//! fixed variant must be race-free over the whole explored space.
+//!
+//! Porting notes:
+//!
+//! * The originals spin (`while !flag.load() {}`); spinning under a
+//!   controlled scheduler yields unbounded executions, so the ported
+//!   readers *branch* on the flag instead and record which arm ran.
+//!   Both arms are explored, which is strictly more coverage than one
+//!   lucky spin exit.
+//! * `Relaxed` atomic loads/stores model the demos' "unsynchronised"
+//!   accesses (see [`crate::op::Op::racy`]); genuinely non-atomic data
+//!   uses [`PlainCell`].
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use crate::ctl::record;
+use crate::sync::{thread, AtomicBool, AtomicU64, Mutex, PlainCell};
+
+/// A named litmus program with its ground-truth race verdict.
+#[derive(Clone)]
+pub struct Litmus {
+    /// Catalogue key, e.g. `lost-update/racy`.
+    pub name: &'static str,
+    /// Ground truth: must the explorer find a race?
+    pub expect_race: bool,
+    /// The program body (re-run once per explored schedule).
+    pub body: Arc<dyn Fn() + Send + Sync>,
+}
+
+impl std::fmt::Debug for Litmus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Litmus")
+            .field("name", &self.name)
+            .field("expect_race", &self.expect_race)
+            .finish_non_exhaustive()
+    }
+}
+
+fn litmus(
+    name: &'static str,
+    expect_race: bool,
+    body: impl Fn() + Send + Sync + 'static,
+) -> Litmus {
+    Litmus { name, expect_race, body: Arc::new(body) }
+}
+
+/// The full catalogue: the four `memmodel::demos` litmus tests (racy
+/// and fixed variants) plus `taskcol` counter and stack strategies.
+#[must_use]
+pub fn catalogue() -> Vec<Litmus> {
+    vec![
+        // ---- memmodel: lost update -------------------------------
+        litmus("lost-update/racy", true, || {
+            // Two threads do a split `count++` (load then store) —
+            // the classic lost update from `demos::lost_update`.
+            let count = Arc::new(AtomicU64::new("count", 0));
+            let mut handles = Vec::new();
+            for _ in 0..2 {
+                let count = Arc::clone(&count);
+                handles.push(thread::spawn(move || {
+                    let v = count.load(Ordering::Relaxed);
+                    count.store(v + 1, Ordering::Relaxed);
+                }));
+            }
+            for h in handles {
+                h.join();
+            }
+            record("final", count.load(Ordering::Relaxed) as i64);
+        }),
+        litmus("lost-update/fixed-rmw", false, || {
+            let count = Arc::new(AtomicU64::new("count", 0));
+            let mut handles = Vec::new();
+            for _ in 0..2 {
+                let count = Arc::clone(&count);
+                handles.push(thread::spawn(move || {
+                    count.fetch_add(1, Ordering::Relaxed);
+                }));
+            }
+            for h in handles {
+                h.join();
+            }
+            record("final", count.load(Ordering::Relaxed) as i64);
+        }),
+        litmus("lost-update/fixed-mutex", false, || {
+            let count = Arc::new(PlainCell::new("count", 0i64));
+            let lock = Arc::new(Mutex::new("count_lock", ()));
+            let mut handles = Vec::new();
+            for _ in 0..2 {
+                let count = Arc::clone(&count);
+                let lock = Arc::clone(&lock);
+                handles.push(thread::spawn(move || {
+                    let guard = lock.lock();
+                    let v = count.get();
+                    count.set(v + 1);
+                    drop(guard);
+                }));
+            }
+            for h in handles {
+                h.join();
+            }
+            record("final", count.get());
+        }),
+        // ---- memmodel: message passing ---------------------------
+        litmus("message-passing/racy", true, || {
+            // Writer publishes plain data behind a Relaxed flag; the
+            // reader branches on the flag (the ported spin loop).
+            let data = Arc::new(PlainCell::new("data", 0i64));
+            let flag = Arc::new(AtomicBool::new("flag", false));
+            let (d, f) = (Arc::clone(&data), Arc::clone(&flag));
+            let writer = thread::spawn(move || {
+                d.set(42);
+                f.store(true, Ordering::Relaxed);
+            });
+            let (d, f) = (Arc::clone(&data), Arc::clone(&flag));
+            let reader = thread::spawn(move || {
+                if f.load(Ordering::Relaxed) {
+                    record("read", d.get());
+                } else {
+                    record("read", -1);
+                }
+            });
+            writer.join();
+            reader.join();
+        }),
+        litmus("message-passing/fixed-relacq", false, || {
+            let data = Arc::new(PlainCell::new("data", 0i64));
+            let flag = Arc::new(AtomicBool::new("flag", false));
+            let (d, f) = (Arc::clone(&data), Arc::clone(&flag));
+            let writer = thread::spawn(move || {
+                d.set(42);
+                f.store(true, Ordering::Release);
+            });
+            let (d, f) = (Arc::clone(&data), Arc::clone(&flag));
+            let reader = thread::spawn(move || {
+                if f.load(Ordering::Acquire) {
+                    record("read", d.get());
+                } else {
+                    record("read", -1);
+                }
+            });
+            writer.join();
+            reader.join();
+        }),
+        // ---- memmodel: store buffer ------------------------------
+        litmus("store-buffer/relaxed", true, || {
+            // Dekker-style core: each thread stores its own flag then
+            // loads the other's, all Relaxed. Under interleaving
+            // semantics `r1 = r2 = 0` cannot appear; what the explorer
+            // proves is the *data race* on x and y — the license a
+            // weak memory model needs to produce it.
+            let x = Arc::new(AtomicU64::new("x", 0));
+            let y = Arc::new(AtomicU64::new("y", 0));
+            let (xs, ys) = (Arc::clone(&x), Arc::clone(&y));
+            let t1 = thread::spawn(move || {
+                xs.store(1, Ordering::Relaxed);
+                ys.load(Ordering::Relaxed) as i64
+            });
+            let (xs, ys) = (Arc::clone(&x), Arc::clone(&y));
+            let t2 = thread::spawn(move || {
+                ys.store(1, Ordering::Relaxed);
+                xs.load(Ordering::Relaxed) as i64
+            });
+            let r1 = t1.join();
+            let r2 = t2.join();
+            record("r1", r1);
+            record("r2", r2);
+        }),
+        litmus("store-buffer/seqcst", false, || {
+            let x = Arc::new(AtomicU64::new("x", 0));
+            let y = Arc::new(AtomicU64::new("y", 0));
+            let (xs, ys) = (Arc::clone(&x), Arc::clone(&y));
+            let t1 = thread::spawn(move || {
+                xs.store(1, Ordering::SeqCst);
+                ys.load(Ordering::SeqCst) as i64
+            });
+            let (xs, ys) = (Arc::clone(&x), Arc::clone(&y));
+            let t2 = thread::spawn(move || {
+                ys.store(1, Ordering::SeqCst);
+                xs.load(Ordering::SeqCst) as i64
+            });
+            let r1 = t1.join();
+            let r2 = t2.join();
+            record("r1", r1);
+            record("r2", r2);
+            assert!(r1 == 1 || r2 == 1, "SeqCst store buffer forbids r1 = r2 = 0");
+        }),
+        // ---- memmodel: lazy init ---------------------------------
+        litmus("lazy-init/racy", true, || {
+            // Check-then-act on a Relaxed flag: both threads can see
+            // "uninitialised" and both construct.
+            let ready = Arc::new(AtomicBool::new("ready", false));
+            let constructions = Arc::new(AtomicU64::new("constructions", 0));
+            let mut handles = Vec::new();
+            for _ in 0..2 {
+                let ready = Arc::clone(&ready);
+                let constructions = Arc::clone(&constructions);
+                handles.push(thread::spawn(move || {
+                    if !ready.load(Ordering::Relaxed) {
+                        constructions.fetch_add(1, Ordering::SeqCst);
+                        ready.store(true, Ordering::Relaxed);
+                    }
+                }));
+            }
+            for h in handles {
+                h.join();
+            }
+            record("constructions", constructions.load(Ordering::SeqCst) as i64);
+        }),
+        litmus("lazy-init/fixed-mutex", false, || {
+            let ready = Arc::new(PlainCell::new("ready", false));
+            let constructions = Arc::new(PlainCell::new("constructions", 0i64));
+            let lock = Arc::new(Mutex::new("init_lock", ()));
+            let mut handles = Vec::new();
+            for _ in 0..2 {
+                let ready = Arc::clone(&ready);
+                let constructions = Arc::clone(&constructions);
+                let lock = Arc::clone(&lock);
+                handles.push(thread::spawn(move || {
+                    let guard = lock.lock();
+                    if !ready.get() {
+                        constructions.set(constructions.get() + 1);
+                        ready.set(true);
+                    }
+                    drop(guard);
+                }));
+            }
+            for h in handles {
+                h.join();
+            }
+            record("constructions", constructions.get());
+        }),
+        // ---- taskcol: counter strategies -------------------------
+        litmus("taskcol-counter/unsync", true, || {
+            // `taskcol::counter` unsynchronised strategy: plain
+            // read-modify-write from two workers.
+            let count = Arc::new(PlainCell::new("count", 0i64));
+            let mut handles = Vec::new();
+            for _ in 0..2 {
+                let count = Arc::clone(&count);
+                handles.push(thread::spawn(move || {
+                    let v = count.get();
+                    count.set(v + 1);
+                }));
+            }
+            for h in handles {
+                h.join();
+            }
+            record("final", count.get());
+        }),
+        litmus("taskcol-counter/atomic", false, || {
+            let count = Arc::new(AtomicU64::new("count", 0));
+            let mut handles = Vec::new();
+            for _ in 0..2 {
+                let count = Arc::clone(&count);
+                handles.push(thread::spawn(move || {
+                    count.fetch_add(1, Ordering::SeqCst);
+                }));
+            }
+            for h in handles {
+                h.join();
+            }
+            record("final", count.load(Ordering::SeqCst) as i64);
+        }),
+        litmus("taskcol-counter/mutex", false, || {
+            let count = Arc::new(Mutex::new("count", 0i64));
+            let mut handles = Vec::new();
+            for _ in 0..2 {
+                let count = Arc::clone(&count);
+                handles.push(thread::spawn(move || {
+                    *count.lock() += 1;
+                }));
+            }
+            for h in handles {
+                h.join();
+            }
+            record("final", *count.lock());
+        }),
+        // ---- taskcol: stack strategies ---------------------------
+        litmus("taskcol-stack/racy", true, || {
+            // An unsynchronised Vec-style push: read `top`, write the
+            // slot, bump `top`. Two pushers can target the same slot.
+            let top = Arc::new(PlainCell::new("top", 0i64));
+            let slot0 = Arc::new(PlainCell::new("slot0", 0i64));
+            let slot1 = Arc::new(PlainCell::new("slot1", 0i64));
+            let mut handles = Vec::new();
+            for item in 1..=2i64 {
+                let top = Arc::clone(&top);
+                let slot0 = Arc::clone(&slot0);
+                let slot1 = Arc::clone(&slot1);
+                handles.push(thread::spawn(move || {
+                    let t = top.get();
+                    if t == 0 {
+                        slot0.set(item);
+                    } else {
+                        slot1.set(item);
+                    }
+                    top.set(t + 1);
+                }));
+            }
+            for h in handles {
+                h.join();
+            }
+            record("top", top.get());
+            record("sum", slot0.get() + slot1.get());
+        }),
+        litmus("taskcol-stack/mutex", false, || {
+            // `taskcol::MutexStack`: the whole push is one critical
+            // section, so every interleaving yields top = 2 and both
+            // items present.
+            let top = Arc::new(PlainCell::new("top", 0i64));
+            let slot0 = Arc::new(PlainCell::new("slot0", 0i64));
+            let slot1 = Arc::new(PlainCell::new("slot1", 0i64));
+            let lock = Arc::new(Mutex::new("stack_lock", ()));
+            let mut handles = Vec::new();
+            for item in 1..=2i64 {
+                let top = Arc::clone(&top);
+                let slot0 = Arc::clone(&slot0);
+                let slot1 = Arc::clone(&slot1);
+                let lock = Arc::clone(&lock);
+                handles.push(thread::spawn(move || {
+                    let guard = lock.lock();
+                    let t = top.get();
+                    if t == 0 {
+                        slot0.set(item);
+                    } else {
+                        slot1.set(item);
+                    }
+                    top.set(t + 1);
+                    drop(guard);
+                }));
+            }
+            for h in handles {
+                h.join();
+            }
+            record("top", top.get());
+            record("sum", slot0.get() + slot1.get());
+        }),
+    ]
+}
+
+/// Look up one catalogue entry by name.
+#[must_use]
+pub fn by_name(name: &str) -> Option<Litmus> {
+    catalogue().into_iter().find(|l| l.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{explore, Config};
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn catalogue_names_are_unique_and_paired() {
+        let cat = catalogue();
+        let names: BTreeSet<&str> = cat.iter().map(|l| l.name).collect();
+        assert_eq!(names.len(), cat.len(), "duplicate litmus names");
+        assert_eq!(cat.len(), 14);
+        // Every demo family has at least one racy and one fixed entry.
+        for family in ["lost-update", "message-passing", "store-buffer", "lazy-init"] {
+            assert!(cat.iter().any(|l| l.name.starts_with(family) && l.expect_race));
+            assert!(cat.iter().any(|l| l.name.starts_with(family) && !l.expect_race));
+        }
+    }
+
+    #[test]
+    fn every_verdict_matches_ground_truth() {
+        for entry in catalogue() {
+            let body = Arc::clone(&entry.body);
+            let report = explore(Config::dfs(entry.name), move || body());
+            assert!(report.exhausted, "{}: space not exhausted", entry.name);
+            assert_eq!(
+                !report.race_free(),
+                entry.expect_race,
+                "{}: wrong verdict ({} races found)\n{}",
+                entry.name,
+                report.races.len(),
+                report.render()
+            );
+            assert_eq!(report.deadlocks, 0, "{}: unexpected deadlock", entry.name);
+        }
+    }
+
+    #[test]
+    fn racy_lost_update_witnesses_the_lost_update() {
+        let entry = by_name("lost-update/racy").unwrap();
+        let body = Arc::clone(&entry.body);
+        let report = explore(Config::dfs(entry.name), move || body());
+        let outcomes = &report.observations["final"];
+        assert!(outcomes.contains(&1), "lost update outcome: {outcomes:?}");
+        assert!(outcomes.contains(&2));
+    }
+
+    #[test]
+    fn fixed_variants_have_exact_outcomes() {
+        for (name, key, want) in [
+            ("lost-update/fixed-rmw", "final", 2i64),
+            ("lost-update/fixed-mutex", "final", 2),
+            ("lazy-init/fixed-mutex", "constructions", 1),
+            ("taskcol-counter/atomic", "final", 2),
+            ("taskcol-counter/mutex", "final", 2),
+            ("taskcol-stack/mutex", "top", 2),
+        ] {
+            let entry = by_name(name).unwrap();
+            let body = Arc::clone(&entry.body);
+            let report = explore(Config::dfs(name), move || body());
+            assert_eq!(
+                report.observations[key],
+                BTreeSet::from([want]),
+                "{name}: {key} not exact"
+            );
+        }
+    }
+
+    #[test]
+    fn racy_lazy_init_can_double_construct() {
+        let entry = by_name("lazy-init/racy").unwrap();
+        let body = Arc::clone(&entry.body);
+        let report = explore(Config::dfs(entry.name), move || body());
+        let outcomes = &report.observations["constructions"];
+        assert!(outcomes.contains(&2), "double construction: {outcomes:?}");
+        assert!(outcomes.contains(&1));
+    }
+}

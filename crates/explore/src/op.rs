@@ -1,0 +1,191 @@
+//! The visible-operation vocabulary.
+//!
+//! Every shim primitive announces what it is *about to do* at a yield
+//! point, before the effect happens. The controller therefore knows
+//! each stopped thread's pending operation, which is what enables
+//! blocking semantics (mutexes, joins), sleep-set partial-order
+//! reduction (independence is judged on pending operations) and the
+//! happens-before pass (applied in schedule order at grant time).
+
+use std::sync::atomic::Ordering;
+
+/// What kind of visible step a thread is about to take.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpKind {
+    /// The thread begins running (its first schedulable step).
+    Start,
+    /// A load. `atomic` distinguishes shim atomics from
+    /// [`crate::sync::PlainCell`] accesses.
+    Load {
+        /// Memory ordering (plain accesses report `Relaxed`).
+        ord: Ordering,
+        /// True for shim atomics, false for plain cells.
+        atomic: bool,
+    },
+    /// A store; fields as for [`OpKind::Load`].
+    Store {
+        /// Memory ordering (plain accesses report `Relaxed`).
+        ord: Ordering,
+        /// True for shim atomics, false for plain cells.
+        atomic: bool,
+    },
+    /// An atomic read-modify-write (`fetch_add`, `compare_exchange`).
+    /// Indivisible by construction, hence never itself a racy access.
+    Rmw {
+        /// Memory ordering of the RMW.
+        ord: Ordering,
+    },
+    /// Acquire a shim mutex (blocks while another thread holds it).
+    Lock,
+    /// Release a shim mutex.
+    Unlock,
+    /// Join a simulated thread (blocks until it finished).
+    Join {
+        /// The joined thread's id.
+        target: usize,
+    },
+    /// A pure scheduling point with no memory effect.
+    Yield,
+}
+
+/// A pending/recorded operation: kind plus the location it touches.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Op {
+    /// The operation kind.
+    pub kind: OpKind,
+    /// Location id (atomics, plain cells and mutexes all register
+    /// one); `None` for thread-lifecycle and yield operations.
+    pub loc: Option<usize>,
+}
+
+impl Op {
+    pub(crate) fn start() -> Self {
+        Op { kind: OpKind::Start, loc: None }
+    }
+
+    /// Does this access participate in race reports as a non-atomic
+    /// access? Plain cell accesses always do; shim atomic loads and
+    /// stores do when `Relaxed` (the demos' stand-in for unsynchronised
+    /// code — a deliberate data race the detector should surface);
+    /// RMWs and release/acquire/SeqCst accesses never do.
+    #[must_use]
+    pub fn racy(&self) -> bool {
+        match self.kind {
+            OpKind::Load { ord, atomic } | OpKind::Store { ord, atomic } => {
+                !atomic || ord == Ordering::Relaxed
+            }
+            _ => false,
+        }
+    }
+
+    /// Is this a write-like access (store or RMW)?
+    #[must_use]
+    pub fn is_write(&self) -> bool {
+        matches!(self.kind, OpKind::Store { .. } | OpKind::Rmw { .. })
+    }
+
+    /// Does this operation *acquire* (join the location's sync clock)?
+    #[must_use]
+    pub fn is_acquire(&self) -> bool {
+        match self.kind {
+            OpKind::Lock => true,
+            OpKind::Load { ord, .. } | OpKind::Rmw { ord } => matches!(
+                ord,
+                Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst
+            ),
+            _ => false,
+        }
+    }
+
+    /// Does this operation *release* (publish the thread's clock)?
+    #[must_use]
+    pub fn is_release(&self) -> bool {
+        match self.kind {
+            OpKind::Unlock => true,
+            OpKind::Store { ord, .. } | OpKind::Rmw { ord } => matches!(
+                ord,
+                Ordering::Release | Ordering::AcqRel | Ordering::SeqCst
+            ),
+            _ => false,
+        }
+    }
+
+    /// Conservative independence for partial-order reduction: two
+    /// pending operations commute iff they touch different locations,
+    /// or the same location without a write. Lifecycle operations
+    /// (`Start`/`Join`/`Yield`) are treated as dependent on everything
+    /// — sound, merely less pruning.
+    #[must_use]
+    pub fn independent(&self, other: &Op) -> bool {
+        match (self.loc, other.loc) {
+            (Some(a), Some(b)) if a != b => true,
+            (Some(_), Some(_)) => {
+                let read_like = |op: &Op| matches!(op.kind, OpKind::Load { .. });
+                read_like(self) && read_like(other)
+            }
+            _ => false,
+        }
+    }
+
+    /// Short human description, e.g. `lock(m)` or `x.store(Relaxed)`.
+    #[must_use]
+    pub fn describe(&self, loc_name: &str) -> String {
+        match self.kind {
+            OpKind::Start => "start".to_string(),
+            OpKind::Load { ord, atomic: true } => format!("{loc_name}.load({ord:?})"),
+            OpKind::Load { atomic: false, .. } => format!("{loc_name}.read()"),
+            OpKind::Store { ord, atomic: true } => format!("{loc_name}.store({ord:?})"),
+            OpKind::Store { atomic: false, .. } => format!("{loc_name}.write()"),
+            OpKind::Rmw { ord } => format!("{loc_name}.rmw({ord:?})"),
+            OpKind::Lock => format!("lock({loc_name})"),
+            OpKind::Unlock => format!("unlock({loc_name})"),
+            OpKind::Join { target } => format!("join(T{target})"),
+            OpKind::Yield => "yield".to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn load(loc: usize, ord: Ordering, atomic: bool) -> Op {
+        Op { kind: OpKind::Load { ord, atomic }, loc: Some(loc) }
+    }
+    fn store(loc: usize, ord: Ordering, atomic: bool) -> Op {
+        Op { kind: OpKind::Store { ord, atomic }, loc: Some(loc) }
+    }
+
+    #[test]
+    fn racy_classification() {
+        assert!(load(0, Ordering::Relaxed, true).racy());
+        assert!(store(0, Ordering::Relaxed, false).racy());
+        assert!(!store(0, Ordering::Release, true).racy());
+        assert!(!Op { kind: OpKind::Rmw { ord: Ordering::Relaxed }, loc: Some(0) }.racy());
+        assert!(!Op { kind: OpKind::Lock, loc: Some(0) }.racy());
+    }
+
+    #[test]
+    fn acquire_release_classification() {
+        assert!(load(0, Ordering::Acquire, true).is_acquire());
+        assert!(!load(0, Ordering::Relaxed, true).is_acquire());
+        assert!(store(0, Ordering::Release, true).is_release());
+        assert!(Op { kind: OpKind::Unlock, loc: Some(0) }.is_release());
+        assert!(Op { kind: OpKind::Lock, loc: Some(0) }.is_acquire());
+        let sc_rmw = Op { kind: OpKind::Rmw { ord: Ordering::SeqCst }, loc: Some(0) };
+        assert!(sc_rmw.is_acquire() && sc_rmw.is_release());
+    }
+
+    #[test]
+    fn independence_is_location_based() {
+        let a = store(0, Ordering::Relaxed, true);
+        let b = store(1, Ordering::Relaxed, true);
+        assert!(a.independent(&b));
+        assert!(!a.independent(&store(0, Ordering::Relaxed, true)));
+        // Two reads of the same location commute.
+        let r = load(0, Ordering::Relaxed, true);
+        assert!(r.independent(&load(0, Ordering::SeqCst, true)));
+        // Lifecycle ops never commute.
+        assert!(!Op::start().independent(&a));
+    }
+}

@@ -1,0 +1,254 @@
+//! FastTrack-style happens-before race detection.
+//!
+//! The detector runs *online*: the controller applies every granted
+//! operation in schedule order, so by the time an execution finishes
+//! the list of racing access pairs is complete. Per location it keeps
+//! the last write and the last read of each thread as FastTrack-style
+//! epochs (`clock@tid`), plus a sync clock carrying release/acquire
+//! and mutex ordering; per thread it keeps a full vector clock.
+//!
+//! A pair of accesses to the same location races iff they are from
+//! different threads, at least one is a write, at least one is a
+//! "racy" access ([`Op::racy`]: plain, or `Relaxed` atomic — the
+//! demos' stand-in for unsynchronised code), and neither
+//! happens-before the other.
+
+use std::collections::BTreeMap;
+
+use crate::clock::VectorClock;
+use crate::op::{Op, OpKind};
+
+/// One recorded access, FastTrack-epoch style.
+#[derive(Clone, Debug)]
+struct Access {
+    tid: usize,
+    clock: u64,
+    event: usize,
+    racy: bool,
+    write: bool,
+}
+
+#[derive(Clone, Debug, Default)]
+struct LocState {
+    /// Clock published by release operations on this location (and by
+    /// unlocks, for mutex locations).
+    sync: VectorClock,
+    last_write: Option<Access>,
+    last_reads: BTreeMap<usize, Access>,
+}
+
+/// A racing pair found during one execution: location id plus the two
+/// event indices (first = earlier in the schedule).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct RawRace {
+    pub loc: usize,
+    pub first_event: usize,
+    pub second_event: usize,
+}
+
+/// The online detector state for one execution.
+#[derive(Debug, Default)]
+pub(crate) struct Detector {
+    clocks: Vec<VectorClock>,
+    locs: Vec<LocState>,
+    pub races: Vec<RawRace>,
+}
+
+impl Detector {
+    /// Register thread `child`, inheriting `parent`'s clock (the
+    /// spawn edge). The root thread has no parent.
+    pub fn on_spawn(&mut self, parent: Option<usize>, child: usize) {
+        debug_assert_eq!(child, self.clocks.len(), "threads register in id order");
+        let mut vc = match parent {
+            Some(p) => self.clocks[p].clone(),
+            None => VectorClock::new(),
+        };
+        vc.tick(child);
+        self.clocks.push(vc);
+        if let Some(p) = parent {
+            self.clocks[p].tick(p);
+        }
+    }
+
+    fn loc_mut(&mut self, loc: usize) -> &mut LocState {
+        if self.locs.len() <= loc {
+            self.locs.resize_with(loc + 1, LocState::default);
+        }
+        &mut self.locs[loc]
+    }
+
+    /// Apply one granted operation (event index `event` in the trace).
+    pub fn on_op(&mut self, tid: usize, op: &Op, event: usize) {
+        match op.kind {
+            OpKind::Start | OpKind::Yield => {}
+            OpKind::Join { target } => {
+                let child = self.clocks[target].clone();
+                self.clocks[tid].join(&child);
+            }
+            OpKind::Lock => {
+                let sync = self.loc_mut(op.loc.expect("lock has a location")).sync.clone();
+                self.clocks[tid].join(&sync);
+            }
+            OpKind::Unlock => {
+                let vc = self.clocks[tid].clone();
+                self.loc_mut(op.loc.expect("unlock has a location")).sync = vc;
+                self.clocks[tid].tick(tid);
+            }
+            OpKind::Load { .. } | OpKind::Store { .. } | OpKind::Rmw { .. } => {
+                self.data_access(tid, op, event);
+            }
+        }
+    }
+
+    fn data_access(&mut self, tid: usize, op: &Op, event: usize) {
+        let loc = op.loc.expect("data access has a location");
+        if op.is_acquire() {
+            let sync = self.loc_mut(loc).sync.clone();
+            self.clocks[tid].join(&sync);
+        }
+        let racy = op.racy();
+        let here = Access {
+            tid,
+            clock: self.clocks[tid].get(tid),
+            event,
+            racy,
+            write: op.is_write(),
+        };
+        // Race checks against the recorded accesses.
+        let vc = self.clocks[tid].clone();
+        let mut found: Vec<RawRace> = Vec::new();
+        {
+            let state = self.loc_mut(loc);
+            let conflicts = |prev: &Access| {
+                prev.tid != tid
+                    && !vc.covers(prev.tid, prev.clock)
+                    && (prev.racy || racy)
+                    && (prev.write || here.write)
+            };
+            if let Some(w) = &state.last_write {
+                if conflicts(w) {
+                    found.push(RawRace { loc, first_event: w.event, second_event: event });
+                }
+            }
+            if here.write {
+                for r in state.last_reads.values() {
+                    if conflicts(r) {
+                        found.push(RawRace { loc, first_event: r.event, second_event: event });
+                    }
+                }
+            }
+        }
+        self.races.extend(found);
+        // Release effects and bookkeeping.
+        if op.is_release() {
+            let vc = self.clocks[tid].clone();
+            self.loc_mut(loc).sync = vc;
+            self.clocks[tid].tick(tid);
+        }
+        let state = self.loc_mut(loc);
+        match op.kind {
+            OpKind::Load { .. } => {
+                state.last_reads.insert(tid, here);
+            }
+            OpKind::Store { .. } => {
+                state.last_write = Some(here);
+            }
+            OpKind::Rmw { .. } => {
+                // An RMW both reads and writes.
+                state.last_reads.insert(tid, here.clone());
+                state.last_write = Some(here);
+            }
+            _ => unreachable!("data_access only sees data ops"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+
+    fn op(kind: OpKind, loc: usize) -> Op {
+        Op { kind, loc: Some(loc) }
+    }
+    fn rlx_store(loc: usize) -> Op {
+        op(OpKind::Store { ord: Ordering::Relaxed, atomic: true }, loc)
+    }
+    fn rlx_load(loc: usize) -> Op {
+        op(OpKind::Load { ord: Ordering::Relaxed, atomic: true }, loc)
+    }
+
+    fn detector_with_threads(n: usize) -> Detector {
+        let mut d = Detector::default();
+        d.on_spawn(None, 0);
+        for t in 1..n {
+            d.on_spawn(Some(0), t);
+        }
+        d
+    }
+
+    #[test]
+    fn unordered_relaxed_accesses_race() {
+        let mut d = detector_with_threads(2);
+        d.on_op(0, &rlx_store(0), 0);
+        d.on_op(1, &rlx_load(0), 1);
+        assert_eq!(d.races.len(), 1);
+        assert_eq!(d.races[0], RawRace { loc: 0, first_event: 0, second_event: 1 });
+    }
+
+    #[test]
+    fn release_acquire_orders_publication() {
+        let mut d = detector_with_threads(2);
+        // T0: data.write(); flag.store(Release). T1: flag.load(Acquire); data.read().
+        d.on_op(0, &op(OpKind::Store { ord: Ordering::Relaxed, atomic: false }, 0), 0);
+        d.on_op(0, &op(OpKind::Store { ord: Ordering::Release, atomic: true }, 1), 1);
+        d.on_op(1, &op(OpKind::Load { ord: Ordering::Acquire, atomic: true }, 1), 2);
+        d.on_op(1, &op(OpKind::Load { ord: Ordering::Relaxed, atomic: false }, 0), 3);
+        assert!(d.races.is_empty(), "release/acquire must order the data access");
+    }
+
+    #[test]
+    fn relaxed_flag_leaves_publication_racy() {
+        let mut d = detector_with_threads(2);
+        d.on_op(0, &op(OpKind::Store { ord: Ordering::Relaxed, atomic: false }, 0), 0);
+        d.on_op(0, &rlx_store(1), 1);
+        d.on_op(1, &rlx_load(1), 2);
+        d.on_op(1, &op(OpKind::Load { ord: Ordering::Relaxed, atomic: false }, 0), 3);
+        // Races on both the flag (1) and the data (0).
+        assert!(d.races.iter().any(|r| r.loc == 0));
+        assert!(d.races.iter().any(|r| r.loc == 1));
+    }
+
+    #[test]
+    fn mutex_orders_critical_sections() {
+        let mut d = detector_with_threads(2);
+        let cell = 0usize;
+        let lock = 1usize;
+        for (tid, base) in [(0usize, 0usize), (1, 4)] {
+            d.on_op(tid, &op(OpKind::Lock, lock), base);
+            d.on_op(tid, &op(OpKind::Load { ord: Ordering::Relaxed, atomic: false }, cell), base + 1);
+            d.on_op(tid, &op(OpKind::Store { ord: Ordering::Relaxed, atomic: false }, cell), base + 2);
+            d.on_op(tid, &op(OpKind::Unlock, lock), base + 3);
+        }
+        assert!(d.races.is_empty(), "lock ordering must cover the plain accesses");
+    }
+
+    #[test]
+    fn rmw_pairs_do_not_race_but_race_with_plain() {
+        let mut d = detector_with_threads(2);
+        d.on_op(0, &op(OpKind::Rmw { ord: Ordering::Relaxed }, 0), 0);
+        d.on_op(1, &op(OpKind::Rmw { ord: Ordering::Relaxed }, 0), 1);
+        assert!(d.races.is_empty(), "two RMWs are atomic — no race");
+        d.on_op(0, &op(OpKind::Store { ord: Ordering::Relaxed, atomic: false }, 0), 2);
+        assert!(!d.races.is_empty(), "plain store vs RMW is a race");
+    }
+
+    #[test]
+    fn join_edge_orders_parent_reads() {
+        let mut d = detector_with_threads(2);
+        d.on_op(1, &rlx_store(0), 0);
+        d.on_op(0, &op(OpKind::Join { target: 1 }, 0), 1);
+        d.on_op(0, &rlx_load(0), 2);
+        assert!(d.races.is_empty(), "join must order the child's writes");
+    }
+}

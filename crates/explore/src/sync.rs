@@ -1,0 +1,287 @@
+//! Shim synchronisation primitives — drop-in lookalikes for the
+//! `std::sync` (and `shims/parking_lot`) types used by the demos,
+//! with every operation a controlled yield point.
+//!
+//! Mirroring the workspace's `shims/*` pattern, the types keep the
+//! familiar call shapes (`AtomicU64::load(Ordering)`, `Mutex::lock()`
+//! guard, `thread::spawn` + `JoinHandle::join`) so porting a demo is
+//! a `use` swap. Two deliberate differences:
+//!
+//! * constructors take a **name** (`AtomicU64::new("flag", false)`)
+//!   so race reports and interleaving diagrams can talk about
+//!   locations the way the lab handout does;
+//! * [`PlainCell`] exists to model genuinely non-atomic data (the
+//!   `count++` split, unsynchronised publication targets). Its
+//!   accesses always participate in race reports; shim atomics
+//!   participate only at `Ordering::Relaxed` (see [`crate::op::Op::racy`]).
+//!
+//! All shim state lives behind the controller's serialisation — only
+//! one simulated thread runs at a time, and consecutive steps are
+//! ordered by the controller's own mutex — so the `unsafe` interior
+//! access below never constitutes a real data race.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::Ordering;
+use std::sync::Mutex as StdMutex;
+
+pub use std::sync::Arc;
+
+use crate::ctl::{register_loc, sched_point};
+use crate::op::{Op, OpKind};
+
+macro_rules! shim_atomic {
+    ($name:ident, $ty:ty, $doc:literal) => {
+        #[doc = $doc]
+        #[derive(Debug)]
+        pub struct $name {
+            loc: usize,
+            value: UnsafeCell<$ty>,
+        }
+
+        // SAFETY: the controller runs exactly one simulated thread at
+        // a time and orders consecutive steps through its own mutex,
+        // so interior accesses are serialised and synchronised.
+        unsafe impl Send for $name {}
+        unsafe impl Sync for $name {}
+
+        impl $name {
+            /// New shim atomic registered under `name`.
+            #[must_use]
+            pub fn new(name: &str, value: $ty) -> Self {
+                Self { loc: register_loc(name), value: UnsafeCell::new(value) }
+            }
+
+            /// Atomic load at `ord` (a yield point).
+            pub fn load(&self, ord: Ordering) -> $ty {
+                sched_point(Op { kind: OpKind::Load { ord, atomic: true }, loc: Some(self.loc) });
+                // SAFETY: serialised by the controller (see type docs).
+                unsafe { *self.value.get() }
+            }
+
+            /// Atomic store at `ord` (a yield point).
+            pub fn store(&self, value: $ty, ord: Ordering) {
+                sched_point(Op { kind: OpKind::Store { ord, atomic: true }, loc: Some(self.loc) });
+                // SAFETY: serialised by the controller (see type docs).
+                unsafe { *self.value.get() = value };
+            }
+        }
+    };
+}
+
+shim_atomic!(AtomicU64, u64, "Shim `AtomicU64`: every access is a controlled yield point.");
+shim_atomic!(AtomicUsize, usize, "Shim `AtomicUsize`: every access is a controlled yield point.");
+shim_atomic!(AtomicBool, bool, "Shim `AtomicBool`: every access is a controlled yield point.");
+
+macro_rules! shim_fetch_add {
+    ($name:ident, $ty:ty) => {
+        impl $name {
+            /// Atomic `fetch_add` (indivisible — a single yield point).
+            pub fn fetch_add(&self, n: $ty, ord: Ordering) -> $ty {
+                sched_point(Op { kind: OpKind::Rmw { ord }, loc: Some(self.loc) });
+                // SAFETY: serialised by the controller (see type docs).
+                unsafe {
+                    let p = self.value.get();
+                    let prev = *p;
+                    *p = prev.wrapping_add(n);
+                    prev
+                }
+            }
+
+            /// Atomic compare-exchange (indivisible — a single yield
+            /// point; recorded as an RMW at `ord` even on failure).
+            pub fn compare_exchange(
+                &self,
+                current: $ty,
+                new: $ty,
+                ord: Ordering,
+                _failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                sched_point(Op { kind: OpKind::Rmw { ord }, loc: Some(self.loc) });
+                // SAFETY: serialised by the controller (see type docs).
+                unsafe {
+                    let p = self.value.get();
+                    let prev = *p;
+                    if prev == current {
+                        *p = new;
+                        Ok(prev)
+                    } else {
+                        Err(prev)
+                    }
+                }
+            }
+        }
+    };
+}
+
+shim_fetch_add!(AtomicU64, u64);
+shim_fetch_add!(AtomicUsize, usize);
+
+impl AtomicBool {
+    /// Atomic compare-exchange on the flag (indivisible).
+    pub fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        ord: Ordering,
+        _failure: Ordering,
+    ) -> Result<bool, bool> {
+        sched_point(Op { kind: OpKind::Rmw { ord }, loc: Some(self.loc) });
+        // SAFETY: serialised by the controller (see type docs).
+        unsafe {
+            let p = self.value.get();
+            let prev = *p;
+            if prev == current {
+                *p = new;
+                Ok(prev)
+            } else {
+                Err(prev)
+            }
+        }
+    }
+}
+
+/// A genuinely non-atomic shared cell — what `count++` on a plain
+/// field compiles to. Every `get`/`set` is a racy access candidate;
+/// safety must come from happens-before (locks, joins), and the
+/// detector verifies exactly that.
+#[derive(Debug)]
+pub struct PlainCell<T: Copy> {
+    loc: usize,
+    value: UnsafeCell<T>,
+}
+
+// SAFETY: serialised by the controller (see module docs).
+unsafe impl<T: Copy + Send> Send for PlainCell<T> {}
+unsafe impl<T: Copy + Send> Sync for PlainCell<T> {}
+
+impl<T: Copy> PlainCell<T> {
+    /// New plain cell registered under `name`.
+    #[must_use]
+    pub fn new(name: &str, value: T) -> Self {
+        Self { loc: register_loc(name), value: UnsafeCell::new(value) }
+    }
+
+    /// Plain read (a racy-access candidate and a yield point).
+    pub fn get(&self) -> T {
+        sched_point(Op {
+            kind: OpKind::Load { ord: Ordering::Relaxed, atomic: false },
+            loc: Some(self.loc),
+        });
+        // SAFETY: serialised by the controller (see module docs).
+        unsafe { *self.value.get() }
+    }
+
+    /// Plain write (a racy-access candidate and a yield point).
+    pub fn set(&self, value: T) {
+        sched_point(Op {
+            kind: OpKind::Store { ord: Ordering::Relaxed, atomic: false },
+            loc: Some(self.loc),
+        });
+        // SAFETY: serialised by the controller (see module docs).
+        unsafe { *self.value.get() = value };
+    }
+}
+
+/// Shim mutex: `lock()` blocks (the scheduler never grants a `Lock`
+/// on a held mutex), establishes the usual acquire/release
+/// happens-before edges, and returns a guard. Mirrors the
+/// `parking_lot::Mutex` call shape (`lock()`, no poisoning).
+#[derive(Debug)]
+pub struct Mutex<T> {
+    loc: usize,
+    value: UnsafeCell<T>,
+}
+
+// SAFETY: mutual exclusion is enforced by the scheduler (a Lock op is
+// never granted while the mutex is held), and steps are serialised by
+// the controller.
+unsafe impl<T: Send> Send for Mutex<T> {}
+unsafe impl<T: Send> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    /// New shim mutex registered under `name`.
+    #[must_use]
+    pub fn new(name: &str, value: T) -> Self {
+        Self { loc: register_loc(name), value: UnsafeCell::new(value) }
+    }
+
+    /// Acquire the mutex (blocks; a yield point).
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        sched_point(Op { kind: OpKind::Lock, loc: Some(self.loc) });
+        MutexGuard { mutex: self }
+    }
+}
+
+/// Guard for the shim [`Mutex`]; releases (a yield point) on drop.
+#[derive(Debug)]
+pub struct MutexGuard<'a, T> {
+    mutex: &'a Mutex<T>,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: the scheduler guarantees exclusive ownership while
+        // this guard lives.
+        unsafe { &*self.mutex.value.get() }
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as for `deref`.
+        unsafe { &mut *self.mutex.value.get() }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        sched_point(Op { kind: OpKind::Unlock, loc: Some(self.mutex.loc) });
+    }
+}
+
+/// Controlled threads: `spawn`/`join` with the std call shape.
+pub mod thread {
+    use super::*;
+    use crate::ctl::register_thread;
+
+    /// Handle to a simulated thread; `join` blocks until it finished
+    /// and establishes the join happens-before edge.
+    pub struct JoinHandle<T> {
+        target: usize,
+        slot: Arc<StdMutex<Option<T>>>,
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Wait for the thread and take its return value.
+        pub fn join(self) -> T {
+            sched_point(Op { kind: OpKind::Join { target: self.target }, loc: None });
+            self.slot
+                .lock()
+                .unwrap()
+                .take()
+                .expect("joined thread completed, so its slot is filled")
+        }
+    }
+
+    /// Spawn a simulated thread. It becomes *schedulable* here; its
+    /// first step (`start`) is a scheduling decision like any other.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let slot: Arc<StdMutex<Option<T>>> = Arc::new(StdMutex::new(None));
+        let out = Arc::clone(&slot);
+        let target = register_thread(Box::new(move || {
+            let value = f();
+            *out.lock().unwrap() = Some(value);
+        }));
+        JoinHandle { target, slot }
+    }
+
+    /// A pure scheduling point (the ported demos' `yield_now`).
+    pub fn yield_now() {
+        sched_point(Op { kind: OpKind::Yield, loc: None });
+    }
+}

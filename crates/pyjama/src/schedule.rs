@@ -115,6 +115,15 @@ impl<'a> ChunkStream<'a> {
             Schedule::Dynamic(c) => {
                 let c = c.max(1);
                 let shared = self.shared.expect("dynamic schedule shared state");
+                // Exhaustion check before the RMW: an exhausted stream
+                // may be polled again (e.g. by a work-stealing wrapper
+                // re-probing for leftovers), and each poll must be
+                // side-effect-free — an unconditional `fetch_add` here
+                // marches the shared cursor towards overflow and skews
+                // any diagnostics reading it.
+                if shared.next.load(Ordering::Relaxed) >= self.len {
+                    return None;
+                }
                 let lo = shared.next.fetch_add(c, Ordering::Relaxed);
                 if lo >= self.len {
                     return None;
@@ -276,6 +285,48 @@ mod tests {
         assert_exact_cover(&pt, 0..3);
         let nonempty = pt.iter().filter(|v| !v.is_empty()).count();
         assert_eq!(nonempty, 3);
+    }
+
+    #[test]
+    fn exhausted_streams_poll_without_side_effects() {
+        // Regression: `Dynamic` used to `fetch_add` on every poll, so
+        // an exhausted stream polled N more times advanced the shared
+        // cursor by N*chunk (towards eventual overflow). Post-exhaustion
+        // polls must leave the counter untouched.
+        for schedule in [Schedule::Dynamic(3), Schedule::Guided(2)] {
+            let shared = LoopShared::default();
+            let range = 0..20;
+            let mut streams: Vec<ChunkStream> = (0..2)
+                .map(|t| ChunkStream::new(schedule, t, 2, &range, Some(&shared)))
+                .collect();
+            // Drain both streams completely.
+            let mut drained: Vec<usize> = Vec::new();
+            let mut live = [true, true];
+            while live.iter().any(|&l| l) {
+                for (t, stream) in streams.iter_mut().enumerate() {
+                    if !live[t] {
+                        continue;
+                    }
+                    match stream.next_chunk() {
+                        Some(chunk) => drained.extend(chunk),
+                        None => live[t] = false,
+                    }
+                }
+            }
+            drained.sort_unstable();
+            assert_eq!(drained, (0..20).collect::<Vec<_>>(), "{schedule:?}");
+            let cursor_at_exhaustion = shared.next.load(Ordering::Relaxed);
+            for _ in 0..100 {
+                for stream in &mut streams {
+                    assert!(stream.next_chunk().is_none(), "{schedule:?}");
+                }
+            }
+            assert_eq!(
+                shared.next.load(Ordering::Relaxed),
+                cursor_at_exhaustion,
+                "{schedule:?}: post-exhaustion polls must not move the shared cursor"
+            );
+        }
     }
 
     #[test]

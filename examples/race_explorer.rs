@@ -1,0 +1,138 @@
+//! Experiment E-RACE: deterministic race verdicts for the whole
+//! litmus catalogue, plus the explorer's throughput benchmark.
+//!
+//! For every entry in `parc_explore::litmus::catalogue()` this runs an
+//! exhaustive DFS exploration and checks the verdict against ground
+//! truth: racy variants must have a concrete racing schedule, fixed
+//! variants must be race-free over the whole interleaving space. Any
+//! mismatch exits non-zero, which is what the CI `explore` job gates
+//! on.
+//!
+//! Artifacts:
+//! * first argument (default `race_explorer.traces.txt`) — the full
+//!   racing-schedule interleaving diagrams, uploaded by CI;
+//! * second argument (default `BENCH_explore.json`) — the
+//!   schedules-explored-per-second benchmark record.
+//!
+//! Run with: `cargo run --release --example race_explorer`
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use parc_explore::{explore, litmus, Config};
+use parc_util::Table;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let traces_path = args.next().unwrap_or_else(|| "race_explorer.traces.txt".to_string());
+    let bench_path = args.next().unwrap_or_else(|| "BENCH_explore.json".to_string());
+
+    println!("== E-RACE: deterministic interleaving exploration ==\n");
+
+    let mut table = Table::new(
+        "litmus verdicts (exhaustive DFS + happens-before)",
+        &[
+            "litmus",
+            "expected",
+            "verdict",
+            "schedules",
+            "pruned",
+            "steps",
+            "first race @",
+        ],
+    );
+    let mut traces = String::new();
+    let mut mismatches = 0usize;
+    let mut total_executions = 0usize;
+    let mut total_steps = 0usize;
+    let started = Instant::now();
+
+    for entry in litmus::catalogue() {
+        let body = Arc::clone(&entry.body);
+        let report = explore(Config::dfs(entry.name), move || body());
+        assert!(report.exhausted, "{}: litmus space must be enumerable", entry.name);
+        total_executions += report.schedule_log.len();
+        total_steps += report.steps_total;
+
+        let ok = !report.race_free() == entry.expect_race;
+        if !ok {
+            mismatches += 1;
+        }
+        let first_race = match (report.first_race_schedule, report.first_race_depth) {
+            (Some(s), Some(d)) => format!("sched {s}, step {d}"),
+            _ => "-".to_string(),
+        };
+        table.row(&[
+            entry.name.to_string(),
+            if entry.expect_race { "race".to_string() } else { "race-free".to_string() },
+            format!("{}{}", report.verdict(), if ok { "" } else { "  ** MISMATCH **" }),
+            report.schedule_log.len().to_string(),
+            report.pruned.to_string(),
+            report.steps_total.to_string(),
+            first_race,
+        ]);
+
+        let _ = writeln!(traces, "==== {} ====", entry.name);
+        if report.races.is_empty() {
+            let _ = writeln!(
+                traces,
+                "no race over {} explored schedules ({})\n",
+                report.schedule_log.len(),
+                report.verdict()
+            );
+        } else {
+            for race in &report.races {
+                let _ = writeln!(traces, "{}", race.render());
+            }
+        }
+        for (key, values) in &report.observations {
+            let rendered: Vec<String> = values.iter().map(ToString::to_string).collect();
+            let _ = writeln!(traces, "observed {key} in {{{}}}", rendered.join(", "));
+        }
+        traces.push('\n');
+    }
+
+    let elapsed = started.elapsed();
+    println!("{}", table.render());
+
+    let schedules_per_sec = total_executions as f64 / elapsed.as_secs_f64().max(1e-9);
+    let steps_per_sec = total_steps as f64 / elapsed.as_secs_f64().max(1e-9);
+    println!(
+        "explored {total_executions} schedules / {total_steps} steps in {:.1} ms  ({:.0} schedules/s, {:.0} steps/s)",
+        elapsed.as_secs_f64() * 1e3,
+        schedules_per_sec,
+        steps_per_sec
+    );
+
+    std::fs::write(&traces_path, &traces).expect("write racing-schedule traces");
+    println!("racing-schedule traces -> {traces_path}");
+
+    let bench = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"explore\",\n",
+            "  \"litmus_tests\": {},\n",
+            "  \"schedules_explored\": {},\n",
+            "  \"steps_executed\": {},\n",
+            "  \"elapsed_ms\": {:.3},\n",
+            "  \"schedules_per_sec\": {:.1},\n",
+            "  \"steps_per_sec\": {:.1}\n",
+            "}}\n"
+        ),
+        litmus::catalogue().len(),
+        total_executions,
+        total_steps,
+        elapsed.as_secs_f64() * 1e3,
+        schedules_per_sec,
+        steps_per_sec
+    );
+    std::fs::write(&bench_path, bench).expect("write BENCH_explore.json");
+    println!("benchmark record -> {bench_path}");
+
+    if mismatches > 0 {
+        eprintln!("\n{mismatches} litmus verdict(s) disagreed with ground truth");
+        std::process::exit(1);
+    }
+    println!("\nall {} verdicts match ground truth", litmus::catalogue().len());
+}

@@ -253,6 +253,11 @@ fn metrics_registry_matches_trace_and_stats() {
     let rt = TaskRuntime::builder().workers(4).name("rt").trace(&h).build();
     let server = flaky_server(0xFACE, &h);
     let _ = try_fetch_all(&rt, &server, 4, &crawl_policy());
+    // `try_fetch_all` returns when the joiners have their results, which
+    // can be a beat before the workers finish their post-run bookkeeping
+    // (`executed` and the outcome mark land after the result is posted).
+    // Quiesce so every counter is final before sampling.
+    rt.wait_quiescent();
     let stats = rt.stats();
     rt.shutdown();
     let counters = col.metrics().counter_values();
