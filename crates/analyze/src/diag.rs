@@ -1,0 +1,303 @@
+//! Diagnostics: codes, severities, caret-annotated rendering, summary
+//! tables, and machine-readable JSON export.
+//!
+//! Codes follow the marking sheet split used in the course material:
+//! `E`-class diagnostics are guaranteed-wrong programs (deadlock or a
+//! broken parallel idiom — correctness deductions), `W`-class are
+//! potential races and style hazards (noted, smaller deductions).
+//! Every `E`-class verdict is cross-validated dynamically in
+//! `tests/analyze.rs`: the explorer must witness the bad schedule.
+
+use parc_util::Table;
+
+use crate::ast::Span;
+
+/// A diagnostic code. Ordering is the report order for equal spans.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Code {
+    /// Barrier lexically inside worksharing / `single` / `master` /
+    /// `critical` — guaranteed deadlock (mismatched barrier counts).
+    E001,
+    /// Worksharing construct nested inside another worksharing
+    /// construct bound to the same parallel region.
+    E002,
+    /// Reduction variable written as a shared variable outside its
+    /// reduction construct.
+    E003,
+    /// Lock-order cycle across named `critical` regions (or a
+    /// self-nested critical) — deadlock-capable.
+    E004,
+    /// Malformed region structure (unclosed block, stray `}` or
+    /// `section` outside `sections`).
+    E005,
+    /// Unprotected write to a shared variable in a parallel region —
+    /// potential data race.
+    W101,
+    /// `master` used where `single` (+ implied barrier) is needed:
+    /// siblings read the master's write without a barrier.
+    W102,
+    /// `private` variable read before its first write (privates start
+    /// uninitialised; use `firstprivate` to capture the outer value).
+    W103,
+}
+
+/// Diagnostic severity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Guaranteed-wrong program.
+    Error,
+    /// Potential hazard / style problem.
+    Warning,
+}
+
+impl Code {
+    /// Every code, in report order.
+    pub const ALL: [Code; 8] = [
+        Code::E001,
+        Code::E002,
+        Code::E003,
+        Code::E004,
+        Code::E005,
+        Code::W101,
+        Code::W102,
+        Code::W103,
+    ];
+
+    /// The code's severity class.
+    #[must_use]
+    pub fn severity(self) -> Severity {
+        match self {
+            Self::E001 | Self::E002 | Self::E003 | Self::E004 | Self::E005 => Severity::Error,
+            Self::W101 | Self::W102 | Self::W103 => Severity::Warning,
+        }
+    }
+
+    /// The code as printed (`E001`, `W101`, ...).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::E001 => "E001",
+            Self::E002 => "E002",
+            Self::E003 => "E003",
+            Self::E004 => "E004",
+            Self::E005 => "E005",
+            Self::W101 => "W101",
+            Self::W102 => "W102",
+            Self::W103 => "W103",
+        }
+    }
+
+    /// A one-line title for tables and rubric notes.
+    #[must_use]
+    pub fn title(self) -> &'static str {
+        match self {
+            Self::E001 => "barrier inside worksharing/synchronised construct",
+            Self::E002 => "nested worksharing in the same parallel region",
+            Self::E003 => "reduction variable written outside the reduction",
+            Self::E004 => "lock-order cycle across named criticals",
+            Self::E005 => "malformed region structure",
+            Self::W101 => "unprotected shared write (potential race)",
+            Self::W102 => "master without a barrier before sibling reads",
+            Self::W103 => "private variable read before first write",
+        }
+    }
+}
+
+impl Severity {
+    /// Lowercase label, rustc style.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Error => "error",
+            Self::Warning => "warning",
+        }
+    }
+}
+
+/// One diagnostic: a code anchored at a span, with a message and
+/// optional explanatory notes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Diagnostic {
+    /// The code.
+    pub code: Code,
+    /// The primary span (what the caret underlines).
+    pub span: Span,
+    /// The main message.
+    pub message: String,
+    /// `= note:` follow-up lines.
+    pub notes: Vec<String>,
+}
+
+impl Diagnostic {
+    /// New diagnostic without notes.
+    #[must_use]
+    pub fn new(code: Code, span: Span, message: impl Into<String>) -> Self {
+        Self { code, span, message: message.into(), notes: Vec::new() }
+    }
+
+    /// Attach a `= note:` line.
+    #[must_use]
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Render a rustc-style caret snippet against `source`, naming the
+    /// file `origin`:
+    ///
+    /// ```text
+    /// fixture.pj:5:5: error[E001]: barrier inside `critical`
+    ///     |         //#omp barrier
+    ///     |         ^^^^^^^^^^^^^^
+    ///     = note: only some threads reach this barrier
+    /// ```
+    #[must_use]
+    pub fn render(&self, source: &str, origin: &str) -> String {
+        let mut out = format!(
+            "{origin}:{}:{}: {}[{}]: {}\n",
+            self.span.line,
+            self.span.col,
+            self.code.severity().label(),
+            self.code.as_str(),
+            self.message
+        );
+        if let Some(text) = source.lines().nth(self.span.line.saturating_sub(1)) {
+            out.push_str("    | ");
+            out.push_str(text);
+            out.push('\n');
+            out.push_str("    | ");
+            for _ in 1..self.span.col {
+                out.push(' ');
+            }
+            for _ in 0..self.span.len {
+                out.push('^');
+            }
+            out.push('\n');
+        }
+        for note in &self.notes {
+            out.push_str("    = note: ");
+            out.push_str(note);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Sort diagnostics deterministically: by span, then code, then
+/// message. Reruns over the same source must produce byte-identical
+/// reports (`tests/analyze.rs` pins this).
+pub fn sort_diagnostics(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        (a.span, a.code, &a.message).cmp(&(b.span, b.code, &b.message))
+    });
+}
+
+/// Render a per-code summary table for a batch of diagnostics.
+#[must_use]
+pub fn summary_table(title: &str, diags: &[Diagnostic]) -> String {
+    let mut table = Table::new(title, &["code", "severity", "count", "title"]);
+    for code in Code::ALL {
+        let count = diags.iter().filter(|d| d.code == code).count();
+        if count > 0 {
+            table.row(&[
+                code.as_str().to_string(),
+                code.severity().label().to_string(),
+                count.to_string(),
+                code.title().to_string(),
+            ]);
+        }
+    }
+    table.render()
+}
+
+/// Escape a string for embedding in a JSON literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Export diagnostics as a machine-readable JSON array (hand-rolled;
+/// the workspace carries no serde).
+#[must_use]
+pub fn to_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"code\": \"{}\", \"severity\": \"{}\", \"line\": {}, \"col\": {}, \"len\": {}, \"message\": \"{}\", \"notes\": [{}]}}",
+            d.code.as_str(),
+            d.code.severity().label(),
+            d.span.line,
+            d.span.col,
+            d.span.len,
+            json_escape(&d.message),
+            d.notes
+                .iter()
+                .map(|n| format!("\"{}\"", json_escape(n)))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+    }
+    if !diags.is_empty() {
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_sort_before_warnings_at_equal_spans() {
+        assert!(Code::E001 < Code::W101);
+        assert!(Code::E005 < Code::W101);
+    }
+
+    #[test]
+    fn render_places_the_caret() {
+        let src = "line one\n    //#omp barrier\nline three\n";
+        let d = Diagnostic::new(Code::E001, Span::new(2, 5, 14), "barrier inside `critical`")
+            .with_note("only some threads reach this barrier");
+        let rendered = d.render(src, "fixture.pj");
+        assert!(rendered.starts_with("fixture.pj:2:5: error[E001]: barrier inside `critical`"));
+        assert!(rendered.contains("    |     //#omp barrier"));
+        assert!(rendered.contains("    |     ^^^^^^^^^^^^^^"));
+        assert!(rendered.contains("= note: only some threads reach this barrier"));
+    }
+
+    #[test]
+    fn json_escapes_quotes() {
+        let d = Diagnostic::new(Code::W101, Span::new(1, 1, 1), "write to \"x\"");
+        let json = to_json(&[d]);
+        assert!(json.contains("write to \\\"x\\\""));
+        assert!(json.starts_with('['));
+        assert!(json.ends_with(']'));
+    }
+
+    #[test]
+    fn sort_is_by_span_then_code() {
+        let mut diags = vec![
+            Diagnostic::new(Code::W101, Span::new(3, 1, 1), "b"),
+            Diagnostic::new(Code::E001, Span::new(3, 1, 1), "a"),
+            Diagnostic::new(Code::E005, Span::new(1, 1, 1), "c"),
+        ];
+        sort_diagnostics(&mut diags);
+        let codes: Vec<Code> = diags.iter().map(|d| d.code).collect();
+        assert_eq!(codes, vec![Code::E005, Code::E001, Code::W101]);
+    }
+}

@@ -1,0 +1,448 @@
+//! The fixture corpus: twenty small directive programs styled on the
+//! SoftEng 751 student projects, half exhibiting the classic bugs the
+//! rule engine targets and half their fixed (or naturally clean)
+//! counterparts.
+//!
+//! Every fixture carries its expected static diagnostics *and* the
+//! dynamic verdict the interleaving explorer must reach when the
+//! program is lowered onto the shim runtime — `tests/analyze.rs`
+//! cross-validates the two so no static claim ships unwitnessed.
+
+use crate::diag::Code;
+
+/// What the dynamic cross-validation must observe for a fixture.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DynVerdict {
+    /// Exhaustive exploration proves the program race- and
+    /// deadlock-free.
+    Clean,
+    /// The explorer must witness at least one racing schedule.
+    Race,
+    /// The explorer must witness at least one deadlocked schedule.
+    Deadlock,
+    /// The program does not lower (structural `E005` errors); only the
+    /// static verdict applies.
+    Unlowered,
+}
+
+/// One corpus entry.
+#[derive(Clone, Copy, Debug)]
+pub struct Fixture {
+    /// Corpus name, `family/variant` style.
+    pub name: &'static str,
+    /// Which student-project idiom the program is styled on.
+    pub styled_on: &'static str,
+    /// The directive program source.
+    pub source: &'static str,
+    /// Expected diagnostic codes, in report order.
+    pub expect: &'static [Code],
+    /// Expected dynamic verdict.
+    pub dynamic: DynVerdict,
+}
+
+/// The whole corpus, in a fixed presentation order.
+#[must_use]
+pub fn corpus() -> &'static [Fixture] {
+    FIXTURES
+}
+
+/// Look a fixture up by name.
+#[must_use]
+pub fn by_name(name: &str) -> Option<&'static Fixture> {
+    FIXTURES.iter().find(|f| f.name == name)
+}
+
+const FIXTURES: &[Fixture] = &[
+    Fixture {
+        name: "counter/racy",
+        styled_on: "web-crawler page counter",
+        source: "\
+//#omp parallel num_threads(2)
+{
+    count = count + 1;
+}
+",
+        expect: &[Code::W101],
+        dynamic: DynVerdict::Race,
+    },
+    Fixture {
+        name: "counter/critical",
+        styled_on: "web-crawler page counter (fixed)",
+        source: "\
+//#omp parallel num_threads(2)
+{
+    //#omp critical tally
+    {
+        count = count + 1;
+    }
+}
+",
+        expect: &[],
+        dynamic: DynVerdict::Clean,
+    },
+    Fixture {
+        name: "reduction/sum",
+        styled_on: "word-count tallying",
+        source: "\
+sum = 0;
+//#omp parallel num_threads(2)
+{
+    //#omp for reduction(+:sum)
+    for i in 0..4 {
+        sum = sum + i;
+    }
+}
+",
+        expect: &[],
+        dynamic: DynVerdict::Clean,
+    },
+    Fixture {
+        name: "reduction/broken",
+        styled_on: "word-count tallying (stray late write)",
+        source: "\
+sum = 0;
+//#omp parallel num_threads(2)
+{
+    //#omp for reduction(+:sum)
+    for i in 0..4 {
+        sum = sum + i;
+    }
+    sum = sum + 100;
+}
+",
+        expect: &[Code::E003],
+        dynamic: DynVerdict::Race,
+    },
+    Fixture {
+        name: "barrier/in-critical",
+        styled_on: "k-means phase sync gone wrong",
+        source: "\
+//#omp parallel num_threads(2)
+{
+    //#omp critical gate
+    {
+        //#omp barrier
+    }
+}
+",
+        expect: &[Code::E001],
+        dynamic: DynVerdict::Deadlock,
+    },
+    Fixture {
+        name: "barrier/in-for",
+        styled_on: "n-body per-step sync inside the shared loop",
+        source: "\
+//#omp parallel num_threads(2)
+{
+    //#omp for
+    for i in 0..3 {
+        //#omp barrier
+    }
+}
+",
+        expect: &[Code::E001],
+        dynamic: DynVerdict::Deadlock,
+    },
+    Fixture {
+        name: "barrier/in-single",
+        styled_on: "matrix-multiply tile staging",
+        source: "\
+//#omp parallel num_threads(2)
+{
+    //#omp single
+    {
+        x = 1;
+        //#omp barrier
+    }
+}
+",
+        expect: &[Code::E001],
+        dynamic: DynVerdict::Deadlock,
+    },
+    Fixture {
+        name: "barrier/phases",
+        styled_on: "n-body per-step sync (fixed: barrier between phases)",
+        source: "\
+//#omp parallel num_threads(2) private(result)
+{
+    //#omp master
+    {
+        stage = 40 + 2;
+    }
+    //#omp barrier
+    result = stage;
+}
+",
+        expect: &[],
+        dynamic: DynVerdict::Clean,
+    },
+    Fixture {
+        name: "master/unbarriered",
+        styled_on: "ray-tracer scene setup on the master thread",
+        source: "\
+//#omp parallel num_threads(2) private(local)
+{
+    //#omp master
+    {
+        config = 7;
+    }
+    local = config;
+}
+",
+        expect: &[Code::W102],
+        dynamic: DynVerdict::Race,
+    },
+    Fixture {
+        name: "single/init",
+        styled_on: "ray-tracer scene setup (fixed: single has a barrier)",
+        source: "\
+//#omp parallel num_threads(2) private(hit)
+{
+    //#omp single
+    {
+        needle = 9;
+    }
+    hit = needle;
+}
+",
+        expect: &[],
+        dynamic: DynVerdict::Clean,
+    },
+    Fixture {
+        name: "nested-for",
+        styled_on: "mandelbrot row/column double worksharing",
+        source: "\
+//#omp parallel num_threads(2)
+{
+    //#omp for
+    for i in 0..2 {
+        //#omp for
+        for j in 0..2 {
+            acc = acc + 1;
+        }
+    }
+}
+",
+        expect: &[Code::E002, Code::W101],
+        dynamic: DynVerdict::Race,
+    },
+    Fixture {
+        name: "lock-order/cycle",
+        styled_on: "path-finder node/edge table locking",
+        source: "\
+//#omp parallel num_threads(2)
+{
+    //#omp sections
+    {
+        //#omp section
+        {
+            //#omp critical alpha
+            {
+                //#omp critical beta
+                {
+                    a = 1;
+                }
+            }
+        }
+        //#omp section
+        {
+            //#omp critical beta
+            {
+                //#omp critical alpha
+                {
+                    b = 1;
+                }
+            }
+        }
+    }
+}
+",
+        expect: &[Code::E004],
+        dynamic: DynVerdict::Deadlock,
+    },
+    Fixture {
+        name: "lock-order/consistent",
+        styled_on: "path-finder node/edge table locking (fixed: global order)",
+        source: "\
+//#omp parallel num_threads(2)
+{
+    //#omp sections
+    {
+        //#omp section
+        {
+            //#omp critical alpha
+            {
+                //#omp critical beta
+                {
+                    a = 1;
+                }
+            }
+        }
+        //#omp section
+        {
+            //#omp critical alpha
+            {
+                //#omp critical beta
+                {
+                    b = 1;
+                }
+            }
+        }
+    }
+}
+",
+        expect: &[],
+        dynamic: DynVerdict::Clean,
+    },
+    Fixture {
+        name: "private/uninit",
+        styled_on: "sudoku-solver per-thread scratch counter",
+        source: "\
+//#omp parallel num_threads(2) private(t)
+{
+    t = t + 1;
+    //#omp critical sum_lock
+    {
+        out = out + t;
+    }
+}
+",
+        expect: &[Code::W103],
+        dynamic: DynVerdict::Clean,
+    },
+    Fixture {
+        name: "private/firstprivate",
+        styled_on: "sudoku-solver per-thread scratch counter (fixed)",
+        source: "\
+seed = 3;
+//#omp parallel num_threads(2) firstprivate(seed)
+{
+    seed = seed + 1;
+    //#omp critical acc_lock
+    {
+        out = out + seed;
+    }
+}
+",
+        expect: &[],
+        dynamic: DynVerdict::Clean,
+    },
+    Fixture {
+        name: "sections/disjoint",
+        styled_on: "image-pipeline load/decode split",
+        source: "\
+//#omp parallel num_threads(2)
+{
+    //#omp sections
+    {
+        //#omp section
+        {
+            head = 1;
+        }
+        //#omp section
+        {
+            tail = 2;
+        }
+    }
+}
+",
+        expect: &[],
+        dynamic: DynVerdict::Clean,
+    },
+    Fixture {
+        name: "sections/conflict",
+        styled_on: "image-pipeline shared progress log",
+        source: "\
+//#omp parallel num_threads(2)
+{
+    //#omp sections
+    {
+        //#omp section
+        {
+            log = log + 1;
+        }
+        //#omp section
+        {
+            log = log + 5;
+        }
+    }
+}
+",
+        expect: &[Code::W101, Code::W101],
+        dynamic: DynVerdict::Race,
+    },
+    Fixture {
+        name: "gui/progress",
+        styled_on: "GUI progress-bar update from a parallel region",
+        source: "\
+//#omp parallel num_threads(2) private(step)
+{
+    step = 1;
+    //#omp gui
+    {
+        progress = 100;
+    }
+    step = step + 1;
+}
+",
+        expect: &[],
+        dynamic: DynVerdict::Clean,
+    },
+    Fixture {
+        name: "structure/unclosed",
+        styled_on: "any project: a brace dropped in refactoring",
+        source: "\
+//#omp parallel num_threads(2)
+{
+    x = 1;
+",
+        expect: &[Code::E005],
+        dynamic: DynVerdict::Unlowered,
+    },
+    Fixture {
+        name: "structure/stray-section",
+        styled_on: "any project: `section` without its `sections`",
+        source: "\
+//#omp parallel num_threads(2)
+{
+    //#omp section
+    {
+        x = 1;
+    }
+}
+",
+        expect: &[Code::E005, Code::W101],
+        dynamic: DynVerdict::Unlowered,
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_has_twenty_named_unique_fixtures() {
+        assert_eq!(corpus().len(), 20);
+        let mut names: Vec<&str> = corpus().iter().map(|f| f.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 20, "fixture names must be unique");
+    }
+
+    #[test]
+    fn by_name_finds_fixtures() {
+        assert!(by_name("counter/racy").is_some());
+        assert!(by_name("no/such").is_none());
+    }
+
+    #[test]
+    fn every_error_code_is_exercised() {
+        for code in Code::ALL {
+            assert!(
+                corpus().iter().any(|f| f.expect.contains(&code)),
+                "no fixture exercises {}",
+                code.as_str()
+            );
+        }
+    }
+}

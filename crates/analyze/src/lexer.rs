@@ -1,0 +1,233 @@
+//! A per-line tokenizer for the directive mini-language.
+//!
+//! The language is line-oriented (directives, braces, loop headers and
+//! statements each live on their own line), so the lexer works one
+//! line at a time and attaches full [`Span`]s — the parser classifies
+//! whole lines first and then walks the tokens within them.
+
+use crate::ast::Span;
+
+/// One token with its span.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Tok {
+    /// The token kind (and payload).
+    pub kind: TokKind,
+    /// Where it sits in the source.
+    pub span: Span,
+}
+
+/// The token vocabulary.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokKind {
+    /// An identifier or keyword.
+    Ident(String),
+    /// An unsigned integer literal (sign handled by the parser).
+    Num(i64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `;`
+    Semi,
+    /// `=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `..`
+    DotDot,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+}
+
+impl TokKind {
+    /// A short human name for error messages.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        match self {
+            Self::Ident(s) => format!("`{s}`"),
+            Self::Num(n) => format!("`{n}`"),
+            Self::LParen => "`(`".into(),
+            Self::RParen => "`)`".into(),
+            Self::Comma => "`,`".into(),
+            Self::Colon => "`:`".into(),
+            Self::Semi => "`;`".into(),
+            Self::Assign => "`=`".into(),
+            Self::Plus => "`+`".into(),
+            Self::Minus => "`-`".into(),
+            Self::Star => "`*`".into(),
+            Self::Slash => "`/`".into(),
+            Self::Amp => "`&`".into(),
+            Self::Pipe => "`|`".into(),
+            Self::Caret => "`^`".into(),
+            Self::DotDot => "`..`".into(),
+            Self::LBrace => "`{`".into(),
+            Self::RBrace => "`}`".into(),
+        }
+    }
+}
+
+/// Tokenize one source line (1-based `line` number). Returns the
+/// tokens, or the span + character of the first unrecognised input.
+pub fn lex_line(line_no: usize, text: &str) -> Result<Vec<Tok>, (Span, char)> {
+    let chars: Vec<char> = text.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        let col = i + 1;
+        let single = |kind: TokKind| Tok { kind, span: Span::new(line_no, col, 1) };
+        match c {
+            ' ' | '\t' | '\r' => {
+                i += 1;
+            }
+            '(' => {
+                toks.push(single(TokKind::LParen));
+                i += 1;
+            }
+            ')' => {
+                toks.push(single(TokKind::RParen));
+                i += 1;
+            }
+            ',' => {
+                toks.push(single(TokKind::Comma));
+                i += 1;
+            }
+            ':' => {
+                toks.push(single(TokKind::Colon));
+                i += 1;
+            }
+            ';' => {
+                toks.push(single(TokKind::Semi));
+                i += 1;
+            }
+            '=' => {
+                toks.push(single(TokKind::Assign));
+                i += 1;
+            }
+            '+' => {
+                toks.push(single(TokKind::Plus));
+                i += 1;
+            }
+            '-' => {
+                toks.push(single(TokKind::Minus));
+                i += 1;
+            }
+            '*' => {
+                toks.push(single(TokKind::Star));
+                i += 1;
+            }
+            '/' => {
+                toks.push(single(TokKind::Slash));
+                i += 1;
+            }
+            '&' => {
+                toks.push(single(TokKind::Amp));
+                i += 1;
+            }
+            '|' => {
+                toks.push(single(TokKind::Pipe));
+                i += 1;
+            }
+            '^' => {
+                toks.push(single(TokKind::Caret));
+                i += 1;
+            }
+            '{' => {
+                toks.push(single(TokKind::LBrace));
+                i += 1;
+            }
+            '}' => {
+                toks.push(single(TokKind::RBrace));
+                i += 1;
+            }
+            '.' => {
+                if chars.get(i + 1) == Some(&'.') {
+                    toks.push(Tok { kind: TokKind::DotDot, span: Span::new(line_no, col, 2) });
+                    i += 2;
+                } else {
+                    return Err((Span::new(line_no, col, 1), c));
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                let value: i64 = text.parse().map_err(|_| (Span::new(line_no, col, i - start), '0'))?;
+                toks.push(Tok { kind: TokKind::Num(value), span: Span::new(line_no, col, i - start) });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                toks.push(Tok {
+                    kind: TokKind::Ident(text),
+                    span: Span::new(line_no, col, i - start),
+                });
+            }
+            other => return Err((Span::new(line_no, col, 1), other)),
+        }
+    }
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_a_loop_header() {
+        let toks = lex_line(3, "for i in 0..4 {").unwrap();
+        let kinds: Vec<&TokKind> = toks.iter().map(|t| &t.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                &TokKind::Ident("for".into()),
+                &TokKind::Ident("i".into()),
+                &TokKind::Ident("in".into()),
+                &TokKind::Num(0),
+                &TokKind::DotDot,
+                &TokKind::Num(4),
+                &TokKind::LBrace,
+            ]
+        );
+        assert_eq!(toks[0].span, Span::new(3, 1, 3));
+        assert_eq!(toks[4].span, Span::new(3, 11, 2));
+    }
+
+    #[test]
+    fn lexes_reduction_punctuation() {
+        let toks = lex_line(1, "reduction(+:sum)").unwrap();
+        assert_eq!(toks.len(), 6);
+        assert_eq!(toks[2].kind, TokKind::Plus);
+        assert_eq!(toks[3].kind, TokKind::Colon);
+    }
+
+    #[test]
+    fn rejects_unknown_characters() {
+        let err = lex_line(2, "x = #;").unwrap_err();
+        assert_eq!(err.0, Span::new(2, 5, 1));
+        assert_eq!(err.1, '#');
+    }
+}

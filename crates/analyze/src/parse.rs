@@ -1,0 +1,637 @@
+//! Recursive-descent parser for the Pyjama-style directive language.
+//!
+//! The language is block-structured and line-oriented:
+//!
+//! ```text
+//! //#omp parallel num_threads(2) private(t)
+//! {
+//!     //#omp for reduction(+:sum)
+//!     for i in 0..4 {
+//!         sum = sum + i;
+//!     }
+//!     //#omp barrier
+//!     //#omp critical tally
+//!     {
+//!         total = total + 1;
+//!     }
+//! }
+//! ```
+//!
+//! Directives are `//#omp` comment lines — exactly Pyjama's trick of
+//! hiding OpenMP-style annotations in comments so the program stays
+//! legal source for an unmodified compiler. Structure errors (unclosed
+//! blocks, stray `}`, a directive without its block, malformed
+//! clauses) are reported as [`Code::E005`] diagnostics with spans.
+
+use crate::ast::{
+    Assign, BinOp, Clause, Expr, Ident, Item, Loop, Program, RedOp, Region, RegionKind,
+    ScheduleSpec, Span,
+};
+use crate::diag::{sort_diagnostics, Code, Diagnostic};
+use crate::lexer::{lex_line, Tok, TokKind};
+
+/// One significant (non-blank, non-comment) source line.
+#[derive(Debug)]
+struct SrcLine {
+    toks: Vec<Tok>,
+    /// Span of the whole significant text on the line.
+    span: Span,
+    /// Was this a `//#omp` directive line?
+    directive: bool,
+}
+
+/// Parse a directive program. On success returns the region tree; on
+/// failure returns the (sorted) list of `E005` diagnostics.
+pub fn parse(source: &str) -> Result<Program, Vec<Diagnostic>> {
+    let mut lines = Vec::new();
+    let mut diags = Vec::new();
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let trimmed = raw.trim_start();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let lead = raw.len() - trimmed.len();
+        if let Some(rest) = trimmed.strip_prefix("//#omp") {
+            // Tokens of the directive body, offset past the marker.
+            let text_len = trimmed.trim_end().chars().count();
+            let span = Span::new(line_no, lead + 1, text_len);
+            let pad = " ".repeat(lead + "//#omp".len());
+            match lex_line(line_no, &format!("{pad}{rest}")) {
+                Ok(toks) => lines.push(SrcLine { toks, span, directive: true }),
+                Err((span, c)) => {
+                    diags.push(Diagnostic::new(
+                        Code::E005,
+                        span,
+                        format!("unrecognised character `{c}` in directive"),
+                    ));
+                }
+            }
+        } else if trimmed.starts_with("//") {
+            continue; // ordinary comment
+        } else {
+            let text_len = trimmed.trim_end().chars().count();
+            let span = Span::new(line_no, lead + 1, text_len);
+            match lex_line(line_no, raw) {
+                Ok(toks) if toks.is_empty() => {}
+                Ok(toks) => lines.push(SrcLine { toks, span, directive: false }),
+                Err((span, c)) => {
+                    diags.push(Diagnostic::new(
+                        Code::E005,
+                        span,
+                        format!("unrecognised character `{c}`"),
+                    ));
+                }
+            }
+        }
+    }
+    let mut parser = Parser { lines, pos: 0, diags };
+    let items = parser.items(None);
+    let mut diags = parser.diags;
+    if diags.is_empty() {
+        Ok(Program { items })
+    } else {
+        sort_diagnostics(&mut diags);
+        Err(diags)
+    }
+}
+
+struct Parser {
+    lines: Vec<SrcLine>,
+    pos: usize,
+    diags: Vec<Diagnostic>,
+}
+
+impl Parser {
+    fn err(&mut self, span: Span, message: impl Into<String>) {
+        self.diags.push(Diagnostic::new(Code::E005, span, message));
+    }
+
+    /// Parse items until a closing `}` (when `until` carries the
+    /// opener's span) or end of input.
+    fn items(&mut self, until: Option<Span>) -> Vec<Item> {
+        let mut items = Vec::new();
+        while self.pos < self.lines.len() {
+            let line = &self.lines[self.pos];
+            if !line.directive && line.toks.first().map(|t| &t.kind) == Some(&TokKind::RBrace) {
+                if until.is_some() {
+                    self.pos += 1;
+                    return items;
+                }
+                let span = line.toks[0].span;
+                self.pos += 1;
+                self.err(span, "unmatched `}`");
+                continue;
+            }
+            if line.directive {
+                if let Some(item) = self.directive() {
+                    items.push(item);
+                }
+            } else if matches!(line.toks.first().map(|t| &t.kind), Some(TokKind::Ident(k)) if k == "for")
+            {
+                if let Some(l) = self.loop_item() {
+                    items.push(Item::Loop(l));
+                }
+            } else if let Some(a) = self.assign() {
+                items.push(Item::Assign(a));
+            }
+        }
+        if let Some(opener) = until {
+            self.err(opener, "unclosed block: missing `}` before end of input");
+        }
+        items
+    }
+
+    /// Parse the directive at the cursor (and its block, if any).
+    fn directive(&mut self) -> Option<Item> {
+        let line = &self.lines[self.pos];
+        let dir_span = line.span;
+        let toks = line.toks.clone();
+        self.pos += 1;
+        let mut cur = Cursor { toks: &toks, i: 0 };
+        let Some(keyword) = cur.ident() else {
+            self.err(dir_span, "expected a directive name after `//#omp`");
+            return None;
+        };
+        let kind = match keyword.name.as_str() {
+            "parallel" => RegionKind::Parallel,
+            "for" => RegionKind::For,
+            "sections" => RegionKind::Sections,
+            "section" => RegionKind::Section,
+            "single" => RegionKind::Single,
+            "master" => RegionKind::Master,
+            "critical" => RegionKind::Critical,
+            "barrier" => RegionKind::Barrier,
+            "gui" => RegionKind::Gui,
+            other => {
+                self.err(keyword.span, format!("unknown directive `{other}`"));
+                return None;
+            }
+        };
+        // `critical` takes an optional lock name before its clauses.
+        let mut name = None;
+        if kind == RegionKind::Critical {
+            if let Some(TokKind::Ident(word)) = cur.peek() {
+                if !is_clause_keyword(word) {
+                    name = cur.ident();
+                }
+            }
+        }
+        let clauses = self.clauses(&mut cur, dir_span)?;
+        match kind {
+            RegionKind::Barrier => {
+                Some(Item::Region(Region { kind, name, clauses, span: dir_span, body: Vec::new() }))
+            }
+            RegionKind::For => {
+                // The annotated loop must follow immediately.
+                let is_loop = self.lines.get(self.pos).is_some_and(|l| {
+                    !l.directive
+                        && matches!(l.toks.first().map(|t| &t.kind), Some(TokKind::Ident(k)) if k == "for")
+                });
+                if !is_loop {
+                    self.err(dir_span, "`//#omp for` must be followed by a `for v in lo..hi {` loop");
+                    return None;
+                }
+                let l = self.loop_item()?;
+                Some(Item::Region(Region {
+                    kind,
+                    name,
+                    clauses,
+                    span: dir_span,
+                    body: vec![Item::Loop(l)],
+                }))
+            }
+            _ => {
+                let body = self.block(dir_span)?;
+                Some(Item::Region(Region { kind, name, clauses, span: dir_span, body }))
+            }
+        }
+    }
+
+    /// Expect `{` on the next line and parse items up to its `}`.
+    fn block(&mut self, opener: Span) -> Option<Vec<Item>> {
+        let is_open = self.lines.get(self.pos).is_some_and(|l| {
+            !l.directive && l.toks.len() == 1 && l.toks[0].kind == TokKind::LBrace
+        });
+        if !is_open {
+            self.err(opener, "expected `{` on the next line to open this region's block");
+            return None;
+        }
+        let open_span = self.lines[self.pos].toks[0].span;
+        self.pos += 1;
+        Some(self.items(Some(open_span)))
+    }
+
+    /// Parse `for v in lo..hi {` + body + `}` from the cursor.
+    fn loop_item(&mut self) -> Option<Loop> {
+        let line = &self.lines[self.pos];
+        let span = line.span;
+        let toks = line.toks.clone();
+        self.pos += 1;
+        let mut cur = Cursor { toks: &toks, i: 0 };
+        let bad = |p: &mut Self| {
+            p.err(span, "malformed loop header: expected `for v in lo..hi {`");
+            None
+        };
+        let Some(kw) = cur.ident() else { return bad(self) };
+        if kw.name != "for" {
+            return bad(self);
+        }
+        let Some(var) = cur.ident() else { return bad(self) };
+        match cur.ident() {
+            Some(inn) if inn.name == "in" => {}
+            _ => return bad(self),
+        }
+        let Some(lo) = cur.signed_num() else { return bad(self) };
+        if !cur.eat(&TokKind::DotDot) {
+            return bad(self);
+        }
+        let Some(hi) = cur.signed_num() else { return bad(self) };
+        if !cur.eat(&TokKind::LBrace) || cur.peek().is_some() {
+            return bad(self);
+        }
+        let body = self.items(Some(span));
+        Some(Loop { var, lo, hi, span, body })
+    }
+
+    /// Parse `target = expr;` from the cursor.
+    fn assign(&mut self) -> Option<Assign> {
+        let line = &self.lines[self.pos];
+        let span = line.span;
+        let toks = line.toks.clone();
+        self.pos += 1;
+        let mut cur = Cursor { toks: &toks, i: 0 };
+        let Some(target) = cur.ident() else {
+            self.err(span, "expected a statement (`x = expr;`), loop, directive or `}`");
+            return None;
+        };
+        if !cur.eat(&TokKind::Assign) {
+            self.err(span, format!("expected `=` after `{}`", target.name));
+            return None;
+        }
+        let expr = self.expr(&mut cur, span)?;
+        if !cur.eat(&TokKind::Semi) || cur.peek().is_some() {
+            self.err(span, "expected `;` at the end of the statement");
+            return None;
+        }
+        Some(Assign { target, expr, span })
+    }
+
+    // -- expressions (precedence climbing: `+ -` < `* /`) ------------
+
+    fn expr(&mut self, cur: &mut Cursor<'_>, span: Span) -> Option<Expr> {
+        let mut lhs = self.term(cur, span)?;
+        loop {
+            let op = match cur.peek() {
+                Some(TokKind::Plus) => BinOp::Add,
+                Some(TokKind::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            cur.i += 1;
+            let rhs = self.term(cur, span)?;
+            lhs = Expr::Bin(Box::new(lhs), op, Box::new(rhs));
+        }
+        Some(lhs)
+    }
+
+    fn term(&mut self, cur: &mut Cursor<'_>, span: Span) -> Option<Expr> {
+        let mut lhs = self.factor(cur, span)?;
+        loop {
+            let op = match cur.peek() {
+                Some(TokKind::Star) => BinOp::Mul,
+                Some(TokKind::Slash) => BinOp::Div,
+                _ => break,
+            };
+            cur.i += 1;
+            let rhs = self.factor(cur, span)?;
+            lhs = Expr::Bin(Box::new(lhs), op, Box::new(rhs));
+        }
+        Some(lhs)
+    }
+
+    fn factor(&mut self, cur: &mut Cursor<'_>, span: Span) -> Option<Expr> {
+        match cur.peek().cloned() {
+            Some(TokKind::Num(n)) => {
+                let sp = cur.toks[cur.i].span;
+                cur.i += 1;
+                Some(Expr::Num(n, sp))
+            }
+            Some(TokKind::Minus) => {
+                let sp = cur.toks[cur.i].span;
+                cur.i += 1;
+                match cur.peek() {
+                    Some(TokKind::Num(n)) => {
+                        let n = *n;
+                        cur.i += 1;
+                        Some(Expr::Num(-n, sp))
+                    }
+                    _ => {
+                        self.err(span, "expected a number after unary `-`");
+                        None
+                    }
+                }
+            }
+            Some(TokKind::Ident(_)) => cur.ident().map(Expr::Var),
+            Some(TokKind::LParen) => {
+                cur.i += 1;
+                let inner = self.expr(cur, span)?;
+                if cur.eat(&TokKind::RParen) {
+                    Some(inner)
+                } else {
+                    self.err(span, "expected `)` to close the parenthesised expression");
+                    None
+                }
+            }
+            other => {
+                let what = other.map_or_else(|| "end of line".to_string(), |k| k.describe());
+                self.err(span, format!("expected an expression, found {what}"));
+                None
+            }
+        }
+    }
+
+    // -- clauses ------------------------------------------------------
+
+    fn clauses(&mut self, cur: &mut Cursor<'_>, dir_span: Span) -> Option<Vec<Clause>> {
+        let mut clauses = Vec::new();
+        while let Some(kind) = cur.peek().cloned() {
+            let TokKind::Ident(word) = kind else {
+                self.err(cur.toks[cur.i].span, format!("expected a clause, found {}", kind.describe()));
+                return None;
+            };
+            let key = cur.ident().expect("peeked an ident");
+            let clause = match word.as_str() {
+                "shared" => Clause::Shared(self.ident_list(cur, &key)?),
+                "private" => Clause::Private(self.ident_list(cur, &key)?),
+                "firstprivate" => Clause::FirstPrivate(self.ident_list(cur, &key)?),
+                "reduction" => self.reduction(cur, &key)?,
+                "schedule" => self.schedule(cur, &key)?,
+                "num_threads" => {
+                    if !cur.eat(&TokKind::LParen) {
+                        self.err(key.span, "expected `(` after `num_threads`");
+                        return None;
+                    }
+                    let n = match cur.peek() {
+                        Some(TokKind::Num(n)) if *n >= 1 => {
+                            let n = *n;
+                            cur.i += 1;
+                            n as usize
+                        }
+                        _ => {
+                            self.err(key.span, "num_threads takes a positive integer");
+                            return None;
+                        }
+                    };
+                    if !cur.eat(&TokKind::RParen) {
+                        self.err(key.span, "expected `)` to close `num_threads(...)`");
+                        return None;
+                    }
+                    Clause::NumThreads(n)
+                }
+                "nowait" => Clause::NoWait,
+                other => {
+                    self.err(key.span, format!("unknown clause `{other}`"));
+                    return None;
+                }
+            };
+            clauses.push(clause);
+        }
+        let _ = dir_span;
+        Some(clauses)
+    }
+
+    fn ident_list(&mut self, cur: &mut Cursor<'_>, key: &Ident) -> Option<Vec<Ident>> {
+        if !cur.eat(&TokKind::LParen) {
+            self.err(key.span, format!("expected `(` after `{}`", key.name));
+            return None;
+        }
+        let mut ids = Vec::new();
+        loop {
+            let Some(id) = cur.ident() else {
+                self.err(key.span, format!("expected a variable name in `{}(...)`", key.name));
+                return None;
+            };
+            ids.push(id);
+            if cur.eat(&TokKind::Comma) {
+                continue;
+            }
+            if cur.eat(&TokKind::RParen) {
+                return Some(ids);
+            }
+            self.err(key.span, format!("expected `,` or `)` in `{}(...)`", key.name));
+            return None;
+        }
+    }
+
+    fn reduction(&mut self, cur: &mut Cursor<'_>, key: &Ident) -> Option<Clause> {
+        if !cur.eat(&TokKind::LParen) {
+            self.err(key.span, "expected `(` after `reduction`");
+            return None;
+        }
+        let op = match cur.peek().cloned() {
+            Some(TokKind::Plus) => Some(RedOp::Add),
+            Some(TokKind::Star) => Some(RedOp::Mul),
+            Some(TokKind::Amp) => Some(RedOp::BitAnd),
+            Some(TokKind::Pipe) => Some(RedOp::BitOr),
+            Some(TokKind::Caret) => Some(RedOp::BitXor),
+            Some(TokKind::Ident(w)) if w == "min" => Some(RedOp::Min),
+            Some(TokKind::Ident(w)) if w == "max" => Some(RedOp::Max),
+            _ => None,
+        };
+        let Some(op) = op else {
+            self.err(key.span, "expected a reduction operator (`+ * & | ^ min max`)");
+            return None;
+        };
+        cur.i += 1;
+        if !cur.eat(&TokKind::Colon) {
+            self.err(key.span, "expected `:` between the reduction operator and variable");
+            return None;
+        }
+        let Some(var) = cur.ident() else {
+            self.err(key.span, "expected the reduction variable name");
+            return None;
+        };
+        if !cur.eat(&TokKind::RParen) {
+            self.err(key.span, "expected `)` to close `reduction(...)`");
+            return None;
+        }
+        Some(Clause::Reduction { op, var })
+    }
+
+    fn schedule(&mut self, cur: &mut Cursor<'_>, key: &Ident) -> Option<Clause> {
+        if !cur.eat(&TokKind::LParen) {
+            self.err(key.span, "expected `(` after `schedule`");
+            return None;
+        }
+        let Some(kind) = cur.ident() else {
+            self.err(key.span, "expected `static`, `dynamic` or `guided`");
+            return None;
+        };
+        let chunk = if cur.eat(&TokKind::Comma) {
+            match cur.peek() {
+                Some(TokKind::Num(n)) if *n >= 1 => {
+                    let n = *n;
+                    cur.i += 1;
+                    Some(n as usize)
+                }
+                _ => {
+                    self.err(key.span, "schedule chunk must be a positive integer");
+                    return None;
+                }
+            }
+        } else {
+            None
+        };
+        if !cur.eat(&TokKind::RParen) {
+            self.err(key.span, "expected `)` to close `schedule(...)`");
+            return None;
+        }
+        let spec = match (kind.name.as_str(), chunk) {
+            ("static", None) => ScheduleSpec::Static,
+            ("static", Some(c)) => ScheduleSpec::StaticChunk(c),
+            ("dynamic", c) => ScheduleSpec::Dynamic(c.unwrap_or(1)),
+            ("guided", c) => ScheduleSpec::Guided(c.unwrap_or(1)),
+            (other, _) => {
+                self.err(kind.span, format!("unknown schedule kind `{other}`"));
+                return None;
+            }
+        };
+        Some(Clause::Schedule(spec))
+    }
+}
+
+fn is_clause_keyword(word: &str) -> bool {
+    matches!(
+        word,
+        "shared" | "private" | "firstprivate" | "reduction" | "schedule" | "num_threads" | "nowait"
+    )
+}
+
+/// A cursor over one line's tokens.
+struct Cursor<'a> {
+    toks: &'a [Tok],
+    i: usize,
+}
+
+impl Cursor<'_> {
+    fn peek(&self) -> Option<&TokKind> {
+        self.toks.get(self.i).map(|t| &t.kind)
+    }
+
+    fn eat(&mut self, kind: &TokKind) -> bool {
+        if self.peek() == Some(kind) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Option<Ident> {
+        match self.toks.get(self.i) {
+            Some(Tok { kind: TokKind::Ident(name), span }) => {
+                let id = Ident { name: name.clone(), span: *span };
+                self.i += 1;
+                Some(id)
+            }
+            _ => None,
+        }
+    }
+
+    fn signed_num(&mut self) -> Option<i64> {
+        let neg = self.eat(&TokKind::Minus);
+        match self.peek() {
+            Some(TokKind::Num(n)) => {
+                let n = *n;
+                self.i += 1;
+                Some(if neg { -n } else { n })
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const WELL_FORMED: &str = "\
+//#omp parallel num_threads(2) private(t)
+{
+    //#omp for reduction(+:sum) schedule(static)
+    for i in 0..4 {
+        sum = sum + i;
+    }
+    //#omp critical tally
+    {
+        total = total + 1;
+    }
+    //#omp barrier
+}
+";
+
+    #[test]
+    fn parses_the_kitchen_sink() {
+        let prog = parse(WELL_FORMED).expect("well-formed program parses");
+        assert_eq!(prog.items.len(), 1);
+        let Item::Region(par) = &prog.items[0] else { panic!("expected a region") };
+        assert_eq!(par.kind, RegionKind::Parallel);
+        assert_eq!(par.num_threads(), Some(2));
+        assert_eq!(par.body.len(), 3);
+        let Item::Region(f) = &par.body[0] else { panic!("expected the for region") };
+        assert_eq!(f.kind, RegionKind::For);
+        assert_eq!(f.reductions().count(), 1);
+        let Item::Region(c) = &par.body[1] else { panic!("expected the critical") };
+        assert_eq!(c.name.as_ref().map(|n| n.name.as_str()), Some("tally"));
+        let Item::Region(b) = &par.body[2] else { panic!("expected the barrier") };
+        assert_eq!(b.kind, RegionKind::Barrier);
+    }
+
+    #[test]
+    fn pretty_print_is_a_parse_fixed_point() {
+        let prog = parse(WELL_FORMED).unwrap();
+        let printed = prog.pretty();
+        let reparsed = parse(&printed).expect("pretty output reparses");
+        assert_eq!(prog, reparsed);
+        assert_eq!(printed, reparsed.pretty());
+    }
+
+    #[test]
+    fn unclosed_block_is_e005() {
+        let diags = parse("//#omp parallel\n{\n    x = 1;\n").unwrap_err();
+        assert!(diags.iter().any(|d| d.code == Code::E005));
+        assert!(diags[0].message.contains("unclosed block"));
+    }
+
+    #[test]
+    fn unmatched_close_is_e005() {
+        let diags = parse("x = 1;\n}\n").unwrap_err();
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("unmatched `}`"));
+        assert_eq!(diags[0].span.line, 2);
+    }
+
+    #[test]
+    fn directive_without_block_is_e005() {
+        let diags = parse("//#omp single\nx = 1;\n").unwrap_err();
+        assert!(diags[0].message.contains("expected `{`"));
+    }
+
+    #[test]
+    fn unknown_directive_is_e005() {
+        let diags = parse("//#omp paralel\n{\n}\n").unwrap_err();
+        assert!(diags[0].message.contains("unknown directive `paralel`"));
+    }
+
+    #[test]
+    fn negative_bounds_and_nested_exprs_parse() {
+        let src = "for i in -2..2 {\n    x = (i + 1) * 3 - 4 / 2;\n}\n";
+        let prog = parse(src).unwrap();
+        let Item::Loop(l) = &prog.items[0] else { panic!("expected a loop") };
+        assert_eq!((l.lo, l.hi), (-2, 2));
+        // The printer adds canonical parentheses, so compare the
+        // pretty forms: one round through the printer is idempotent.
+        let printed = prog.pretty();
+        assert_eq!(parse(&printed).unwrap().pretty(), printed);
+    }
+}

@@ -1,0 +1,909 @@
+//! The static rule engine: walks the region tree, resolves each
+//! variable's data-sharing attribute, and reports the error and
+//! warning codes of [`crate::diag::Code`].
+//!
+//! The rules encode the recurring mistakes in SoftEng 751 student
+//! submissions (and their Pyjama/OpenMP semantics):
+//!
+//! * `E001` — `//#omp barrier` lexically inside a worksharing,
+//!   `single`, `master` or `critical` construct. Only a subset of the
+//!   team reaches that barrier, so the barrier counts mismatch and the
+//!   program deadlocks in *every* schedule. The explorer witnesses
+//!   this (see `tests/analyze.rs`).
+//! * `E002` — worksharing nested in worksharing bound to the same
+//!   parallel region (each thread re-divides its own share).
+//! * `E003` — a reduction variable assigned as an ordinary shared
+//!   variable outside its reduction construct, bypassing the combiner.
+//! * `E004` — named `critical` regions nested in inconsistent order
+//!   (or self-nested): a lock-order cycle, so some schedule deadlocks.
+//! * `E005` — structural misuse that parses but cannot lower
+//!   (`section` outside `sections`, loose items inside `sections`).
+//! * `W101` — write to a shared variable in a parallel region without
+//!   `critical`/`single`/`master` protection: a data-race candidate.
+//! * `W102` — `master` initialisation read by sibling code with no
+//!   intervening barrier (`master` has no implied barrier — the
+//!   classic "why is it sometimes zero" bug; `single` would have one).
+//! * `W103` — a `private` variable read before its first write
+//!   (privates start uninitialised; `firstprivate` copies in).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::ast::{Assign, Item, Program, Region, RegionKind, Span};
+use crate::diag::{sort_diagnostics, Code, Diagnostic};
+
+/// How a variable name resolves at some program point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Sharing {
+    /// Thread-local (private/firstprivate clause or loop variable).
+    Private,
+    /// The live accumulator of an enclosing `reduction` construct.
+    Reduction,
+    /// Shared across the team (the default).
+    Shared,
+}
+
+/// One lexical scope on the walk stack.
+#[derive(Debug)]
+enum Frame {
+    Region {
+        kind: RegionKind,
+        privates: BTreeSet<String>,
+        shareds: BTreeSet<String>,
+        reductions: BTreeSet<String>,
+        num_threads: Option<usize>,
+    },
+    Loop { var: String },
+}
+
+/// Run every rule over a parsed program. The result is sorted
+/// deterministically (span, then code).
+#[must_use]
+pub fn check(program: &Program) -> Vec<Diagnostic> {
+    let mut ck = Checker::default();
+    ck.walk_items(&program.items);
+    ck.report_lock_cycles();
+    sort_diagnostics(&mut ck.diags);
+    ck.diags
+}
+
+#[derive(Debug, Default)]
+struct Checker {
+    diags: Vec<Diagnostic>,
+    frames: Vec<Frame>,
+    /// Lock names currently held (entered criticals, outermost first).
+    held: Vec<String>,
+    /// Observed nesting edges between named criticals: outer → inner,
+    /// with the span of the inner directive that recorded the edge.
+    lock_edges: BTreeMap<(String, String), Span>,
+    /// Reduction variables of the enclosing parallel region(s) (for
+    /// `E003`), innermost last.
+    parallel_reductions: Vec<BTreeSet<String>>,
+    /// Sibling-section variable access sets and our index among them,
+    /// for the `W101` disjointness refinement. Innermost last.
+    section_siblings: Vec<(Vec<BTreeSet<String>>, usize)>,
+}
+
+impl Checker {
+    // -- data-environment resolution ---------------------------------
+
+    fn resolve(&self, var: &str) -> Sharing {
+        for frame in self.frames.iter().rev() {
+            match frame {
+                Frame::Loop { var: v } if v == var => return Sharing::Private,
+                Frame::Loop { .. } => {}
+                Frame::Region { privates, shareds, reductions, .. } => {
+                    if privates.contains(var) {
+                        return Sharing::Private;
+                    }
+                    if reductions.contains(var) {
+                        return Sharing::Reduction;
+                    }
+                    if shareds.contains(var) {
+                        return Sharing::Shared;
+                    }
+                }
+            }
+        }
+        Sharing::Shared
+    }
+
+    /// The effective team size of the nearest enclosing parallel
+    /// region: `None` when outside any parallel region.
+    fn team_size(&self) -> Option<usize> {
+        for frame in self.frames.iter().rev() {
+            if let Frame::Region { kind: RegionKind::Parallel, num_threads, .. } = frame {
+                // Default team size is "more than one" — callers only
+                // ask whether parallelism is possible.
+                return Some(num_threads.unwrap_or(2));
+            }
+        }
+        None
+    }
+
+    /// Is the current point protected by a mutual-exclusion or
+    /// one-thread construct (below the nearest parallel region)?
+    fn protected(&self) -> bool {
+        for frame in self.frames.iter().rev() {
+            if let Frame::Region { kind, .. } = frame {
+                match kind {
+                    RegionKind::Parallel => return false,
+                    RegionKind::Critical
+                    | RegionKind::Single
+                    | RegionKind::Master
+                    | RegionKind::Gui => return true,
+                    _ => {}
+                }
+            }
+        }
+        false
+    }
+
+    /// The constructs between the current point and the nearest
+    /// enclosing parallel region (innermost first).
+    fn kinds_below_parallel(&self) -> Vec<RegionKind> {
+        let mut kinds = Vec::new();
+        for frame in self.frames.iter().rev() {
+            if let Frame::Region { kind, .. } = frame {
+                if *kind == RegionKind::Parallel {
+                    break;
+                }
+                kinds.push(*kind);
+            }
+        }
+        kinds
+    }
+
+    // -- the walk -----------------------------------------------------
+
+    fn walk_items(&mut self, items: &[Item]) {
+        for item in items {
+            match item {
+                Item::Assign(a) => self.check_assign(a),
+                Item::Loop(l) => {
+                    self.frames.push(Frame::Loop { var: l.var.name.clone() });
+                    self.walk_items(&l.body);
+                    self.frames.pop();
+                }
+                Item::Region(r) => self.walk_region(r),
+            }
+        }
+    }
+
+    fn walk_region(&mut self, r: &Region) {
+        self.check_region_entry(r);
+
+        // Build the region's data-environment frame.
+        let mut privates = BTreeSet::new();
+        let mut shareds = BTreeSet::new();
+        let mut reductions = BTreeSet::new();
+        for clause in &r.clauses {
+            match clause {
+                crate::ast::Clause::Private(ids) | crate::ast::Clause::FirstPrivate(ids) => {
+                    privates.extend(ids.iter().map(|i| i.name.clone()));
+                }
+                crate::ast::Clause::Shared(ids) => {
+                    shareds.extend(ids.iter().map(|i| i.name.clone()));
+                }
+                crate::ast::Clause::Reduction { var, .. } => {
+                    reductions.insert(var.name.clone());
+                }
+                _ => {}
+            }
+        }
+        self.frames.push(Frame::Region {
+            kind: r.kind,
+            privates,
+            shareds,
+            reductions,
+            num_threads: r.num_threads(),
+        });
+
+        if r.kind == RegionKind::Parallel {
+            let mut red = BTreeSet::new();
+            collect_reduction_vars(&r.body, &mut red);
+            self.parallel_reductions.push(red);
+            self.check_master_without_barrier(r);
+        }
+
+        // W103: private declared here, first lexical use is a read.
+        for clause in &r.clauses {
+            if let crate::ast::Clause::Private(ids) = clause {
+                for id in ids {
+                    if let Some((true, span)) = first_access(&r.body, &id.name) {
+                        self.diags.push(
+                            Diagnostic::new(
+                                Code::W103,
+                                span,
+                                format!(
+                                    "private variable `{}` is read before its first write",
+                                    id.name
+                                ),
+                            )
+                            .with_note(
+                                "private copies start uninitialised; use `firstprivate` to \
+                                 capture the outer value",
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+
+        if r.kind == RegionKind::Critical {
+            let lock = r.name.as_ref().map_or(String::new(), |n| n.name.clone());
+            if self.held.iter().any(|h| h == &lock) {
+                let shown = if lock.is_empty() { "<unnamed>" } else { &lock };
+                self.diags.push(
+                    Diagnostic::new(
+                        Code::E004,
+                        r.span,
+                        format!("critical region `{shown}` is nested inside itself"),
+                    )
+                    .with_note("Pyjama criticals are not reentrant: re-entry deadlocks"),
+                );
+            } else {
+                for outer in &self.held {
+                    self.lock_edges
+                        .entry((outer.clone(), lock.clone()))
+                        .or_insert(r.span);
+                }
+            }
+            self.held.push(lock);
+        }
+
+        if r.kind == RegionKind::Sections {
+            let sets: Vec<BTreeSet<String>> = r
+                .body
+                .iter()
+                .map(|item| {
+                    let mut set = BTreeSet::new();
+                    if let Item::Region(sec) = item {
+                        collect_accesses(&sec.body, &mut set);
+                    }
+                    set
+                })
+                .collect();
+            for (idx, item) in r.body.iter().enumerate() {
+                if let Item::Region(sec) = item {
+                    if sec.kind == RegionKind::Section {
+                        self.section_siblings.push((sets.clone(), idx));
+                        self.walk_region(sec);
+                        self.section_siblings.pop();
+                        continue;
+                    }
+                }
+                // Checked in `check_region_entry` / below; still walk.
+                self.walk_items(std::slice::from_ref(item));
+            }
+        } else {
+            self.walk_items(&r.body);
+        }
+
+        if r.kind == RegionKind::Critical {
+            self.held.pop();
+        }
+        if r.kind == RegionKind::Parallel {
+            self.parallel_reductions.pop();
+        }
+        self.frames.pop();
+    }
+
+    /// Rules that fire on seeing a directive, before entering it.
+    fn check_region_entry(&mut self, r: &Region) {
+        let above = self.kinds_below_parallel();
+        match r.kind {
+            RegionKind::Barrier => {
+                // E001: a barrier only some of the team reaches.
+                if let Some(blocker) = above.iter().find(|k| {
+                    matches!(
+                        k,
+                        RegionKind::For
+                            | RegionKind::Sections
+                            | RegionKind::Section
+                            | RegionKind::Single
+                            | RegionKind::Master
+                            | RegionKind::Critical
+                    )
+                }) {
+                    self.diags.push(
+                        Diagnostic::new(
+                            Code::E001,
+                            r.span,
+                            format!(
+                                "barrier inside `{}`: only part of the team reaches it",
+                                blocker.keyword()
+                            ),
+                        )
+                        .with_note(
+                            "threads that skip this construct wait at the region's end while \
+                             the thread inside waits here — a guaranteed deadlock",
+                        ),
+                    );
+                }
+            }
+            RegionKind::For | RegionKind::Sections => {
+                // E002: worksharing nested in worksharing.
+                if let Some(outer) = above.iter().find(|k| {
+                    matches!(k, RegionKind::For | RegionKind::Sections | RegionKind::Section)
+                }) {
+                    self.diags.push(
+                        Diagnostic::new(
+                            Code::E002,
+                            r.span,
+                            format!(
+                                "worksharing `{}` nested inside `{}` bound to the same \
+                                 parallel region",
+                                r.kind.keyword(),
+                                outer.keyword()
+                            ),
+                        )
+                        .with_note(
+                            "each thread re-divides only its own share; wrap the inner \
+                             construct in its own parallel region or restructure the loops",
+                        ),
+                    );
+                }
+            }
+            RegionKind::Section => {
+                // E005: `section` must sit directly inside `sections`.
+                let direct_parent_is_sections = matches!(
+                    self.frames.iter().rev().find_map(|f| match f {
+                        Frame::Region { kind, .. } => Some(*kind),
+                        Frame::Loop { .. } => None,
+                    }),
+                    Some(RegionKind::Sections)
+                );
+                if !direct_parent_is_sections {
+                    self.diags.push(
+                        Diagnostic::new(
+                            Code::E005,
+                            r.span,
+                            "`section` outside a `sections` construct",
+                        )
+                        .with_note("wrap the section branches in `//#omp sections { ... }`"),
+                    );
+                }
+            }
+            _ => {}
+        }
+        // E005: `sections` may only contain `section` branches.
+        if r.kind == RegionKind::Sections {
+            for item in &r.body {
+                let ok = matches!(item, Item::Region(s) if s.kind == RegionKind::Section);
+                if !ok {
+                    let span = match item {
+                        Item::Region(s) => s.span,
+                        Item::Loop(l) => l.span,
+                        Item::Assign(a) => a.span,
+                    };
+                    self.diags.push(
+                        Diagnostic::new(
+                            Code::E005,
+                            span,
+                            "only `//#omp section` blocks may appear directly inside `sections`",
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    /// W102: a `master` block initialises shared state that sibling
+    /// code reads with no barrier in between (`master`, unlike
+    /// `single`, has no implied barrier).
+    fn check_master_without_barrier(&mut self, parallel: &Region) {
+        for (i, item) in parallel.body.iter().enumerate() {
+            let Item::Region(master) = item else { continue };
+            if master.kind != RegionKind::Master {
+                continue;
+            }
+            let mut writes = BTreeSet::new();
+            collect_writes(&master.body, &mut writes);
+            writes.retain(|v| self.resolve(v) == Sharing::Shared);
+            if writes.is_empty() {
+                continue;
+            }
+            'after: for later in &parallel.body[i + 1..] {
+                if let Item::Region(r) = later {
+                    if r.kind == RegionKind::Barrier {
+                        break 'after; // subsequent reads are ordered
+                    }
+                }
+                let mut reads = BTreeSet::new();
+                collect_reads(std::slice::from_ref(later), &mut reads);
+                if let Some(var) = writes.iter().find(|w| reads.contains(*w)) {
+                    self.diags.push(
+                        Diagnostic::new(
+                            Code::W102,
+                            master.span,
+                            format!(
+                                "`master` writes `{var}` but sibling code reads it with no \
+                                 barrier in between"
+                            ),
+                        )
+                        .with_note(
+                            "`master` has no implied barrier — non-master threads may read \
+                             before the write; use `single` or add `//#omp barrier`",
+                        ),
+                    );
+                    break 'after;
+                }
+            }
+        }
+    }
+
+    /// Per-assignment rules: E003 and W101.
+    fn check_assign(&mut self, a: &Assign) {
+        if self.resolve(&a.target.name) != Sharing::Shared {
+            return;
+        }
+        let Some(team) = self.team_size() else { return };
+        if team <= 1 {
+            return;
+        }
+        // E003: the variable is some reduction's accumulator in this
+        // parallel region, written outside that reduction construct.
+        let in_reduction_set = self
+            .parallel_reductions
+            .last()
+            .is_some_and(|set| set.contains(&a.target.name));
+        if in_reduction_set {
+            self.diags.push(
+                Diagnostic::new(
+                    Code::E003,
+                    a.span,
+                    format!(
+                        "reduction variable `{}` is written as a shared variable outside \
+                         its reduction construct",
+                        a.target.name
+                    ),
+                )
+                .with_note(
+                    "this write bypasses the per-thread accumulators and races with the \
+                     combiner; move it outside the parallel region",
+                ),
+            );
+            return; // E003 subsumes the race warning for this write
+        }
+        if self.protected() {
+            return;
+        }
+        // Disjoint sections don't race: a write inside a `section` is
+        // only a hazard if a sibling section touches the same variable.
+        if let Some((siblings, me)) = self.section_siblings.last() {
+            let contested = siblings
+                .iter()
+                .enumerate()
+                .any(|(j, set)| j != *me && set.contains(&a.target.name));
+            if !contested {
+                return;
+            }
+        }
+        self.diags.push(
+            Diagnostic::new(
+                Code::W101,
+                a.span,
+                format!(
+                    "unprotected write to shared variable `{}` in a parallel region",
+                    a.target.name
+                ),
+            )
+            .with_note(
+                "another thread can access it concurrently — protect it with `critical`, \
+                 make it a reduction, or privatise it",
+            ),
+        );
+    }
+
+    /// E004: report each pair of named criticals nested in both orders.
+    fn report_lock_cycles(&mut self) {
+        let mut reported: BTreeSet<(String, String)> = BTreeSet::new();
+        let edges: Vec<((String, String), Span)> = self
+            .lock_edges
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect();
+        for ((a, b), span) in &edges {
+            if a == b {
+                continue;
+            }
+            let key = if a < b { (a.clone(), b.clone()) } else { (b.clone(), a.clone()) };
+            if reported.contains(&key) {
+                continue;
+            }
+            if self.reaches(b, a) {
+                reported.insert(key.clone());
+                // Anchor at the lexically first of the two edges.
+                let other = self.lock_edges.get(&(b.clone(), a.clone())).copied();
+                let anchor = other.map_or(*span, |o| (*span).min(o));
+                self.diags.push(
+                    Diagnostic::new(
+                        Code::E004,
+                        anchor,
+                        format!(
+                            "critical regions `{}` and `{}` are nested in both orders \
+                             (lock-order cycle)",
+                            key.0, key.1
+                        ),
+                    )
+                    .with_note(
+                        "two threads can each hold one lock while waiting for the other: \
+                         deadlock; acquire named criticals in one global order",
+                    ),
+                );
+            }
+        }
+    }
+
+    /// Is `to` reachable from `from` over the recorded nesting edges?
+    fn reaches(&self, from: &str, to: &str) -> bool {
+        let mut seen = BTreeSet::new();
+        let mut stack = vec![from.to_string()];
+        while let Some(node) = stack.pop() {
+            if node == to {
+                return true;
+            }
+            if !seen.insert(node.clone()) {
+                continue;
+            }
+            for (a, b) in self.lock_edges.keys() {
+                if *a == node && !seen.contains(b) {
+                    stack.push(b.clone());
+                }
+            }
+        }
+        false
+    }
+}
+
+// -- subtree collectors ----------------------------------------------
+
+/// Reduction variables declared by `for` constructs in this parallel
+/// region (not crossing into nested parallel regions).
+fn collect_reduction_vars(items: &[Item], out: &mut BTreeSet<String>) {
+    for item in items {
+        match item {
+            Item::Region(r) => {
+                if r.kind == RegionKind::For {
+                    for (_, var) in r.reductions() {
+                        out.insert(var.name.clone());
+                    }
+                }
+                if r.kind != RegionKind::Parallel {
+                    collect_reduction_vars(&r.body, out);
+                }
+            }
+            Item::Loop(l) => collect_reduction_vars(&l.body, out),
+            Item::Assign(_) => {}
+        }
+    }
+}
+
+/// All assignment targets in a subtree.
+fn collect_writes(items: &[Item], out: &mut BTreeSet<String>) {
+    for item in items {
+        match item {
+            Item::Assign(a) => {
+                out.insert(a.target.name.clone());
+            }
+            Item::Loop(l) => collect_writes(&l.body, out),
+            Item::Region(r) => collect_writes(&r.body, out),
+        }
+    }
+}
+
+/// All variables read (in expressions) in a subtree.
+fn collect_reads(items: &[Item], out: &mut BTreeSet<String>) {
+    for item in items {
+        match item {
+            Item::Assign(a) => a.expr.each_var(&mut |id| {
+                out.insert(id.name.clone());
+            }),
+            Item::Loop(l) => collect_reads(&l.body, out),
+            Item::Region(r) => collect_reads(&r.body, out),
+        }
+    }
+}
+
+/// All variables touched (read or written) in a subtree.
+fn collect_accesses(items: &[Item], out: &mut BTreeSet<String>) {
+    collect_writes(items, out);
+    collect_reads(items, out);
+}
+
+/// The first lexical access to `var` in a subtree: `Some((true, span))`
+/// for a read, `Some((false, span))` for a write. Within an
+/// assignment the right-hand side reads precede the target write
+/// (evaluation order). Subtrees that re-declare `var` (loop variable
+/// or a privatising clause) are skipped.
+fn first_access(items: &[Item], var: &str) -> Option<(bool, Span)> {
+    for item in items {
+        match item {
+            Item::Assign(a) => {
+                let mut read_span = None;
+                a.expr.each_var(&mut |id| {
+                    if read_span.is_none() && id.name == var {
+                        read_span = Some(id.span);
+                    }
+                });
+                if let Some(span) = read_span {
+                    return Some((true, span));
+                }
+                if a.target.name == var {
+                    return Some((false, a.target.span));
+                }
+            }
+            Item::Loop(l) => {
+                if l.var.name == var {
+                    continue; // shadowed by the loop variable
+                }
+                if let Some(hit) = first_access(&l.body, var) {
+                    return Some(hit);
+                }
+            }
+            Item::Region(r) => {
+                let redeclared = r.clauses.iter().any(|c| match c {
+                    crate::ast::Clause::Private(ids) | crate::ast::Clause::FirstPrivate(ids) => {
+                        ids.iter().any(|i| i.name == var)
+                    }
+                    crate::ast::Clause::Reduction { var: v, .. } => v.name == var,
+                    _ => false,
+                });
+                if redeclared {
+                    continue;
+                }
+                if let Some(hit) = first_access(&r.body, var) {
+                    return Some(hit);
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    fn codes(src: &str) -> Vec<Code> {
+        let prog = parse(src).expect("test sources parse");
+        check(&prog).into_iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn barrier_in_critical_is_e001() {
+        let src = "\
+//#omp parallel num_threads(2)
+{
+    //#omp critical
+    {
+        //#omp barrier
+    }
+}
+";
+        assert_eq!(codes(src), vec![Code::E001]);
+    }
+
+    #[test]
+    fn barrier_directly_in_parallel_is_fine() {
+        let src = "\
+//#omp parallel num_threads(2)
+{
+    //#omp barrier
+}
+";
+        assert!(codes(src).is_empty());
+    }
+
+    #[test]
+    fn nested_worksharing_is_e002() {
+        let src = "\
+//#omp parallel num_threads(2) private(x)
+{
+    //#omp for
+    for i in 0..2 {
+        //#omp for
+        for j in 0..2 {
+            x = j;
+        }
+    }
+}
+";
+        assert_eq!(codes(src), vec![Code::E002]);
+    }
+
+    #[test]
+    fn reduction_var_written_outside_is_e003_not_w101() {
+        let src = "\
+sum = 0;
+//#omp parallel num_threads(2)
+{
+    //#omp for reduction(+:sum)
+    for i in 0..4 {
+        sum = sum + i;
+    }
+    sum = sum + 100;
+}
+";
+        assert_eq!(codes(src), vec![Code::E003]);
+    }
+
+    #[test]
+    fn inconsistent_critical_nesting_is_e004() {
+        let src = "\
+//#omp parallel num_threads(2)
+{
+    //#omp critical alpha
+    {
+        //#omp critical beta
+        {
+            a = 1;
+        }
+    }
+    //#omp critical beta
+    {
+        //#omp critical alpha
+        {
+            b = 1;
+        }
+    }
+}
+";
+        assert_eq!(codes(src), vec![Code::E004]);
+    }
+
+    #[test]
+    fn self_nested_critical_is_e004() {
+        let src = "\
+//#omp parallel num_threads(2)
+{
+    //#omp critical lk
+    {
+        //#omp critical lk
+        {
+            a = 1;
+        }
+    }
+}
+";
+        assert_eq!(codes(src), vec![Code::E004]);
+    }
+
+    #[test]
+    fn consistent_nesting_is_clean() {
+        let src = "\
+//#omp parallel num_threads(2)
+{
+    //#omp critical alpha
+    {
+        //#omp critical beta
+        {
+            a = 1;
+        }
+    }
+    //#omp critical alpha
+    {
+        //#omp critical beta
+        {
+            b = 2;
+        }
+    }
+}
+";
+        assert!(codes(src).is_empty());
+    }
+
+    #[test]
+    fn unprotected_shared_write_is_w101() {
+        let src = "\
+//#omp parallel num_threads(2)
+{
+    count = count + 1;
+}
+";
+        assert_eq!(codes(src), vec![Code::W101]);
+    }
+
+    #[test]
+    fn critical_protects_the_write() {
+        let src = "\
+//#omp parallel num_threads(2)
+{
+    //#omp critical
+    {
+        count = count + 1;
+    }
+}
+";
+        assert!(codes(src).is_empty());
+    }
+
+    #[test]
+    fn num_threads_one_suppresses_w101() {
+        let src = "\
+//#omp parallel num_threads(1)
+{
+    count = count + 1;
+}
+";
+        assert!(codes(src).is_empty());
+    }
+
+    #[test]
+    fn disjoint_sections_are_clean_but_conflicting_sections_warn() {
+        let disjoint = "\
+//#omp parallel num_threads(2)
+{
+    //#omp sections
+    {
+        //#omp section
+        {
+            head = 1;
+        }
+        //#omp section
+        {
+            tail = 2;
+        }
+    }
+}
+";
+        assert!(codes(disjoint).is_empty());
+        let conflicting = disjoint.replace("head", "log").replace("tail", "log");
+        assert_eq!(codes(&conflicting), vec![Code::W101, Code::W101]);
+    }
+
+    #[test]
+    fn master_without_barrier_is_w102_with_barrier_clean() {
+        let racy = "\
+//#omp parallel num_threads(2) private(local)
+{
+    //#omp master
+    {
+        config = 7;
+    }
+    local = config;
+}
+";
+        assert_eq!(codes(racy), vec![Code::W102]);
+        let fixed = racy.replace("    local = config;", "    //#omp barrier\n    local = config;");
+        assert!(codes(&fixed).is_empty());
+    }
+
+    #[test]
+    fn private_read_before_write_is_w103() {
+        let src = "\
+//#omp parallel num_threads(2) private(t)
+{
+    t = t + 1;
+}
+";
+        assert_eq!(codes(src), vec![Code::W103]);
+    }
+
+    #[test]
+    fn firstprivate_read_is_fine() {
+        let src = "\
+seed = 3;
+//#omp parallel num_threads(2) firstprivate(seed)
+{
+    seed = seed + 1;
+}
+";
+        assert!(codes(src).is_empty());
+    }
+
+    #[test]
+    fn stray_section_is_e005() {
+        let src = "\
+//#omp parallel num_threads(2)
+{
+    //#omp section
+    {
+        x = 1;
+    }
+}
+";
+        assert_eq!(codes(src), vec![Code::E005, Code::W101]);
+    }
+}

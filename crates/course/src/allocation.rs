@@ -166,7 +166,7 @@ mod tests {
     fn every_group_assigned_within_capacity() {
         let outcome = run_poll(&AllocationConfig::default());
         assert_eq!(outcome.assignment.len(), 20);
-        let mut per_topic = vec![0usize; 10];
+        let mut per_topic = [0usize; 10];
         for &t in &outcome.assignment {
             per_topic[t] += 1;
         }

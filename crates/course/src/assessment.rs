@@ -1,4 +1,8 @@
-//! The assessment scheme (Section III-C) and a grade ledger.
+//! The assessment scheme (Section III-C), a grade ledger, and the
+//! auto-marking hook that maps `parc-analyze` static diagnostics onto
+//! the project-implementation rubric.
+
+use parc_analyze::diag::Severity;
 
 /// One assessed component.
 #[derive(Clone, Debug, PartialEq)]
@@ -135,6 +139,91 @@ impl GradeLedger {
     }
 }
 
+/// How static diagnostics translate into marks for a directive-program
+/// submission (the "marker's eye" of the project-implementation
+/// component): every `E`-class diagnostic is a correctness defect and
+/// deducts heavily, every `W`-class one is a style/hazard note with a
+/// smaller deduction, and a submission that does not even parse is
+/// capped outright.
+#[derive(Clone, Debug)]
+pub struct AutoMarkRubric {
+    /// Mark for a clean submission.
+    pub full_marks: f64,
+    /// Deduction per `E`-class (correctness) diagnostic.
+    pub error_deduction: f64,
+    /// Deduction per `W`-class (style/hazard) diagnostic.
+    pub warning_deduction: f64,
+    /// Upper bound on the mark when the submission fails to parse.
+    pub parse_failure_cap: f64,
+}
+
+impl Default for AutoMarkRubric {
+    /// The defaults used for the SoftEng 751-style implementation
+    /// component: out of 100, −15 per error, −5 per warning, parse
+    /// failures capped at 40.
+    fn default() -> Self {
+        Self {
+            full_marks: 100.0,
+            error_deduction: 15.0,
+            warning_deduction: 5.0,
+            parse_failure_cap: 40.0,
+        }
+    }
+}
+
+/// What [`auto_mark`] concluded about one submission.
+#[derive(Clone, Debug)]
+pub struct AutoMarkOutcome {
+    /// The awarded mark (clamped to `[0, full_marks]`).
+    pub mark: f64,
+    /// Did the submission parse at all?
+    pub parsed: bool,
+    /// Number of `E`-class diagnostics (correctness deductions).
+    pub errors: usize,
+    /// Number of `W`-class diagnostics (style notes).
+    pub warnings: usize,
+    /// One human-readable note per diagnostic, in report order.
+    pub notes: Vec<String>,
+}
+
+/// Auto-mark a directive-program submission: run the static analyser
+/// and fold its diagnostics through the rubric. The notes carry the
+/// code, line and title, prefixed by how the rubric treated them.
+#[must_use]
+pub fn auto_mark(source: &str, rubric: &AutoMarkRubric) -> AutoMarkOutcome {
+    let analysis = parc_analyze::analyze(source);
+    let parsed = analysis.program.is_some();
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    let mut notes = Vec::new();
+    for d in &analysis.diagnostics {
+        let treatment = match d.code.severity() {
+            Severity::Error => {
+                errors += 1;
+                "correctness"
+            }
+            Severity::Warning => {
+                warnings += 1;
+                "style"
+            }
+        };
+        notes.push(format!(
+            "{treatment}: {} (line {}) — {}",
+            d.code.as_str(),
+            d.span.line,
+            d.code.title()
+        ));
+    }
+    let mut mark = rubric.full_marks
+        - errors as f64 * rubric.error_deduction
+        - warnings as f64 * rubric.warning_deduction;
+    if !parsed {
+        mark = mark.min(rubric.parse_failure_cap);
+        notes.push("submission did not parse; mark capped".to_string());
+    }
+    AutoMarkOutcome { mark: mark.clamp(0.0, rubric.full_marks), parsed, errors, warnings, notes }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -180,6 +269,49 @@ mod tests {
     #[should_panic(expected = "percentages")]
     fn out_of_range_mark_rejected() {
         let _ = AssessmentScheme::softeng751().final_mark(&[101.0, 0.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn auto_mark_ranks_fixture_submissions() {
+        // Two "student submissions" from the shared fixture corpus:
+        // the racy unprotected counter vs the critical-section fix.
+        let rubric = AutoMarkRubric::default();
+        let racy = auto_mark(
+            parc_analyze::fixtures::by_name("counter/racy").unwrap().source,
+            &rubric,
+        );
+        let clean = auto_mark(
+            parc_analyze::fixtures::by_name("counter/critical").unwrap().source,
+            &rubric,
+        );
+        assert!(clean.parsed && racy.parsed);
+        assert_eq!(clean.mark, rubric.full_marks);
+        assert!(clean.notes.is_empty());
+        assert!(racy.mark < clean.mark, "hazardous submission must mark lower");
+        assert_eq!(racy.warnings, 1);
+        assert_eq!(racy.errors, 0);
+        assert!(racy.notes[0].starts_with("style: W101"));
+    }
+
+    #[test]
+    fn auto_mark_caps_unparseable_submissions() {
+        let rubric = AutoMarkRubric::default();
+        let broken = auto_mark("//#omp parallel\n{\nx = 1;\n", &rubric);
+        assert!(!broken.parsed);
+        assert!(broken.mark <= rubric.parse_failure_cap);
+        assert!(broken.errors >= 1, "E005 expected");
+    }
+
+    #[test]
+    fn auto_mark_never_goes_negative() {
+        // Stack enough defects that raw deductions exceed 100.
+        let rubric =
+            AutoMarkRubric { error_deduction: 200.0, ..AutoMarkRubric::default() };
+        let racy = auto_mark(
+            parc_analyze::fixtures::by_name("lock-order/cycle").unwrap().source,
+            &rubric,
+        );
+        assert_eq!(racy.mark, 0.0);
     }
 
     #[test]

@@ -10,8 +10,9 @@
 //!   with instructor-taught / assessment / project / student-taught
 //!   week roles;
 //! * [`assessment`] — the §III-C grade scheme (Test 1 25 %, seminar
-//!   20 %, Test 2 10 %, implementation 25 %, report 20 %) and a grade
-//!   ledger;
+//!   20 %, Test 2 10 %, implementation 25 %, report 20 %), a grade
+//!   ledger, and the [`assessment::auto_mark`] hook that folds
+//!   `parc-analyze` static diagnostics into the implementation rubric;
 //! * [`allocation`] — the §III-D first-in-first-served doodle-poll
 //!   topic allocation (60 students, groups of 3, 10 topics × 2
 //!   groups), simulated over arrival orders;
@@ -30,7 +31,7 @@ pub mod structure;
 pub mod survey;
 
 pub use allocation::{run_poll, AllocationConfig, AllocationOutcome};
-pub use assessment::{AssessmentScheme, GradeLedger};
+pub use assessment::{auto_mark, AssessmentScheme, AutoMarkOutcome, AutoMarkRubric, GradeLedger};
 pub use nexus::{Activity, NexusQuadrant};
 pub use repo::{decide_marks, Commit, CommitLog, MarkDecision, PeerEvaluation};
 pub use structure::{course_plan, WeekRole};

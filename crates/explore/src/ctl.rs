@@ -74,12 +74,25 @@ pub(crate) struct EventRec {
     pub op: Op,
 }
 
+/// Scheduler-side state of one shim barrier (keyed by its location).
+#[derive(Debug, Default)]
+struct BarrierCtl {
+    /// Completed episodes so far.
+    generation: u64,
+    /// Threads arrived in the current (incomplete) episode.
+    arrived: std::collections::BTreeSet<usize>,
+    /// For each thread parked at a `BarrierWait`: the generation it
+    /// arrived in. Its wait is enabled once `generation` moves past.
+    waiting_gen: BTreeMap<usize, u64>,
+}
+
 pub(crate) struct State {
     threads: Vec<ThreadRec>,
     active: Option<usize>,
     abort: bool,
     loc_names: Vec<String>,
     lock_held: BTreeMap<usize, usize>,
+    barriers: BTreeMap<usize, BarrierCtl>,
     pub detector: Detector,
     pub events: Vec<EventRec>,
     pub schedule: Vec<usize>,
@@ -174,6 +187,14 @@ impl State {
                     OpKind::Join { target } => {
                         matches!(self.threads[target].status, Status::Finished)
                     }
+                    OpKind::BarrierWait => {
+                        // Enabled once the episode this thread arrived
+                        // in has completed (the generation moved on).
+                        let loc = op.loc.expect("barrier loc");
+                        self.barriers.get(&loc).is_some_and(|b| {
+                            b.waiting_gen.get(&tid).is_none_or(|g| b.generation > *g)
+                        })
+                    }
                     _ => true,
                 };
                 runnable.then(|| (tid, op.clone()))
@@ -232,6 +253,7 @@ impl Controller {
                 abort: false,
                 loc_names: Vec::new(),
                 lock_held: BTreeMap::new(),
+                barriers: BTreeMap::new(),
                 detector: Detector::default(),
                 events: Vec::new(),
                 schedule: Vec::new(),
@@ -290,6 +312,7 @@ impl Controller {
     /// this is its `Start`.
     fn grant(self: &Arc<Self>, st: &mut State, tid: usize) {
         let op = st.threads[tid].pending.take().expect("granted thread has a pending op");
+        let mut barrier_completed = None;
         match op.kind {
             OpKind::Lock => {
                 let loc = op.loc.expect("lock loc");
@@ -301,10 +324,30 @@ impl Controller {
                 let owner = st.lock_held.remove(&loc);
                 debug_assert_eq!(owner, Some(tid), "unlock by non-owner");
             }
+            OpKind::BarrierArrive { participants } => {
+                let loc = op.loc.expect("barrier loc");
+                let bar = st.barriers.entry(loc).or_default();
+                bar.waiting_gen.insert(tid, bar.generation);
+                bar.arrived.insert(tid);
+                if bar.arrived.len() >= participants {
+                    bar.arrived.clear();
+                    bar.generation += 1;
+                    barrier_completed = Some(loc);
+                }
+            }
+            OpKind::BarrierWait => {
+                let loc = op.loc.expect("barrier loc");
+                if let Some(bar) = st.barriers.get_mut(&loc) {
+                    bar.waiting_gen.remove(&tid);
+                }
+            }
             _ => {}
         }
         let event = st.events.len();
         st.detector.on_op(tid, &op, event);
+        if let Some(loc) = barrier_completed {
+            st.detector.on_barrier_complete(loc);
+        }
         st.events.push(EventRec { tid, op });
         st.schedule.push(tid);
         if matches!(st.threads[tid].status, Status::Unstarted) {

@@ -689,6 +689,111 @@ mod tests {
     }
 
     #[test]
+    fn barrier_orders_publication_race_free() {
+        // T0 writes plain data, both wait at a 2-party barrier, T1
+        // reads: the barrier's HB edge must cover the plain accesses
+        // in every schedule.
+        let report = explore(Config::dfs("barrier-mp"), || {
+            let data = Arc::new(PlainCell::new("data", 0i64));
+            let bar = Arc::new(sync::Barrier::new("bar", 2));
+            let (d, b) = (Arc::clone(&data), Arc::clone(&bar));
+            let writer = thread::spawn(move || {
+                d.set(42);
+                b.wait();
+            });
+            let (d, b) = (Arc::clone(&data), Arc::clone(&bar));
+            let reader = thread::spawn(move || {
+                b.wait();
+                record("read", d.get());
+            });
+            writer.join();
+            reader.join();
+        });
+        assert!(report.exhausted);
+        assert!(report.race_free(), "races: {:?}", report.races);
+        assert_eq!(report.deadlocks, 0);
+        assert_eq!(report.observations["read"], BTreeSet::from([42]));
+    }
+
+    #[test]
+    fn barrier_episodes_are_reusable() {
+        // Two phases through the same barrier object: phase-1 write,
+        // barrier, phase-2 write by the other thread, barrier, read.
+        let report = explore(Config::dfs("barrier-phases"), || {
+            let x = Arc::new(PlainCell::new("x", 0i64));
+            let bar = Arc::new(sync::Barrier::new("bar", 2));
+            let (xs, b) = (Arc::clone(&x), Arc::clone(&bar));
+            let t0 = thread::spawn(move || {
+                xs.set(1);
+                b.wait();
+                b.wait();
+                record("after", xs.get());
+            });
+            let (xs, b) = (Arc::clone(&x), Arc::clone(&bar));
+            let t1 = thread::spawn(move || {
+                b.wait();
+                let v = xs.get();
+                xs.set(v + 10);
+                b.wait();
+            });
+            t0.join();
+            t1.join();
+        });
+        assert!(report.exhausted);
+        assert!(report.race_free(), "races: {:?}", report.races);
+        assert_eq!(report.observations["after"], BTreeSet::from([11]));
+    }
+
+    #[test]
+    fn mismatched_barrier_counts_deadlock() {
+        // T0 waits twice, T1 once: the second episode can never
+        // complete, so every schedule deadlocks with T0 parked at the
+        // barrier.
+        let report = explore(Config::dfs("barrier-mismatch"), || {
+            let bar = Arc::new(sync::Barrier::new("bar", 2));
+            let b = Arc::clone(&bar);
+            let t0 = thread::spawn(move || {
+                b.wait();
+                b.wait();
+            });
+            let b = Arc::clone(&bar);
+            let t1 = thread::spawn(move || {
+                b.wait();
+            });
+            t0.join();
+            t1.join();
+        });
+        assert!(report.exhausted);
+        assert!(report.deadlocks > 0, "mismatched barrier must deadlock");
+        assert_eq!(report.schedules, 0, "no schedule can complete");
+        assert!(report.first_deadlock.as_deref().unwrap_or("").contains("barrier_wait"));
+    }
+
+    #[test]
+    fn barrier_does_not_synchronise_unrelated_writes() {
+        // Both threads write the same plain cell *after* the barrier:
+        // the barrier must not invent an ordering between them.
+        let report = explore(Config::dfs("barrier-after"), || {
+            let x = Arc::new(PlainCell::new("x", 0i64));
+            let bar = Arc::new(sync::Barrier::new("bar", 2));
+            let mut handles = Vec::new();
+            for _ in 0..2 {
+                let (xs, b) = (Arc::clone(&x), Arc::clone(&bar));
+                handles.push(thread::spawn(move || {
+                    b.wait();
+                    let v = xs.get();
+                    xs.set(v + 1);
+                }));
+            }
+            for h in handles {
+                h.join();
+            }
+        });
+        assert!(report.exhausted);
+        assert!(!report.race_free(), "post-barrier plain increments still race");
+    }
+
+    #[test]
     fn atomic_rmw_is_race_free_and_exact() {
         let report = explore(Config::dfs("rmw"), || {
             let c = Arc::new(sync::AtomicU64::new("count", 0));

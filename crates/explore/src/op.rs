@@ -44,6 +44,21 @@ pub enum OpKind {
         /// The joined thread's id.
         target: usize,
     },
+    /// Arrive at a simulated barrier. Never blocks by itself — it
+    /// registers the arrival (completing the episode when this is the
+    /// last expected participant); the paired [`OpKind::BarrierWait`]
+    /// that every [`crate::sync::Barrier::wait`] issues next is what
+    /// blocks.
+    BarrierArrive {
+        /// Participants per episode (the barrier's fixed team size).
+        participants: usize,
+    },
+    /// Block until the barrier episode this thread arrived at has
+    /// completed. Disabled while fewer than `participants` threads
+    /// have arrived — a thread parked here while every other thread is
+    /// finished or blocked is how mismatched barrier use surfaces as a
+    /// deadlock.
+    BarrierWait,
     /// A pure scheduling point with no memory effect.
     Yield,
 }
@@ -140,6 +155,8 @@ impl Op {
             OpKind::Lock => format!("lock({loc_name})"),
             OpKind::Unlock => format!("unlock({loc_name})"),
             OpKind::Join { target } => format!("join(T{target})"),
+            OpKind::BarrierArrive { .. } => format!("{loc_name}.arrive()"),
+            OpKind::BarrierWait => format!("{loc_name}.barrier_wait()"),
             OpKind::Yield => "yield".to_string(),
         }
     }

@@ -37,6 +37,19 @@ struct LocState {
     last_reads: BTreeMap<usize, Access>,
 }
 
+/// Per-barrier clocks: arrivals of the current episode accumulate in
+/// `gathering`; when the episode completes the join of all arrival
+/// clocks moves to `released`, and every waiter leaving the episode
+/// acquires it. Episodes are strictly sequential (a thread must leave
+/// episode *g* before it can arrive at *g + 1*, and *g + 1* cannot
+/// complete until all participants re-arrived), so one `released`
+/// slot per barrier is exact, not an approximation.
+#[derive(Clone, Debug, Default)]
+struct BarrierClocks {
+    gathering: VectorClock,
+    released: VectorClock,
+}
+
 /// A racing pair found during one execution: location id plus the two
 /// event indices (first = earlier in the schedule).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -51,6 +64,7 @@ pub(crate) struct RawRace {
 pub(crate) struct Detector {
     clocks: Vec<VectorClock>,
     locs: Vec<LocState>,
+    barriers: BTreeMap<usize, BarrierClocks>,
     pub races: Vec<RawRace>,
 }
 
@@ -94,10 +108,33 @@ impl Detector {
                 self.loc_mut(op.loc.expect("unlock has a location")).sync = vc;
                 self.clocks[tid].tick(tid);
             }
+            OpKind::BarrierArrive { .. } => {
+                // Publish this thread's clock into the episode's
+                // gathering clock (a release into the barrier).
+                let loc = op.loc.expect("barrier has a location");
+                let vc = self.clocks[tid].clone();
+                self.barriers.entry(loc).or_default().gathering.join(&vc);
+                self.clocks[tid].tick(tid);
+            }
+            OpKind::BarrierWait => {
+                // Leaving a completed episode acquires the join of all
+                // its arrival clocks: everything before any arrival
+                // happens-before everything after any departure.
+                let loc = op.loc.expect("barrier has a location");
+                let released = self.barriers.entry(loc).or_default().released.clone();
+                self.clocks[tid].join(&released);
+            }
             OpKind::Load { .. } | OpKind::Store { .. } | OpKind::Rmw { .. } => {
                 self.data_access(tid, op, event);
             }
         }
+    }
+
+    /// The controller observed the last expected arrival of a barrier
+    /// episode: seal the gathered clock as the episode's release clock.
+    pub fn on_barrier_complete(&mut self, loc: usize) {
+        let bar = self.barriers.entry(loc).or_default();
+        bar.released = std::mem::take(&mut bar.gathering);
     }
 
     fn data_access(&mut self, tid: usize, op: &Op, event: usize) {

@@ -240,6 +240,47 @@ impl<T> Drop for MutexGuard<'_, T> {
     }
 }
 
+/// Shim cyclic barrier with a fixed participant count, the analogue of
+/// a pyjama team barrier. `wait()` blocks until `participants` threads
+/// have arrived, then releases them all; like [`std::sync::Barrier`]
+/// it is reusable (episodes are counted, so the same object serves
+/// every barrier point of a region).
+///
+/// Two properties matter for the static/dynamic cross-validation:
+///
+/// * a completed episode is a happens-before edge from every arrival
+///   to every departure (writes before the barrier are visible — and
+///   non-racing — to reads after it);
+/// * *mismatched* barrier counts (a thread waiting at a barrier its
+///   siblings never reach — the `//#omp barrier`-inside-worksharing
+///   student bug) leave the waiter permanently blocked, which the
+///   explorer reports as a deadlock with the blocked-thread diagram.
+#[derive(Debug)]
+pub struct Barrier {
+    loc: usize,
+    participants: usize,
+}
+
+impl Barrier {
+    /// New shim barrier for `participants` threads, registered under
+    /// `name` for reports.
+    #[must_use]
+    pub fn new(name: &str, participants: usize) -> Self {
+        assert!(participants >= 1, "a barrier needs at least one participant");
+        Self { loc: register_loc(name), participants }
+    }
+
+    /// Arrive and wait for the episode to complete (two yield points:
+    /// the arrival, then the — possibly blocking — departure).
+    pub fn wait(&self) {
+        sched_point(Op {
+            kind: OpKind::BarrierArrive { participants: self.participants },
+            loc: Some(self.loc),
+        });
+        sched_point(Op { kind: OpKind::BarrierWait, loc: Some(self.loc) });
+    }
+}
+
 /// Controlled threads: `spawn`/`join` with the std call shape.
 pub mod thread {
     use super::*;

@@ -1,0 +1,150 @@
+//! Experiment E-LINT: static diagnostics for the whole directive
+//! fixture corpus, plus the analyser's throughput benchmark.
+//!
+//! For every entry in `parc_analyze::fixtures::corpus()` this runs the
+//! full front end (lex → parse → rule engine) and checks the emitted
+//! diagnostic codes against the fixture's expected set. Any mismatch
+//! exits non-zero, which is what the CI `analyze` job gates on. The
+//! static-vs-dynamic agreement matrix itself lives in
+//! `tests/analyze.rs`, where each verdict is cross-validated against
+//! the exhaustive explorer and the pyjama runtime.
+//!
+//! Artifacts:
+//! * first argument (default `directive_lint.json`) — every fixture's
+//!   diagnostics as JSON;
+//! * second argument (default `BENCH_analyze.json`) — the
+//!   programs-linted-per-second benchmark record.
+//!
+//! Run with: `cargo run --release --example directive_lint`
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use parc_analyze::diag::to_json;
+use parc_analyze::fixtures;
+use parc_util::Table;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let json_path = args.next().unwrap_or_else(|| "directive_lint.json".to_string());
+    let bench_path = args.next().unwrap_or_else(|| "BENCH_analyze.json".to_string());
+
+    println!("== E-LINT: static analysis of the directive corpus ==\n");
+
+    let mut table = Table::new(
+        "fixture lint verdicts (expected vs emitted codes)",
+        &["fixture", "styled on", "expected", "emitted", "dynamic", "ok"],
+    );
+    let mut json_entries = Vec::new();
+    let mut mismatches = 0usize;
+    let mut total_diags = 0usize;
+    let mut sample_render = String::new();
+
+    for fx in fixtures::corpus() {
+        let analysis = parc_analyze::analyze(fx.source);
+        total_diags += analysis.diagnostics.len();
+
+        let emitted: Vec<&str> = analysis.diagnostics.iter().map(|d| d.code.as_str()).collect();
+        let expected: Vec<&str> = fx.expect.iter().map(|c| c.as_str()).collect();
+        let ok = emitted == expected;
+        if !ok {
+            mismatches += 1;
+        }
+        table.row(&[
+            fx.name.to_string(),
+            fx.styled_on.to_string(),
+            join_or_dash(&expected),
+            join_or_dash(&emitted),
+            format!("{:?}", fx.dynamic),
+            if ok { "yes".to_string() } else { "** NO **".to_string() },
+        ]);
+
+        // Keep one full caret-annotated rendering as a sample of the
+        // human-facing output.
+        if sample_render.is_empty() && !analysis.diagnostics.is_empty() {
+            for d in &analysis.diagnostics {
+                let _ = writeln!(sample_render, "{}", d.render(fx.source, fx.name));
+            }
+        }
+
+        json_entries.push(format!(
+            "  {{\"fixture\": \"{}\", \"diagnostics\": {}}}",
+            fx.name,
+            indent_json(&to_json(&analysis.diagnostics))
+        ));
+    }
+
+    println!("{}", table.render());
+    println!("sample rendering (first diagnosed fixture):\n\n{sample_render}");
+
+    // Benchmark: re-lint the corpus in a tight loop. The front end is
+    // pure (no I/O, no threads), so iteration count just needs to
+    // outlast timer noise.
+    const ROUNDS: usize = 200;
+    let started = Instant::now();
+    let mut bench_diags = 0usize;
+    for _ in 0..ROUNDS {
+        for fx in fixtures::corpus() {
+            bench_diags += parc_analyze::analyze(fx.source).diagnostics.len();
+        }
+    }
+    let elapsed = started.elapsed();
+    let programs = ROUNDS * fixtures::corpus().len();
+    let programs_per_sec = programs as f64 / elapsed.as_secs_f64().max(1e-9);
+    let diags_per_sec = bench_diags as f64 / elapsed.as_secs_f64().max(1e-9);
+    println!(
+        "linted {programs} programs / {bench_diags} diagnostics in {:.1} ms  ({:.0} programs/s, {:.0} diagnostics/s)",
+        elapsed.as_secs_f64() * 1e3,
+        programs_per_sec,
+        diags_per_sec
+    );
+
+    let json = format!("[\n{}\n]\n", json_entries.join(",\n"));
+    std::fs::write(&json_path, json).expect("write directive_lint.json");
+    println!("diagnostic export -> {json_path}");
+
+    let bench = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"analyze\",\n",
+            "  \"corpus_fixtures\": {},\n",
+            "  \"corpus_diagnostics\": {},\n",
+            "  \"programs_linted\": {},\n",
+            "  \"elapsed_ms\": {:.3},\n",
+            "  \"programs_per_sec\": {:.1},\n",
+            "  \"diagnostics_per_sec\": {:.1}\n",
+            "}}\n"
+        ),
+        fixtures::corpus().len(),
+        total_diags,
+        programs,
+        elapsed.as_secs_f64() * 1e3,
+        programs_per_sec,
+        diags_per_sec
+    );
+    std::fs::write(&bench_path, bench).expect("write BENCH_analyze.json");
+    println!("benchmark record -> {bench_path}");
+
+    if mismatches > 0 {
+        eprintln!("\n{mismatches} fixture(s) disagreed with their expected diagnostic codes");
+        std::process::exit(1);
+    }
+    println!(
+        "\nall {} fixtures match their expected diagnostics",
+        fixtures::corpus().len()
+    );
+}
+
+fn join_or_dash(codes: &[&str]) -> String {
+    if codes.is_empty() {
+        "-".to_string()
+    } else {
+        codes.join(", ")
+    }
+}
+
+/// Re-indent a nested JSON value so it nests inside the per-fixture
+/// array entries without breaking lines mid-string.
+fn indent_json(json: &str) -> String {
+    json.trim_end().replace('\n', "\n  ")
+}

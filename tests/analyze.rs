@@ -1,0 +1,168 @@
+//! Static-analysis suite: parser fixed points, deterministic
+//! diagnostics, and the static↔dynamic agreement matrix.
+//!
+//! The last part is the load-bearing one: every `E`-class/`W`-class
+//! verdict the rule engine produces over the fixture corpus is
+//! cross-validated against what actually happens when the same program
+//! is lowered onto the `parc-explore` shims (exhaustive interleaving
+//! search) and, for clean fixtures, onto the real pyjama runtime.
+//! A static analyser that cries wolf — or stays silent while the
+//! explorer finds a deadlock — fails here.
+
+use std::collections::BTreeMap;
+
+use parc_analyze::bridge::{explore_program, interpret_seq, run_on_pyjama};
+use parc_analyze::diag::{to_json, Code};
+use parc_analyze::fixtures::{corpus, DynVerdict};
+use parc_analyze::parse::parse;
+use parc_explore::Config;
+use pyjama::Team;
+
+/// Every parseable fixture pretty-prints to a fixed point: parsing the
+/// pretty form and pretty-printing again reproduces it byte-for-byte.
+#[test]
+fn pretty_print_is_a_fixed_point() {
+    for fx in corpus() {
+        let Ok(prog) = parse(fx.source) else { continue };
+        let printed = prog.pretty();
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("{}: pretty form must reparse: {e:?}", fx.name));
+        assert_eq!(reparsed.pretty(), printed, "{}: pretty is not a fixed point", fx.name);
+    }
+}
+
+/// Diagnostics (and their JSON export) are bit-identical across reruns
+/// — ordering is by span, then code, then message, never by HashMap
+/// iteration order.
+#[test]
+fn diagnostics_are_deterministic() {
+    for fx in corpus() {
+        let a = parc_analyze::analyze(fx.source);
+        let b = parc_analyze::analyze(fx.source);
+        assert_eq!(a.diagnostics, b.diagnostics, "{}: diagnostics differ across runs", fx.name);
+        assert_eq!(
+            to_json(&a.diagnostics),
+            to_json(&b.diagnostics),
+            "{}: JSON export differs across runs",
+            fx.name
+        );
+    }
+}
+
+/// The corpus is the contract: each fixture emits exactly its expected
+/// code sequence, in order.
+#[test]
+fn fixtures_emit_expected_codes() {
+    for fx in corpus() {
+        let emitted: Vec<Code> =
+            parc_analyze::analyze(fx.source).diagnostics.iter().map(|d| d.code).collect();
+        assert_eq!(emitted, fx.expect, "{}: emitted codes diverge from fixture", fx.name);
+    }
+}
+
+/// The static↔dynamic agreement matrix (EXPERIMENTS.md E-LINT):
+///
+/// * `Deadlock` fixtures must carry a deadlock-class static error
+///   (E001/E004) AND the explorer must witness a concrete deadlocked
+///   schedule;
+/// * `Race` fixtures must carry a race-class static diagnostic
+///   (E002/E003/W101/W102) AND the explorer must witness a concrete
+///   racing schedule;
+/// * `Clean` fixtures must be proved race- and deadlock-free over the
+///   *exhaustive* interleaving space;
+/// * `Unlowered` fixtures fail to parse (E005) and are skipped
+///   dynamically.
+#[test]
+fn static_and_dynamic_verdicts_agree() {
+    let mut matrix: BTreeMap<&str, usize> = BTreeMap::new();
+    for fx in corpus() {
+        *matrix.entry(verdict_key(fx.dynamic)).or_default() += 1;
+        let analysis = parc_analyze::analyze(fx.source);
+        match fx.dynamic {
+            DynVerdict::Unlowered => {
+                // Structurally broken — either the parser rejects it
+                // outright or the rule engine flags the malformed
+                // structure; in both cases lowering is not attempted.
+                assert!(
+                    fx.expect.contains(&Code::E005),
+                    "{}: unlowered fixture must be an E005",
+                    fx.name
+                );
+                continue;
+            }
+            _ => assert!(analysis.program.is_some(), "{}: should parse", fx.name),
+        }
+        let prog = analysis.program.as_ref().unwrap();
+        let report = explore_program(prog, Config::dfs(fx.name));
+        match fx.dynamic {
+            DynVerdict::Deadlock => {
+                assert!(
+                    fx.expect.iter().any(|c| matches!(c, Code::E001 | Code::E004)),
+                    "{}: deadlocking fixture lacks a deadlock-class error",
+                    fx.name
+                );
+                assert!(
+                    report.deadlocks > 0,
+                    "{}: statically-diagnosed deadlock never witnessed dynamically",
+                    fx.name
+                );
+            }
+            DynVerdict::Race => {
+                assert!(
+                    fx.expect
+                        .iter()
+                        .any(|c| matches!(c, Code::E002 | Code::E003 | Code::W101 | Code::W102)),
+                    "{}: racy fixture lacks a race-class diagnostic",
+                    fx.name
+                );
+                assert!(
+                    !report.race_free(),
+                    "{}: statically-diagnosed race never witnessed dynamically",
+                    fx.name
+                );
+            }
+            DynVerdict::Clean => {
+                assert!(
+                    report.exhausted,
+                    "{}: clean verdict needs the full interleaving space",
+                    fx.name
+                );
+                assert!(report.race_free(), "{}: clean fixture raced", fx.name);
+                assert_eq!(report.deadlocks, 0, "{}: clean fixture deadlocked", fx.name);
+            }
+            DynVerdict::Unlowered => unreachable!(),
+        }
+    }
+    // The corpus shape itself is part of the record: 20 fixtures,
+    // every dynamic class populated.
+    assert_eq!(matrix.values().sum::<usize>(), 20);
+    assert_eq!(matrix["clean"], 9);
+    assert_eq!(matrix["race"], 5);
+    assert_eq!(matrix["deadlock"], 4);
+    assert_eq!(matrix["unlowered"], 2);
+}
+
+/// Clean fixtures mean the same thing on the real pyjama runtime as
+/// under sequential emulation: the final shared state agrees.
+#[test]
+fn clean_fixtures_agree_on_pyjama() {
+    let team = Team::new(2);
+    for fx in corpus() {
+        if fx.dynamic != DynVerdict::Clean {
+            continue;
+        }
+        let prog = parse(fx.source).expect("clean fixtures parse");
+        let seq = interpret_seq(&prog);
+        let pj = run_on_pyjama(&prog, &team);
+        assert_eq!(pj, seq, "{}: pyjama and sequential results diverge", fx.name);
+    }
+}
+
+fn verdict_key(v: DynVerdict) -> &'static str {
+    match v {
+        DynVerdict::Clean => "clean",
+        DynVerdict::Race => "race",
+        DynVerdict::Deadlock => "deadlock",
+        DynVerdict::Unlowered => "unlowered",
+    }
+}
