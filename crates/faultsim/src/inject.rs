@@ -52,6 +52,9 @@ pub struct FaultPlan {
     /// Extra model-milliseconds added by each latency spike.
     pub latency_spike_ms: f64,
     fail_then_recover: HashMap<u64, u32>,
+    /// Flapping window: random draws apply only while
+    /// `(attempt - 1) % period < on`. `None` means always on.
+    flapping: Option<(u32, u32)>,
 }
 
 impl FaultPlan {
@@ -66,6 +69,7 @@ impl FaultPlan {
             latency_spike_rate: 0.0,
             latency_spike_ms: 0.0,
             fail_then_recover: HashMap::new(),
+            flapping: None,
         }
     }
 
@@ -101,6 +105,29 @@ impl FaultPlan {
         self.latency_spike_rate = rate;
         self.latency_spike_ms = extra_ms;
         self
+    }
+
+    /// Restrict the *random* fault rates to a flapping window: they
+    /// apply only while `(attempt - 1) % period < on`, so a dependency
+    /// alternates between `on` faulty attempts and `period - on` clean
+    /// ones. Forced [`FaultPlan::fail_key_n_times`] overrides are not
+    /// gated. Modelling the flap on the attempt counter (not wall
+    /// time) keeps decisions pure functions of `(seed, key, attempt)`.
+    #[must_use]
+    pub fn with_flapping(mut self, period: u32, on: u32) -> Self {
+        assert!(period >= 1, "flap period must be at least 1");
+        assert!(on <= period, "on-window cannot exceed the period");
+        self.flapping = Some((period, on));
+        self
+    }
+
+    /// Is the random-fault window open at `attempt` (1-based)?
+    #[must_use]
+    pub fn flap_window_open(&self, attempt: u32) -> bool {
+        match self.flapping {
+            None => true,
+            Some((period, on)) => (attempt - 1) % period < on,
+        }
     }
 
     /// Force `key` to fail its first `n` attempts with
@@ -151,6 +178,9 @@ impl FaultInjector {
             if attempt <= n {
                 return Fault::TransientError;
             }
+        }
+        if !self.plan.flap_window_open(attempt) {
+            return Fault::None;
         }
         let mut h = SplitMix64::mix(
             self.plan
@@ -254,6 +284,33 @@ mod tests {
     fn reliable_plan_injects_nothing() {
         let inj = FaultInjector::new(FaultPlan::reliable(999));
         assert!((0..1000).all(|k| inj.decide(k, 1) == Fault::None));
+    }
+
+    #[test]
+    fn flapping_gates_random_faults_by_attempt() {
+        // 2 faulty attempts, then 3 clean ones, repeating.
+        let plan = FaultPlan::reliable(11).with_error_rate(1.0).with_flapping(5, 2);
+        let inj = FaultInjector::new(plan);
+        for key in 0..20 {
+            for attempt in 1..=15 {
+                let expect_fault = (attempt - 1) % 5 < 2;
+                let got = inj.decide(key, attempt);
+                if expect_fault {
+                    assert_eq!(got, Fault::TransientError, "key {key} attempt {attempt}");
+                } else {
+                    assert_eq!(got, Fault::None, "key {key} attempt {attempt}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flapping_does_not_gate_forced_failures() {
+        // Off-window attempts still honour fail_key_n_times.
+        let plan = FaultPlan::reliable(5).with_flapping(4, 1).fail_key_n_times(3, 3);
+        let inj = FaultInjector::new(plan);
+        assert_eq!(inj.decide(3, 2), Fault::TransientError, "forced, window closed");
+        assert_eq!(inj.decide(3, 4), Fault::None, "recovered, window closed");
     }
 
     #[test]

@@ -19,6 +19,9 @@
 //! * [`Breaker`] — a consecutive-failure circuit breaker with
 //!   half-open probing. Cooldown is measured in *denied calls*, not
 //!   wall time, which keeps simulations deterministic.
+//! * [`FaultStorm`] — named, phase-structured storm schedules (burst,
+//!   brownout, flapping) layered on [`FaultPlan`], for soak tests that
+//!   exercise degradation *and* recovery in one seeded narrative.
 //!
 //! Consumers: `websim` wires an injector into its simulated server
 //! and drives `try_fetch_all` with a `RetryPolicy`; `partask` and
@@ -27,10 +30,12 @@
 mod breaker;
 mod inject;
 mod retry;
+mod storm;
 
 pub use breaker::{Breaker, BreakerState};
 pub use inject::{Fault, FaultInjector, FaultPlan};
 pub use retry::{Backoff, Retried, RetryError, RetryPolicy};
+pub use storm::{FaultStorm, StormPhase};
 
 /// Prefix of every panic message this crate injects (see
 /// [`Fault::Panic`]); consumers that contain injected panics match on

@@ -212,13 +212,14 @@ impl RetryPolicy {
         out
     }
 
-    /// Drive `op` under this policy. `sleep` receives each backoff
-    /// delay — pass `std::thread::sleep` in production or a recorder /
-    /// no-op in tests. `op` gets the 1-based attempt number.
-    pub fn execute_with<T, E>(
+    /// The single retry loop every `execute*` front end drives.
+    /// `on_wait` observes each backoff with the 1-based *failed*
+    /// attempt number and the (jittered) delay — the tracing front end
+    /// hooks it, so nobody re-counts attempts outside the loop.
+    fn execute_inner<T, E>(
         &self,
         seed: u64,
-        mut sleep: impl FnMut(Duration),
+        mut on_wait: impl FnMut(u32, Duration),
         mut op: impl FnMut(u32) -> Result<T, E>,
     ) -> Result<Retried<T>, RetryError<E>> {
         let mut waited = Duration::ZERO;
@@ -240,11 +241,23 @@ impl RetryPolicy {
                         }
                     }
                     waited += delay;
-                    sleep(delay);
+                    on_wait(attempt, delay);
                     attempt += 1;
                 }
             }
         }
+    }
+
+    /// Drive `op` under this policy. `sleep` receives each backoff
+    /// delay — pass `std::thread::sleep` in production or a recorder /
+    /// no-op in tests. `op` gets the 1-based attempt number.
+    pub fn execute_with<T, E>(
+        &self,
+        seed: u64,
+        mut sleep: impl FnMut(Duration),
+        op: impl FnMut(u32) -> Result<T, E>,
+    ) -> Result<Retried<T>, RetryError<E>> {
+        self.execute_inner(seed, |_failed, delay| sleep(delay), op)
     }
 
     /// [`execute_with`](Self::execute_with) using real
@@ -271,11 +284,9 @@ impl RetryPolicy {
         op: impl FnMut(u32) -> Result<T, E>,
     ) -> Result<Retried<T>, RetryError<E>> {
         let _span = trace.span(pid, parc_trace::SpanKind::RetryOp { key });
-        let mut failed_attempt = 0u32;
-        self.execute_with(
+        self.execute_inner(
             seed,
-            |delay| {
-                failed_attempt += 1;
+            |failed_attempt, delay| {
                 trace.mark(
                     pid,
                     parc_trace::MarkKind::RetryWait {

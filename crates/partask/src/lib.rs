@@ -27,7 +27,12 @@
 //! * **Exceptions** — a panicking task resolves its future to
 //!   [`TaskError::Panicked`] instead of tearing down the process
 //!   (the `asyncCatch` analogue).
-//! * **Cancellation** — cooperative, via [`CancelToken`].
+//! * **Cancellation** — cooperative and *hierarchical*, via
+//!   [`CancelToken`] (re-exported from `parc-supervise`): every task's
+//!   token is a child of the runtime's root token, tokens form trees
+//!   with deadline propagation, and
+//!   [`TaskRuntime::shutdown_graceful`] cancels the root then drains
+//!   in-flight work within a bounded budget.
 //!
 //! Two schedulers are provided, mirroring the scheduling options the
 //! PARC runtime exposed and providing the ablation in experiment A1:
@@ -55,7 +60,7 @@ pub mod task;
 
 pub use interim::{channel as interim_channel, InterimReceiver, InterimSender};
 pub use multi::MultiHandle;
-pub use runtime::{Builder, RuntimeHandle, RuntimeStats, TaskRuntime};
+pub use runtime::{Builder, DrainReport, RuntimeHandle, RuntimeStats, TaskRuntime};
 pub use sched::SchedulerKind;
 pub use scope::Scope;
-pub use task::{CancelToken, TaskError, TaskHandle, TaskId, TaskWatcher};
+pub use task::{CancelToken, Cancelled, TaskError, TaskHandle, TaskId, TaskWatcher};

@@ -43,6 +43,9 @@ pub(crate) struct RtInner {
     pub(crate) sched: SharedSched,
     pub(crate) counters: SchedCounters,
     pub(crate) n_workers: usize,
+    /// Root of the runtime's cancellation tree: every spawned task's
+    /// token is a child, so cancelling this cancels all of them.
+    root_token: CancelToken,
     stop: AtomicBool,
     /// Jobs submitted but not yet finished (includes dep-pending).
     live_jobs: AtomicUsize,
@@ -178,6 +181,7 @@ impl Builder {
             sched,
             counters,
             n_workers: self.workers,
+            root_token: CancelToken::new(),
             stop: AtomicBool::new(false),
             live_jobs: AtomicUsize::new(0),
             idle: Mutex::new(()),
@@ -386,6 +390,20 @@ fn deadline_watch_loop(weak: &Weak<RtInner>) {
     }
 }
 
+/// What [`TaskRuntime::shutdown_graceful`] accomplished.
+#[derive(Clone, Debug)]
+pub struct DrainReport {
+    /// True when the runtime reached quiescence within the budget.
+    pub drained: bool,
+    /// Live jobs still in flight when the budget expired (0 when
+    /// `drained`). These were bodies that had not yet observed their
+    /// cancelled token; they still ran to completion before the pool's
+    /// threads were joined.
+    pub leftover: usize,
+    /// Final activity counters, taken after every worker joined.
+    pub stats: RuntimeStats,
+}
+
 /// The Parallel Task worker pool. See the crate docs for an overview.
 pub struct TaskRuntime {
     inner: Arc<RtInner>,
@@ -436,11 +454,25 @@ impl TaskRuntime {
     }
 
     /// Spawn a task whose body can observe its own [`CancelToken`].
+    /// The token is a child of the runtime's root token, so it also
+    /// flips on [`TaskRuntime::shutdown_graceful`].
     pub fn spawn_cancellable<T: Send + 'static>(
         &self,
         f: impl FnOnce(&CancelToken) -> T + Send + 'static,
     ) -> TaskHandle<T> {
         spawn_on(&self.inner, f)
+    }
+
+    /// Spawn a cancellable task whose token is a child of `parent`
+    /// (rather than of the runtime's root): cancelling `parent`
+    /// cancels this task along with the rest of its subtree, and the
+    /// task inherits `parent`'s deadline, if any.
+    pub fn spawn_cancellable_under<T: Send + 'static>(
+        &self,
+        parent: &CancelToken,
+        f: impl FnOnce(&CancelToken) -> T + Send + 'static,
+    ) -> TaskHandle<T> {
+        spawn_on_with_token(&self.inner, parent.child(), f)
     }
 
     /// Spawn a task with an execution budget: when `deadline` elapses
@@ -459,7 +491,21 @@ impl TaskRuntime {
         deadline: Duration,
         f: impl FnOnce(&CancelToken) -> T + Send + 'static,
     ) -> TaskHandle<T> {
-        let handle = spawn_on(&self.inner, f);
+        self.spawn_deadline_under(&self.inner.root_token, deadline, f)
+    }
+
+    /// [`TaskRuntime::spawn_deadline`] with an explicit parent token:
+    /// the task's token is a child of `parent` carrying the deadline
+    /// (clamped to `parent`'s own deadline, which a child can tighten
+    /// but never extend).
+    pub fn spawn_deadline_under<T: Send + 'static>(
+        &self,
+        parent: &CancelToken,
+        deadline: Duration,
+        f: impl FnOnce(&CancelToken) -> T + Send + 'static,
+    ) -> TaskHandle<T> {
+        let token = parent.child_with_deadline(deadline);
+        let handle = spawn_on_with_token(&self.inner, token, f);
         let core = Arc::clone(&handle.core);
         self.inner.register_deadline(DeadlineEntry {
             due: Instant::now() + deadline,
@@ -468,6 +514,14 @@ impl TaskRuntime {
             finished: Arc::new(move || core.is_finished()),
         });
         handle
+    }
+
+    /// The root of this runtime's cancellation tree. Derive subtree
+    /// tokens from it (`root.child()`) to group tasks for collective
+    /// cancellation; [`TaskRuntime::shutdown_graceful`] cancels it.
+    #[must_use]
+    pub fn cancel_token(&self) -> CancelToken {
+        self.inner.root_token.clone()
     }
 
     /// Spawn a task that starts only after every watcher in `deps`
@@ -541,6 +595,53 @@ impl TaskRuntime {
     /// Wait for quiescence, then stop and join all workers.
     pub fn shutdown(self) {
         self.shutdown_impl();
+    }
+
+    /// Cancel every outstanding task, then drain in-flight work with a
+    /// bounded budget before stopping the pool.
+    ///
+    /// The sequence is deterministic in its *accounting*: the root
+    /// token is cancelled first (so every queued task resolves to
+    /// [`crate::TaskError::Cancelled`] without running its body, and
+    /// every cooperative running body observes its token), then this
+    /// thread helps drain until the runtime is quiescent or `budget`
+    /// elapses, then workers are stopped and joined. Queued jobs left
+    /// at expiry still resolve — workers drain the queue before
+    /// exiting — so `spawned == executed` holds in the final stats
+    /// regardless of the budget; the budget only bounds how long we
+    /// wait for *running* bodies to notice their token.
+    pub fn shutdown_graceful(self, budget: Duration) -> DrainReport {
+        let deadline = Instant::now() + budget;
+        self.inner.root_token.cancel();
+        self.inner.wake_all();
+        let inner = &self.inner;
+        while inner.live_jobs.load(Ordering::Acquire) != 0 && Instant::now() < deadline {
+            if !inner.help_once() {
+                let mut guard = inner.idle.lock();
+                if inner.live_jobs.load(Ordering::Acquire) == 0 {
+                    break;
+                }
+                let _ = inner
+                    .quiescent_cv
+                    .wait_for(&mut guard, Duration::from_micros(500));
+            }
+        }
+        let leftover = inner.live_jobs.load(Ordering::Acquire);
+        inner.stop.store(true, Ordering::Release);
+        inner.stop_deadline_watch();
+        inner.wake_all();
+        let joiners = std::mem::take(&mut *self.joiners.lock());
+        let self_id = thread::current().id();
+        for j in joiners {
+            if j.thread().id() != self_id {
+                let _ = j.join();
+            }
+        }
+        DrainReport {
+            drained: leftover == 0,
+            leftover,
+            stats: self.stats(),
+        }
     }
 
     fn shutdown_impl(&self) {
@@ -689,7 +790,15 @@ pub(crate) fn spawn_on<T: Send + 'static>(
     inner: &Arc<RtInner>,
     f: impl FnOnce(&CancelToken) -> T + Send + 'static,
 ) -> TaskHandle<T> {
-    let core = Core::new();
+    spawn_on_with_token(inner, inner.root_token.child(), f)
+}
+
+pub(crate) fn spawn_on_with_token<T: Send + 'static>(
+    inner: &Arc<RtInner>,
+    token: CancelToken,
+    f: impl FnOnce(&CancelToken) -> T + Send + 'static,
+) -> TaskHandle<T> {
+    let core = Core::with_token(token);
     let job = make_traced_job(inner, &core, f);
     inner.push_job(job);
     TaskHandle {
@@ -703,7 +812,7 @@ pub(crate) fn spawn_after_on<T: Send + 'static>(
     deps: &[TaskWatcher],
     f: impl FnOnce(&CancelToken) -> T + Send + 'static,
 ) -> TaskHandle<T> {
-    let core = Core::new();
+    let core = Core::with_token(inner.root_token.child());
     let job = make_traced_job(inner, &core, f);
     if deps.is_empty() {
         inner.push_job(job);

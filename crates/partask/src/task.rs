@@ -9,11 +9,13 @@
 
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use guievent::GuiHandle;
 use parking_lot::{Condvar, Mutex};
+
+pub use parc_supervise::{CancelToken, Cancelled};
 
 /// Unique identity of a spawned task within a process.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -63,31 +65,6 @@ impl fmt::Display for TaskError {
 
 impl std::error::Error for TaskError {}
 
-/// Cooperative cancellation flag shared with the task body.
-#[derive(Clone, Debug, Default)]
-pub struct CancelToken {
-    flag: Arc<AtomicBool>,
-}
-
-impl CancelToken {
-    /// Fresh, un-cancelled token.
-    #[must_use]
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Request cancellation.
-    pub fn cancel(&self) {
-        self.flag.store(true, Ordering::Release);
-    }
-
-    /// Has cancellation been requested?
-    #[must_use]
-    pub fn is_cancelled(&self) -> bool {
-        self.flag.load(Ordering::Acquire)
-    }
-}
-
 type Continuation<T> = Box<dyn FnOnce(Result<T, TaskError>) + Send>;
 pub(crate) type DoneHook = Box<dyn FnOnce() + Send>;
 
@@ -111,6 +88,13 @@ pub(crate) struct Core<T> {
 
 impl<T: Send + 'static> Core<T> {
     pub(crate) fn new() -> Arc<Self> {
+        Self::with_token(CancelToken::new())
+    }
+
+    /// A core whose cancellation token is supplied by the caller —
+    /// the runtime passes a child of its root token (or of a
+    /// user-provided parent) so cancellation cascades down the tree.
+    pub(crate) fn with_token(token: CancelToken) -> Arc<Self> {
         Arc::new(Core {
             id: TaskId::fresh(),
             state: Mutex::new(CoreState {
@@ -120,7 +104,7 @@ impl<T: Send + 'static> Core<T> {
                 hooks: Vec::new(),
             }),
             done_cv: Condvar::new(),
-            cancel: CancelToken::new(),
+            cancel: token,
         })
     }
 

@@ -11,8 +11,10 @@
 
 use std::any::Any;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+use parc_supervise::CancelToken;
 use parking_lot::Mutex;
 
 use crate::barrier::Barrier;
@@ -27,16 +29,54 @@ pub(crate) struct RegionState {
     /// Recording a panic also poisons the region barrier so siblings
     /// unblock instead of waiting forever for the dead member.
     panic_info: Mutex<Option<(usize, String)>>,
+    /// Cancellation token observed by this region's barriers, when the
+    /// region was launched through `try_parallel_cancellable`.
+    cancel: Option<CancelToken>,
+    /// Set once a member has observed the token at a barrier (and
+    /// poisoned the barrier so the whole team abandons the region).
+    cancelled: AtomicBool,
 }
 
 impl RegionState {
     pub(crate) fn new(n_threads: usize) -> Arc<Self> {
+        Self::with_cancel(n_threads, None)
+    }
+
+    pub(crate) fn with_cancel(n_threads: usize, cancel: Option<CancelToken>) -> Arc<Self> {
         Arc::new(Self {
             barrier: Barrier::new(n_threads),
             constructs: Mutex::new(HashMap::new()),
             singles_claimed: Mutex::new(HashMap::new()),
             panic_info: Mutex::new(None),
+            cancel,
+            cancelled: AtomicBool::new(false),
         })
+    }
+
+    /// The region's cancellation token, if it runs cancellably.
+    pub(crate) fn cancel_token(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
+    }
+
+    /// Observe the token (barrier entry points call this): when
+    /// cancellation has been requested, record it and poison the
+    /// barrier so every member unblocks and abandons the region.
+    /// Returns true when the region is (now) cancelled.
+    pub(crate) fn check_cancelled(&self) -> bool {
+        if self.cancelled.load(Ordering::Acquire) {
+            return true;
+        }
+        if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            self.cancelled.store(true, Ordering::Release);
+            self.barrier.poison();
+            return true;
+        }
+        false
+    }
+
+    /// Did a member observe cancellation during this region?
+    pub(crate) fn was_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
     }
 
     /// Record that team member `member` panicked with `payload` and

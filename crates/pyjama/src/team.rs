@@ -8,6 +8,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread;
 
+use parc_supervise::CancelToken;
 use parc_trace::{MarkKind, MetricHistogram, SchedTag, SpanKind, TraceHandle};
 use parking_lot::{Condvar, Mutex};
 
@@ -41,6 +42,11 @@ pub enum TeamError {
         /// Stringified panic payload of that member.
         payload: String,
     },
+    /// The region's [`CancelToken`] (see
+    /// [`Team::try_parallel_cancellable`]) was cancelled: the team
+    /// observed it at a barrier, abandoned the region there, and the
+    /// team itself survives for subsequent regions.
+    Cancelled,
 }
 
 impl std::fmt::Display for TeamError {
@@ -49,6 +55,7 @@ impl std::fmt::Display for TeamError {
             Self::MemberPanicked { member, payload } => {
                 write!(f, "team member {member} panicked: {payload}")
             }
+            Self::Cancelled => write!(f, "parallel region was cancelled"),
         }
     }
 }
@@ -62,8 +69,11 @@ struct PoisonUnwind;
 
 /// Unwind the current thread out of a poisoned region. The payload is
 /// recognised (and swallowed) by the per-member `catch_unwind` wrapper.
+/// `resume_unwind` (rather than `panic_any`) keeps the panic hook out
+/// of it: this is control flow, not a fresh failure, and the hook
+/// would otherwise print a bogus backtrace per cascading member.
 fn poison_unwind() -> ! {
-    std::panic::panic_any(PoisonUnwind);
+    std::panic::resume_unwind(Box::new(PoisonUnwind));
 }
 
 fn payload_to_string(payload: &(dyn Any + Send)) -> String {
@@ -268,16 +278,40 @@ impl Team {
     /// barrier unwind and abandon the region, and the team itself
     /// survives for subsequent regions.
     pub fn try_parallel<F: Fn(&Ctx) + Sync>(&self, f: F) -> Result<(), TeamError> {
-        self.try_parallel_impl(self.inner.n, f)
+        self.try_parallel_impl(self.inner.n, None, f)
     }
 
     /// [`Team::parallel_with`] with [`Team::try_parallel`]'s error
     /// handling.
     pub fn try_parallel_with<F: Fn(&Ctx) + Sync>(&self, n: usize, f: F) -> Result<(), TeamError> {
-        self.try_parallel_impl(n.clamp(1, self.inner.n), f)
+        self.try_parallel_impl(n.clamp(1, self.inner.n), None, f)
     }
 
-    fn try_parallel_impl<F: Fn(&Ctx) + Sync>(&self, active: usize, f: F) -> Result<(), TeamError> {
+    /// [`Team::try_parallel`] under a [`CancelToken`]: every barrier
+    /// (explicit or implied by a worksharing construct) observes the
+    /// token, and once it flips the whole team abandons the region at
+    /// that barrier — via the same poisoning machinery that contains
+    /// member panics — yielding `Err(TeamError::Cancelled)`. Bodies
+    /// can also poll [`Ctx::is_cancelled`] to skip work early.
+    ///
+    /// The region runs under a *child* of `token`, so cancelling the
+    /// caller's token cancels the region without being affected by it.
+    /// A member panic still takes precedence over cancellation in the
+    /// returned error (it is the root cause worth reporting).
+    pub fn try_parallel_cancellable<F: Fn(&Ctx) + Sync>(
+        &self,
+        token: &CancelToken,
+        f: F,
+    ) -> Result<(), TeamError> {
+        self.try_parallel_impl(self.inner.n, Some(token.child()), f)
+    }
+
+    fn try_parallel_impl<F: Fn(&Ctx) + Sync>(
+        &self,
+        active: usize,
+        cancel: Option<CancelToken>,
+        f: F,
+    ) -> Result<(), TeamError> {
         if IN_REGION.with(Cell::get) {
             // Nested region: serial execution, own single-thread state.
             let region = RegionState::new(1);
@@ -304,8 +338,14 @@ impl Team {
                 }),
             };
         }
+        // A token already cancelled at launch: skip the region wholesale
+        // rather than starting work that would be abandoned at the
+        // first barrier.
+        if cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            return Err(TeamError::Cancelled);
+        }
         let _region_guard = self.inner.region_lock.lock();
-        let region = RegionState::new(active);
+        let region = RegionState::with_cancel(active, cancel);
         let latch = Latch::new(active - 1);
         let f_ref: &(dyn Fn(&Ctx) + Sync) = &f;
         // SAFETY: see `JobMsg` — we block on `latch` before returning,
@@ -349,6 +389,7 @@ impl Team {
         latch.wait();
         match region.take_panic() {
             Some((member, payload)) => Err(TeamError::MemberPanicked { member, payload }),
+            None if region.was_cancelled() => Err(TeamError::Cancelled),
             None => Ok(()),
         }
     }
@@ -469,6 +510,19 @@ impl<'r> Ctx<'r> {
         self.n_threads
     }
 
+    /// In a cancellable region (see
+    /// [`Team::try_parallel_cancellable`]): has cancellation been
+    /// requested? Bodies can poll this to skip remaining work between
+    /// barriers; always `false` in a plain region.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.region.was_cancelled()
+            || self
+                .region
+                .cancel_token()
+                .is_some_and(parc_supervise::CancelToken::is_cancelled)
+    }
+
     fn next_construct(&self) -> usize {
         // Per-thread counter (each thread has its own `Ctx`), atomic
         // only so that `Ctx` is `Sync` and can be referenced from
@@ -498,6 +552,15 @@ impl<'r> Ctx<'r> {
     /// [`TeamError::MemberPanicked`] from [`Team::try_parallel`].
     pub fn barrier(&self) {
         let trace = &self.team.trace;
+        // Cancellation checkpoint: in a cancellable region, a flipped
+        // token is observed here — the first observer poisons the
+        // barrier so the whole team unblocks and abandons the region.
+        if self.region.check_cancelled() {
+            if trace.enabled() {
+                trace.mark(self.team.pid, MarkKind::BarrierPoison { member: self.tid as u32 });
+            }
+            poison_unwind();
+        }
         if !trace.enabled() {
             if self.region.barrier.try_wait().is_err() {
                 poison_unwind();

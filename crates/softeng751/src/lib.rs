@@ -24,11 +24,14 @@
 
 pub mod catalogue;
 pub mod prelude;
+pub mod soak;
 
 pub use catalogue::{run_project, Engines, ProjectId, ProjectReport};
+pub use soak::{run_soak_cell, run_soak_matrix, SoakCellReport};
 
 // Re-export the subsystem crates under one roof.
 pub use course;
+pub use parc_supervise;
 pub use docsearch;
 pub use faultsim;
 pub use guievent;

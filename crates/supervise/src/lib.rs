@@ -1,0 +1,37 @@
+//! `parc-supervise` — structured cancellation and supervision trees.
+//!
+//! Two layers, both deterministic under a fixed seed:
+//!
+//! * [`CancelToken`] — hierarchical cancellation with deadline
+//!   propagation. Tokens form a tree: cancelling a parent cancels the
+//!   whole subtree; a child inherits (and can only tighten) its
+//!   parent's deadline. Tokens are cheap to clone and poll, and
+//!   `partask` / `pyjama` accept them so task bodies and parallel
+//!   regions can stop cooperatively.
+//! * [`Supervisor`] — Erlang-style restart supervision. Children run
+//!   on dedicated threads under child tokens; a failed, panicked, or
+//!   timed-out child is restarted with a deterministic seeded backoff
+//!   (the same [`faultsim::RetryPolicy`] schedule retries use) until
+//!   its budget is exhausted, at which point the failure *escalates* —
+//!   observable from the parent when the supervisor is nested as a
+//!   subtree. Every lifecycle step is recorded both in trace marks and
+//!   in a canonical [`SupervisionReport`] whose event log is
+//!   bit-identical across same-seed reruns (for one-for-one trees).
+//!
+//! The teaching goal (see the course material in `softeng751`): the
+//! same determinism discipline the workspace applies to *speedup*
+//! experiments extends to *robustness* experiments — a fault storm with
+//! a fixed seed produces the same restarts, the same escalations, and
+//! the same supervision event log every run, so resilience behaviour
+//! can be asserted in CI rather than eyeballed.
+
+#![warn(missing_docs)]
+
+mod supervisor;
+mod token;
+
+pub use supervisor::{
+    ChildCtx, ChildError, ChildOutcome, ChildReport, RestartPolicy, SupEvent, SupEventKind,
+    SupervisionReport, Supervisor, SupervisorBuilder,
+};
+pub use token::{CancelToken, Cancelled};

@@ -156,6 +156,17 @@ fn mark_args(what: MarkKind) -> String {
             fault.name()
         ),
         MarkKind::GuiProbe { latency_ns } => format!("\"latency_ns\":{latency_ns}"),
+        MarkKind::ChildStart { child, incarnation } => {
+            format!("\"child\":{child},\"incarnation\":{incarnation}")
+        }
+        MarkKind::ChildExit { child, incarnation, outcome } => format!(
+            "\"child\":{child},\"incarnation\":{incarnation},\"outcome\":\"{}\"",
+            outcome.name()
+        ),
+        MarkKind::ChildRestart { child, incarnation } => {
+            format!("\"child\":{child},\"incarnation\":{incarnation}")
+        }
+        MarkKind::ChildEscalate { child } => format!("\"child\":{child}"),
     }
 }
 

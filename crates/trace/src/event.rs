@@ -131,6 +131,36 @@ impl FaultTag {
     }
 }
 
+/// How one supervised child incarnation exited, as seen in
+/// `sup.child_exit` marks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ChildTag {
+    /// The child body returned success; the child is done.
+    Completed,
+    /// The child body returned an error.
+    Failed,
+    /// The child body panicked (contained by the supervisor).
+    Panicked,
+    /// The child observed cancellation and stopped cooperatively.
+    Cancelled,
+    /// The child's deadline elapsed before it finished.
+    TimedOut,
+}
+
+impl ChildTag {
+    /// Stable label for export and counting.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ChildTag::Completed => "completed",
+            ChildTag::Failed => "failed",
+            ChildTag::Panicked => "panicked",
+            ChildTag::Cancelled => "cancelled",
+            ChildTag::TimedOut => "timed_out",
+        }
+    }
+}
+
 /// A duration-carrying activity: begins, does work, ends. Span begin
 /// and end events share an `id` and always land on the same thread, so
 /// Chrome `B`/`E` pairs nest correctly per lane.
@@ -270,6 +300,35 @@ pub enum MarkKind {
         /// Queue-to-dispatch latency of the probe event.
         latency_ns: u64,
     },
+    /// A supervisor started one incarnation of a child.
+    ChildStart {
+        /// Supervisor-local child index.
+        child: u64,
+        /// 1-based incarnation number (restarts increment it).
+        incarnation: u32,
+    },
+    /// A supervised child incarnation exited.
+    ChildExit {
+        /// Supervisor-local child index.
+        child: u64,
+        /// 1-based incarnation number.
+        incarnation: u32,
+        /// How the incarnation exited.
+        outcome: ChildTag,
+    },
+    /// A supervisor decided to restart a failed child.
+    ChildRestart {
+        /// Supervisor-local child index.
+        child: u64,
+        /// The incarnation about to start (= failed incarnation + 1).
+        incarnation: u32,
+    },
+    /// A child exhausted its restart budget; the failure escalates up
+    /// the supervision tree.
+    ChildEscalate {
+        /// Supervisor-local child index.
+        child: u64,
+    },
 }
 
 impl MarkKind {
@@ -288,6 +347,10 @@ impl MarkKind {
             MarkKind::BreakerTransition { .. } => "breaker.transition",
             MarkKind::FaultInjected { .. } => "fault.injected",
             MarkKind::GuiProbe { .. } => "gui.probe",
+            MarkKind::ChildStart { .. } => "sup.child_start",
+            MarkKind::ChildExit { .. } => "sup.child_exit",
+            MarkKind::ChildRestart { .. } => "sup.restart",
+            MarkKind::ChildEscalate { .. } => "sup.escalate",
         }
     }
 }
@@ -390,5 +453,14 @@ mod tests {
         assert_eq!(BreakerPhase::HalfOpen.name(), "half_open");
         assert_eq!(FaultTag::LatencySpike.name(), "latency_spike");
         assert_eq!(FetchTag::Panicked.name(), "panicked");
+        assert_eq!(ChildTag::Failed.name(), "failed");
+        let sup = EventKind::Mark {
+            what: MarkKind::ChildExit { child: 2, incarnation: 3, outcome: ChildTag::Panicked },
+        };
+        assert_eq!(sup.name(), "sup.child_exit");
+        assert_eq!(
+            EventKind::Mark { what: MarkKind::ChildEscalate { child: 0 } }.name(),
+            "sup.escalate"
+        );
     }
 }

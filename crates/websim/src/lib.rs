@@ -23,12 +23,19 @@
 //! [`fetcher::sweep_connections`] regenerates the optimum curve of
 //! experiment E10. The time scale is microseconds-per-simulated-
 //! millisecond so the sweep runs quickly; shapes are scale-invariant.
+//!
+//! [`resilient`] adds the graceful-degradation layer for fault-storm
+//! soaks: admission control, deadline-aware load shedding, per-
+//! connection circuit breakers, and stale-cache serving with
+//! quantified coverage/staleness.
 
 pub mod fetcher;
+pub mod resilient;
 pub mod server;
 
 pub use fetcher::{
     fetch_all, predict_fetch_sim_ms, sweep_connections, try_fetch_all, FetchOutcome, FetchReport,
     PageOutcome, SweepPoint,
 };
+pub use resilient::{ResilientConfig, ResilientCrawler, ResilientPage, ResilientReport};
 pub use server::{PageMeta, RequestError, ServerConfig, SimServer};

@@ -84,6 +84,16 @@ pub enum RequestError {
         /// The 1-based attempt that failed.
         attempt: u32,
     },
+    /// The request was shed by admission control before reaching the
+    /// server: its predicted cost exceeded the deadline budget, so
+    /// serving it would only have added load. Produced by
+    /// [`crate::resilient`], never by [`SimServer::try_request`].
+    Shed {
+        /// The page requested.
+        page: usize,
+        /// The 1-based attempt that was shed.
+        attempt: u32,
+    },
 }
 
 impl RequestError {
@@ -91,7 +101,9 @@ impl RequestError {
     #[must_use]
     pub fn page(&self) -> usize {
         match self {
-            RequestError::Transient { page, .. } | RequestError::TimedOut { page, .. } => *page,
+            RequestError::Transient { page, .. }
+            | RequestError::TimedOut { page, .. }
+            | RequestError::Shed { page, .. } => *page,
         }
     }
 }
@@ -104,6 +116,9 @@ impl fmt::Display for RequestError {
             }
             RequestError::TimedOut { page, attempt } => {
                 write!(f, "timeout fetching page {page} (attempt {attempt})")
+            }
+            RequestError::Shed { page, attempt } => {
+                write!(f, "request for page {page} shed by admission control (attempt {attempt})")
             }
         }
     }
