@@ -184,6 +184,23 @@ impl FaultStorm {
     pub fn all(seed: u64) -> Vec<Self> {
         vec![Self::burst(seed), Self::brownout(seed), Self::flapping(seed)]
     }
+
+    /// The phase active at `step` of a harness that walks `total`
+    /// equally sized steps across the whole storm — how continuous
+    /// load schedules (one step per traffic tick) overlay the phase
+    /// narrative. Steps split evenly; the last phase absorbs any
+    /// remainder, and out-of-range steps clamp to the final phase.
+    ///
+    /// # Panics
+    /// If the storm has no phases (shipped shapes always do).
+    #[must_use]
+    pub fn phase_at(&self, step: usize, total: usize) -> &StormPhase {
+        assert!(!self.phases.is_empty(), "storm has no phases");
+        let n = self.phases.len();
+        let total = total.max(1);
+        let idx = (step.min(total - 1) * n) / total;
+        &self.phases[idx.min(n - 1)]
+    }
 }
 
 #[cfg(test)]
@@ -253,6 +270,39 @@ mod tests {
                 .filter(|&k| inj.decide(k, 1).is_failure())
                 .count();
             assert!(failures > 20, "{}: peak phase barely faults", storm.name);
+        }
+    }
+
+    #[test]
+    fn phase_at_covers_every_phase_in_order() {
+        for storm in FaultStorm::all(0xA11) {
+            let total = 40;
+            let mut seen = Vec::new();
+            let mut last_idx = 0usize;
+            for step in 0..total {
+                let phase = storm.phase_at(step, total);
+                let idx = storm
+                    .phases
+                    .iter()
+                    .position(|p| std::ptr::eq(p, phase))
+                    .unwrap();
+                assert!(idx >= last_idx, "phases must advance monotonically");
+                last_idx = idx;
+                if seen.last() != Some(&idx) {
+                    seen.push(idx);
+                }
+            }
+            assert_eq!(
+                seen,
+                (0..storm.phases.len()).collect::<Vec<_>>(),
+                "{}: every phase must get steps",
+                storm.name
+            );
+            // Clamping: past-the-end steps stay in the final phase.
+            assert_eq!(
+                storm.phase_at(total + 5, total).label,
+                storm.phases.last().unwrap().label
+            );
         }
     }
 

@@ -1,0 +1,267 @@
+//! Arrival processes and page popularity: *when* requests arrive and
+//! *what* they ask for, both as pure functions of a seed.
+
+use parc_util::rng::Xoshiro256;
+
+/// The shape of offered load over a run, expressed as an expected
+/// request count per tick. Actual per-tick counts are Poisson samples
+/// around the expectation, so traffic is bursty at every scale.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ArrivalProcess {
+    /// Stationary open-loop traffic: `rate` expected requests/tick.
+    PoissonSteady {
+        /// Expected requests per tick.
+        rate: f64,
+    },
+    /// A day/night sine wave: `base + amplitude·sin(2πt/period)`,
+    /// clamped at zero — the diurnal load curve every cluster sizes
+    /// itself against.
+    Diurnal {
+        /// Mean requests per tick.
+        base: f64,
+        /// Peak-to-mean swing.
+        amplitude: f64,
+        /// Ticks per full day cycle.
+        period_ticks: usize,
+    },
+    /// Steady `base` traffic until `at_tick`, then an instantaneous
+    /// surge to `peak` decaying exponentially over `decay_ticks` —
+    /// the flash crowd a replica kill loves to coincide with.
+    FlashCrowd {
+        /// Pre-surge requests per tick.
+        base: f64,
+        /// Surge peak requests per tick.
+        peak: f64,
+        /// Tick the crowd lands.
+        at_tick: usize,
+        /// e-folding time of the decay, in ticks.
+        decay_ticks: usize,
+    },
+}
+
+impl ArrivalProcess {
+    /// Stable name for tables and JSON keys.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::PoissonSteady { .. } => "poisson_steady",
+            Self::Diurnal { .. } => "diurnal",
+            Self::FlashCrowd { .. } => "flash_crowd",
+        }
+    }
+
+    /// Expected arrivals at `tick` (the Poisson mean for that tick).
+    #[must_use]
+    pub fn expected(&self, tick: usize) -> f64 {
+        #[allow(clippy::cast_precision_loss)]
+        match *self {
+            Self::PoissonSteady { rate } => rate.max(0.0),
+            Self::Diurnal { base, amplitude, period_ticks } => {
+                let period = period_ticks.max(1) as f64;
+                let angle = std::f64::consts::TAU * tick as f64 / period;
+                (base + amplitude * angle.sin()).max(0.0)
+            }
+            Self::FlashCrowd { base, peak, at_tick, decay_ticks } => {
+                if tick < at_tick {
+                    base.max(0.0)
+                } else {
+                    let dt = (tick - at_tick) as f64;
+                    let tau = decay_ticks.max(1) as f64;
+                    (base + (peak - base) * (-dt / tau).exp()).max(0.0)
+                }
+            }
+        }
+    }
+
+    /// Sample the actual arrival count at `tick` from the seeded RNG:
+    /// Poisson via Knuth's product method for small means, the
+    /// normal approximation above 30 (both deterministic).
+    #[must_use]
+    pub fn sample(&self, tick: usize, rng: &mut Xoshiro256) -> usize {
+        poisson(self.expected(tick), rng)
+    }
+
+    /// The canonical trio the E-LOAD experiment sweeps: steady
+    /// Poisson, a diurnal wave, and a flash crowd landing mid-run,
+    /// all scaled around `rate` requests/tick over `ticks`.
+    #[must_use]
+    pub fn all(rate: f64, ticks: usize) -> Vec<Self> {
+        vec![
+            Self::PoissonSteady { rate },
+            Self::Diurnal { base: rate, amplitude: rate * 0.6, period_ticks: ticks.max(2) / 2 },
+            Self::FlashCrowd {
+                base: rate * 0.7,
+                peak: rate * 2.5,
+                at_tick: ticks / 3,
+                decay_ticks: ticks.max(6) / 6,
+            },
+        ]
+    }
+}
+
+/// A deterministic Poisson sample with mean `mean`.
+fn poisson(mean: f64, rng: &mut Xoshiro256) -> usize {
+    if mean <= 0.0 {
+        return 0;
+    }
+    if mean < 30.0 {
+        // Knuth: count multiplications until the product drops
+        // below e^-mean.
+        let limit = (-mean).exp();
+        let mut product = rng.next_f64().max(f64::MIN_POSITIVE);
+        let mut count = 0usize;
+        while product > limit {
+            product *= rng.next_f64().max(f64::MIN_POSITIVE);
+            count += 1;
+        }
+        count
+    } else {
+        // Normal approximation N(mean, mean), clamped at zero.
+        let sample = mean + mean.sqrt() * rng.next_normal();
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let n = sample.round().max(0.0) as usize;
+        n
+    }
+}
+
+/// Seeded Zipf-like page popularity: page *ranks* follow a power law
+/// with exponent `s`, and a seeded permutation assigns ranks to page
+/// ids so the hot set lands on different ring positions per seed.
+#[derive(Clone, Debug)]
+pub struct Popularity {
+    /// `cdf[i]` = cumulative probability of ranks `0..=i`.
+    cdf: Vec<f64>,
+    /// `rank_to_page[rank]` = page id holding that rank.
+    rank_to_page: Vec<usize>,
+}
+
+impl Popularity {
+    /// A uniform distribution over `pages` (every page equally hot).
+    #[must_use]
+    pub fn uniform(pages: usize) -> Self {
+        Self::zipf(0, pages, 0.0)
+    }
+
+    /// A Zipf distribution with exponent `s` over `pages`, ranks
+    /// shuffled by `seed`. `s = 0` degenerates to uniform; `s ≈ 1`
+    /// is classic web traffic.
+    ///
+    /// # Panics
+    /// If `pages` is zero.
+    #[must_use]
+    pub fn zipf(seed: u64, pages: usize, s: f64) -> Self {
+        assert!(pages > 0, "popularity needs at least one page");
+        let mut weights = Vec::with_capacity(pages);
+        for rank in 0..pages {
+            #[allow(clippy::cast_precision_loss)]
+            let w = 1.0 / ((rank + 1) as f64).powf(s);
+            weights.push(w);
+        }
+        let total: f64 = weights.iter().sum();
+        let mut cdf = Vec::with_capacity(pages);
+        let mut acc = 0.0;
+        for w in &weights {
+            acc += w / total;
+            cdf.push(acc);
+        }
+        *cdf.last_mut().expect("pages > 0") = 1.0;
+        let mut rank_to_page: Vec<usize> = (0..pages).collect();
+        let mut rng = Xoshiro256::seed_from_u64(seed ^ 0x21BF);
+        rng.shuffle(&mut rank_to_page);
+        Self { cdf, rank_to_page }
+    }
+
+    /// Number of pages in the distribution.
+    #[must_use]
+    pub fn pages(&self) -> usize {
+        self.rank_to_page.len()
+    }
+
+    /// Draw one page id.
+    #[must_use]
+    pub fn sample(&self, rng: &mut Xoshiro256) -> usize {
+        let u = rng.next_f64();
+        let rank = self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1);
+        self.rank_to_page[rank]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expected_load_matches_shapes() {
+        let steady = ArrivalProcess::PoissonSteady { rate: 20.0 };
+        assert!((steady.expected(0) - 20.0).abs() < 1e-12);
+        assert!((steady.expected(99) - 20.0).abs() < 1e-12);
+
+        let wave = ArrivalProcess::Diurnal { base: 20.0, amplitude: 10.0, period_ticks: 40 };
+        assert!(wave.expected(10) > wave.expected(0), "quarter-cycle is the crest");
+        assert!(wave.expected(30) < wave.expected(0), "three-quarter is the trough");
+        assert!(wave.expected(30) >= 0.0);
+
+        let crowd =
+            ArrivalProcess::FlashCrowd { base: 10.0, peak: 50.0, at_tick: 5, decay_ticks: 4 };
+        assert!((crowd.expected(4) - 10.0).abs() < 1e-12, "pre-surge is base");
+        assert!((crowd.expected(5) - 50.0).abs() < 1e-12, "surge hits peak instantly");
+        assert!(crowd.expected(9) < crowd.expected(5), "and decays");
+        assert!(crowd.expected(100) > 10.0 - 1e-9, "never below base");
+    }
+
+    #[test]
+    fn poisson_sampling_is_seeded_and_roughly_unbiased() {
+        let mut a = Xoshiro256::seed_from_u64(7);
+        let mut b = Xoshiro256::seed_from_u64(7);
+        let p = ArrivalProcess::PoissonSteady { rate: 12.0 };
+        let xs: Vec<usize> = (0..200).map(|t| p.sample(t, &mut a)).collect();
+        let ys: Vec<usize> = (0..200).map(|t| p.sample(t, &mut b)).collect();
+        assert_eq!(xs, ys, "same seed, same arrivals");
+        #[allow(clippy::cast_precision_loss)]
+        let mean = xs.iter().sum::<usize>() as f64 / xs.len() as f64;
+        assert!((mean - 12.0).abs() < 2.0, "sample mean {mean} far from 12");
+        // Large-mean path (normal approximation) also deterministic.
+        let big = ArrivalProcess::PoissonSteady { rate: 200.0 };
+        let mut c = Xoshiro256::seed_from_u64(9);
+        let mut d = Xoshiro256::seed_from_u64(9);
+        assert_eq!(big.sample(0, &mut c), big.sample(0, &mut d));
+    }
+
+    #[test]
+    fn zipf_concentrates_and_uniform_does_not() {
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        let zipf = Popularity::zipf(11, 100, 1.1);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..20_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        let mut sorted = counts.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let top10: usize = sorted[..10].iter().sum();
+        assert!(top10 > 10_000, "zipf(1.1): top 10 pages should draw >50%, got {top10}");
+
+        let uniform = Popularity::uniform(100);
+        let mut ucounts = vec![0usize; 100];
+        for _ in 0..20_000 {
+            ucounts[uniform.sample(&mut rng)] += 1;
+        }
+        let mut usorted = ucounts.clone();
+        usorted.sort_unstable_by(|a, b| b.cmp(a));
+        let utop10: usize = usorted[..10].iter().sum();
+        assert!(utop10 < 5_000, "uniform: top 10 pages should draw ~10%, got {utop10}");
+    }
+
+    #[test]
+    fn popularity_permutation_depends_on_seed() {
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        let a = Popularity::zipf(1, 50, 1.0);
+        let b = Popularity::zipf(2, 50, 1.0);
+        let draw = |p: &Popularity, rng: &mut Xoshiro256| -> Vec<usize> {
+            (0..64).map(|_| p.sample(rng)).collect()
+        };
+        let xs = draw(&a, &mut rng);
+        let mut rng2 = Xoshiro256::seed_from_u64(1);
+        let ys = draw(&b, &mut rng2);
+        assert_ne!(xs, ys, "different popularity seeds must permute ranks differently");
+    }
+}

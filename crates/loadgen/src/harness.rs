@@ -1,0 +1,137 @@
+//! One measured load cell: an arrival process × a fault storm ×
+//! a cluster configuration, reduced to the numbers the E-LOAD
+//! experiment tabulates.
+
+use faultsim::FaultStorm;
+use partask::TaskRuntime;
+use websim::cluster::{Cluster, ClusterConfig, ClusterReport, OutageScript};
+
+use crate::arrival::ArrivalProcess;
+use crate::traffic::{TrafficConfig, TrafficTrace};
+
+/// Configuration of one load cell.
+#[derive(Clone, Debug)]
+pub struct LoadCellConfig {
+    /// Traffic generation knobs (ticks, pages, popularity, seed).
+    pub traffic: TrafficConfig,
+    /// The tier under test.
+    pub cluster: ClusterConfig,
+    /// Optional scripted mid-storm replica kill/restart.
+    pub outage: Option<OutageScript>,
+}
+
+impl Default for LoadCellConfig {
+    fn default() -> Self {
+        let cluster = ClusterConfig::default();
+        Self {
+            traffic: TrafficConfig { pages: cluster.server.pages, ..TrafficConfig::default() },
+            cluster,
+            outage: None,
+        }
+    }
+}
+
+/// The measured outcome of one load cell, ready for tables and JSON.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LoadCell {
+    /// Arrival-process name (table row key).
+    pub process: &'static str,
+    /// Storm shape name (table column key).
+    pub storm: &'static str,
+    /// Offered load in requests per simulated second.
+    pub offered_rps: f64,
+    /// Goodput in acknowledged requests per simulated second.
+    pub acked_rps: f64,
+    /// Median acknowledged latency (modelled ms).
+    pub p50_ms: f64,
+    /// 99th percentile acknowledged latency (modelled ms).
+    pub p99_ms: f64,
+    /// 99.9th percentile acknowledged latency (modelled ms).
+    pub p999_ms: f64,
+    /// The full conservation-checked cluster report.
+    pub report: ClusterReport,
+}
+
+impl LoadCell {
+    /// Whether the cell's tail stayed inside `budget_ms` at p99.
+    #[must_use]
+    pub fn within_p99_budget(&self, budget_ms: f64) -> bool {
+        self.p99_ms <= budget_ms
+    }
+}
+
+/// Generate the trace for `process`, drive `cluster_cfg` through
+/// `storm` (with the optional outage), and fold the report into a
+/// [`LoadCell`]. Deterministic end to end: the cell is a pure
+/// function of the seeds in `cfg` and the storm.
+#[must_use]
+pub fn run_load_cell(
+    rt: &TaskRuntime,
+    process: &ArrivalProcess,
+    storm: &FaultStorm,
+    cfg: &LoadCellConfig,
+) -> LoadCell {
+    assert_eq!(
+        cfg.traffic.pages, cfg.cluster.server.pages,
+        "traffic catalogue must match the cluster's page count"
+    );
+    let trace = TrafficTrace::generate(process, &cfg.traffic);
+    let mut cluster = Cluster::new(cfg.cluster.clone());
+    let report = cluster.run_storm(rt, &trace.ticks, storm, cfg.outage);
+    LoadCell {
+        process: process.name(),
+        storm: storm.name,
+        offered_rps: report.offered_rps(),
+        acked_rps: report.acked_rps(),
+        p50_ms: report.latency.p50(),
+        p99_ms: report.latency.p99(),
+        p999_ms: report.latency.p999(),
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use websim::server::ServerConfig;
+
+    fn quick_cell_cfg(seed: u64) -> LoadCellConfig {
+        let cluster = ClusterConfig {
+            server: ServerConfig { pages: 60, time_scale: 1e-7, ..ServerConfig::default() },
+            seed,
+            ..ClusterConfig::default()
+        };
+        LoadCellConfig {
+            traffic: TrafficConfig { seed, ticks: 18, pages: 60, zipf_s: 0.9 },
+            cluster,
+            outage: None,
+        }
+    }
+
+    #[test]
+    fn load_cell_is_deterministic_and_conserved() {
+        let storm = FaultStorm::burst(0x10AD);
+        let process = ArrivalProcess::PoissonSteady { rate: 14.0 };
+        let rt = TaskRuntime::builder().workers(4).build();
+        let a = run_load_cell(&rt, &process, &storm, &quick_cell_cfg(0xE));
+        let b = run_load_cell(&rt, &process, &storm, &quick_cell_cfg(0xE));
+        rt.shutdown();
+        assert_eq!(a, b, "same seeds must reproduce the whole cell");
+        assert_eq!(a.report.violations(), Vec::<String>::new());
+        assert!(a.offered_rps > 0.0);
+        assert!(a.acked_rps > 0.0);
+        assert!(a.p99_ms >= a.p50_ms);
+    }
+
+    #[test]
+    fn all_three_processes_drive_the_tier() {
+        let storm = FaultStorm::brownout(0xD1A);
+        let rt = TaskRuntime::builder().workers(4).build();
+        for process in ArrivalProcess::all(12.0, 18) {
+            let cell = run_load_cell(&rt, &process, &storm, &quick_cell_cfg(0x5EED));
+            assert_eq!(cell.report.violations(), Vec::<String>::new(), "{}", cell.process);
+            assert!(cell.report.issued > 0, "{} generated no traffic", cell.process);
+        }
+        rt.shutdown();
+    }
+}

@@ -1,0 +1,40 @@
+//! # parc-loadgen — seeded traffic for the sharded web tier
+//!
+//! The course's web-access project asks "how many connections should a
+//! client open?"; the production question one level up is "how much
+//! traffic can the *tier* absorb before its tail latency blows the
+//! budget?". Answering that needs a load generator whose traffic is as
+//! reproducible as the tier it drives — otherwise a regression in the
+//! balancer is indistinguishable from a lucky arrival sequence.
+//!
+//! Everything here is seeded and deterministic:
+//!
+//! * [`arrival`] — arrival processes ([`ArrivalProcess::PoissonSteady`]
+//!   open-loop Poisson traffic, [`ArrivalProcess::Diurnal`] day/night
+//!   waves, [`ArrivalProcess::FlashCrowd`] a step surge with
+//!   exponential decay) sampled tick by tick with a seeded RNG, plus a
+//!   Zipf page-popularity model so hot pages concentrate on their
+//!   owner replicas the way real traffic does.
+//! * [`traffic`] — materialises a whole run up front as a
+//!   [`traffic::TrafficTrace`] (one `Vec<page>` per tick), and a
+//!   [`traffic::ClosedLoop`] variant where a finite user population
+//!   waits for answers before re-issuing — the regime where
+//!   backpressure visibly flattens offered load.
+//! * [`harness`] — [`harness::run_load_cell`] glues a trace, a
+//!   [`faultsim::FaultStorm`] and a [`websim::cluster::Cluster`] into
+//!   one measured cell: sustained requests/s, goodput, and latency
+//!   quantiles from the conservation-checked
+//!   [`websim::cluster::ClusterReport`].
+//!
+//! Same seeds → bit-identical traces → bit-identical reports, across
+//! reruns and worker-pool sizes. The E-LOAD experiment
+//! (`examples/load_storm.rs`) and CI's `load` job gate on exactly
+//! that.
+
+pub mod arrival;
+pub mod harness;
+pub mod traffic;
+
+pub use arrival::{ArrivalProcess, Popularity};
+pub use harness::{run_load_cell, LoadCell, LoadCellConfig};
+pub use traffic::{ClosedLoop, ClosedLoopConfig, TrafficConfig, TrafficTrace};

@@ -380,8 +380,11 @@ fn deadline_watch_loop(weak: &Weak<RtInner>) {
         }
         drop(st);
         for entry in due {
-            entry.token.cancel();
+            // Count before cancelling: the cancel flag's release store is what
+            // publishes this increment to a task body that observes cancellation,
+            // finishes, and lets a joiner read the stats.
             inner.timed_out.inc();
+            entry.token.cancel();
             inner.trace.mark(
                 inner.pid,
                 MarkKind::TaskOutcome { task: entry.task, outcome: Outcome::TimedOut },

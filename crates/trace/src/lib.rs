@@ -70,5 +70,5 @@ pub use event::{
     SpanKind,
 };
 pub use json::{escape as json_escape, parse as parse_json, Json, JsonError};
-pub use metrics::{Counter, Gauge, MetricHistogram, MetricsRegistry};
+pub use metrics::{Counter, Gauge, LatencyHistogram, MetricHistogram, MetricsRegistry};
 pub use timeline::{render_event_counts, render_timeline};

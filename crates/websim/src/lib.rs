@@ -28,14 +28,23 @@
 //! soaks: admission control, deadline-aware load shedding, per-
 //! connection circuit breakers, and stale-cache serving with
 //! quantified coverage/staleness.
+//!
+//! [`cluster`] scales the story from one server to a sharded tier:
+//! a consistent-hash load balancer over N replicas with R-way
+//! replication, health-check ejection, hedged requests, bounded
+//! per-replica queues propagating [`server::ShedReason`] backpressure
+//! to the client, and supervised replica kill/restart that loses zero
+//! acknowledged pages.
 
+pub mod cluster;
 pub mod fetcher;
 pub mod resilient;
 pub mod server;
 
+pub use cluster::{Cluster, ClusterConfig, ClusterReport, HashRing, OutageScript};
 pub use fetcher::{
     fetch_all, predict_fetch_sim_ms, sweep_connections, try_fetch_all, FetchOutcome, FetchReport,
     PageOutcome, SweepPoint,
 };
 pub use resilient::{ResilientConfig, ResilientCrawler, ResilientPage, ResilientReport};
-pub use server::{PageMeta, RequestError, ServerConfig, SimServer};
+pub use server::{PageMeta, RequestError, ServerConfig, ShedReason, SimServer};

@@ -346,9 +346,9 @@ fn fetch_degradable(
     //    so the shed set is identical on every rerun.
     let predicted_ms = server.model_duration_ms(page, connections) * latency_factor;
     if predicted_ms > shed_budget_ms {
-        // The canonical verdict for this path is
-        // `RequestError::Shed { page, attempt: 1 }`; the report encodes
-        // it as the `shed` flag.
+        // The canonical verdict for this path is `RequestError::Shed`
+        // with `ShedReason::Deadline`; the report encodes it as the
+        // `shed` flag.
         return degrade(cache, page, epoch, 0, true, false);
     }
     // 2. Breaker: while this connection's dependency view is open,
@@ -534,8 +534,10 @@ mod tests {
 
     #[test]
     fn shed_error_renders_its_own_message() {
-        let err = RequestError::Shed { page: 7, attempt: 1 };
+        use crate::server::ShedReason;
+        let err = RequestError::Shed { page: 7, attempt: 1, reason: ShedReason::Deadline };
         assert_eq!(err.page(), 7);
         assert!(err.to_string().contains("shed by admission control"));
+        assert!(err.to_string().contains("deadline"));
     }
 }

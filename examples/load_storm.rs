@@ -1,0 +1,286 @@
+//! Experiment E-LOAD: seeded traffic storms against the sharded web
+//! tier.
+//!
+//! Runs the load matrix — every arrival process (steady Poisson,
+//! diurnal wave, flash crowd) × every storm shape (burst, brownout,
+//! flapping) — against a 4-replica, R=2 cluster behind the
+//! consistent-hash balancer. Every cell also scripts a mid-storm
+//! replica kill with a supervised restart, so each row doubles as a
+//! failover drill: the conservation check proves zero acknowledged
+//! pages were lost to the kill.
+//!
+//! Gates (any failure exits non-zero, which the CI `load` job relies
+//! on):
+//! * every cell's conservation identities hold — requests balance
+//!   across acked/shed/failed, every hedge is deduplicated and
+//!   accounted exactly once, one latency sample per ack, zero
+//!   acknowledged pages lost, and the supervision tree restarted the
+//!   killed replica without escalating;
+//! * determinism — one cell per arrival process reruns with the same
+//!   seed on a *different worker-pool size* and must reproduce the
+//!   first run's report bit-for-bit (fingerprint and `==`).
+//!
+//! Artifacts: first argument (default `BENCH_load.json`) — sustained
+//! req/s and latency quantiles against the fixed p99 budget, per
+//! cell; every field except `elapsed_ms` is bit-identical across
+//! same-seed runs and pool sizes. Second argument: the seed (default
+//! `0x10AD_GEN` spelled as `0x10AD6E4`).
+//!
+//! Run with: `cargo run --release --example load_storm`
+
+use std::time::Instant;
+
+use faultsim::FaultStorm;
+use parc_loadgen::{run_load_cell, ArrivalProcess, LoadCell, LoadCellConfig, TrafficConfig};
+use parc_util::Table;
+use partask::TaskRuntime;
+use websim::cluster::{ClusterConfig, OutageScript};
+use websim::server::ServerConfig;
+
+/// The fixed tail budget every cell is judged against (model ms).
+const P99_BUDGET_MS: f64 = 250.0;
+const TICKS: usize = 36;
+const RATE_PER_TICK: f64 = 14.0;
+
+/// FNV-1a over the report fingerprint: a compact determinism witness.
+fn fingerprint_hash(cell: &LoadCell) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in cell.report.fingerprint().bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn cell_config(seed: u64) -> LoadCellConfig {
+    let cluster = ClusterConfig {
+        replicas: 4,
+        replication: 2,
+        seed,
+        server: ServerConfig { pages: 120, time_scale: 5e-7, ..ServerConfig::default() },
+        ..ClusterConfig::default()
+    };
+    LoadCellConfig {
+        traffic: TrafficConfig { seed, ticks: TICKS, pages: 120, zipf_s: 0.9 },
+        cluster,
+        // Kill replica 1 a third of the way in, supervised restart
+        // two thirds in — every cell is also a failover drill.
+        outage: Some(OutageScript { replica: 1, kill_tick: TICKS / 3, restart_tick: 2 * TICKS / 3 }),
+    }
+}
+
+fn main() {
+    faultsim::silence_injected_panics();
+    let mut args = std::env::args().skip(1);
+    let bench_path = args.next().unwrap_or_else(|| "BENCH_load.json".to_string());
+    let seed = args
+        .next()
+        .map(|s| {
+            let trimmed = s.trim_start_matches("0x");
+            u64::from_str_radix(trimmed, 16)
+                .or_else(|_| s.parse::<u64>())
+                .expect("seed must be hex or decimal")
+        })
+        .unwrap_or(0x10AD_6E4);
+    let workers = 4usize;
+
+    println!("== E-LOAD: traffic storms against the sharded web tier ==\n");
+    println!(
+        "seed {seed:#x}, {workers} workers, 4 replicas R=2, p99 budget {P99_BUDGET_MS} ms, \
+         mid-storm kill of replica 1 in every cell\n"
+    );
+
+    let started = Instant::now();
+    let rt = TaskRuntime::builder().workers(workers).build();
+    let processes = ArrivalProcess::all(RATE_PER_TICK, TICKS);
+    let cfg = cell_config(seed);
+
+    let mut cells: Vec<LoadCell> = Vec::new();
+    for process in &processes {
+        for storm in FaultStorm::all(seed) {
+            cells.push(run_load_cell(&rt, process, &storm, &cfg));
+        }
+    }
+
+    let mut table = Table::new(
+        "load matrix (arrival process × storm): sustained req/s at the p99 budget",
+        &[
+            "process", "storm", "offered", "acked", "goodput%", "p50", "p99", "p99.9", "shed",
+            "hedge", "lost", "budget", "invariants",
+        ],
+    );
+    let mut violation_count = 0usize;
+    for cell in &cells {
+        let violations = cell.report.violations();
+        violation_count += violations.len();
+        for v in &violations {
+            eprintln!("INVARIANT VIOLATION [{} {}]: {v}", cell.process, cell.storm);
+        }
+        let goodput = if cell.offered_rps > 0.0 { cell.acked_rps / cell.offered_rps * 100.0 } else { 0.0 };
+        table.row(&[
+            cell.process.to_string(),
+            cell.storm.to_string(),
+            format!("{:.1}/s", cell.offered_rps),
+            format!("{:.1}/s", cell.acked_rps),
+            format!("{goodput:.1}"),
+            format!("{:.0}ms", cell.p50_ms),
+            format!("{:.0}ms", cell.p99_ms),
+            format!("{:.0}ms", cell.p999_ms),
+            cell.report.shed_total().to_string(),
+            format!("{}/{}", cell.report.served_hedge, cell.report.hedges_fired),
+            cell.report.lost_acked.to_string(),
+            if cell.within_p99_budget(P99_BUDGET_MS) { "ok".to_string() } else { "OVER".to_string() },
+            if violations.is_empty() { "ok".to_string() } else { format!("{} BAD", violations.len()) },
+        ]);
+    }
+    println!("{}", table.render());
+
+    // Narrative: the canonical event log of the first cell — phase
+    // transitions, the kill, ejections, the supervised restart.
+    let sample = &cells[0];
+    println!("cluster event log [{} {}]:", sample.process, sample.storm);
+    for event in &sample.report.events {
+        println!("  {event}");
+    }
+
+    // Determinism self-check: one cell per arrival process reruns on
+    // a different pool size; reports must match bit-for-bit.
+    let mut determinism_failures = 0usize;
+    let rerun_rt = TaskRuntime::builder().workers(workers / 2).build();
+    for (i, process) in processes.iter().enumerate() {
+        let original = &cells[i * FaultStorm::all(seed).len()];
+        let storm = FaultStorm::all(seed)
+            .into_iter()
+            .find(|s| s.name == original.storm)
+            .expect("storm by name");
+        let rerun = run_load_cell(&rerun_rt, process, &storm, &cfg);
+        if rerun == *original {
+            println!(
+                "determinism: [{} {}] reran on {} workers — report identical",
+                original.process,
+                original.storm,
+                workers / 2
+            );
+        } else {
+            determinism_failures += 1;
+            eprintln!(
+                "DETERMINISM FAILURE: [{} {}] report diverged on rerun:\n--- first\n{}\n--- rerun\n{}",
+                original.process,
+                original.storm,
+                original.report.fingerprint(),
+                rerun.report.fingerprint()
+            );
+        }
+    }
+    rerun_rt.shutdown();
+    rt.shutdown();
+
+    let elapsed = started.elapsed();
+
+    let mut cell_json = String::new();
+    for (i, cell) in cells.iter().enumerate() {
+        cell_json.push_str(&format!(
+            concat!(
+                "    {{\n",
+                "      \"process\": \"{}\",\n",
+                "      \"storm\": \"{}\",\n",
+                "      \"offered_rps\": {:.6},\n",
+                "      \"acked_rps\": {:.6},\n",
+                "      \"p50_ms\": {:.6},\n",
+                "      \"p99_ms\": {:.6},\n",
+                "      \"p999_ms\": {:.6},\n",
+                "      \"within_p99_budget\": {},\n",
+                "      \"issued\": {},\n",
+                "      \"acked\": {},\n",
+                "      \"served_primary\": {},\n",
+                "      \"served_hedge\": {},\n",
+                "      \"served_failover\": {},\n",
+                "      \"shed\": {},\n",
+                "      \"failed\": {},\n",
+                "      \"hedges_fired\": {},\n",
+                "      \"hedge_redundant\": {},\n",
+                "      \"ejections\": {},\n",
+                "      \"kills\": {},\n",
+                "      \"supervised_restarts\": {},\n",
+                "      \"acked_pages\": {},\n",
+                "      \"reserved_from_replica\": {},\n",
+                "      \"lost_acked\": {},\n",
+                "      \"invariants_ok\": {},\n",
+                "      \"fingerprint_hash\": \"{:#018x}\"\n",
+                "    }}{}\n"
+            ),
+            cell.process,
+            cell.storm,
+            cell.offered_rps,
+            cell.acked_rps,
+            cell.p50_ms,
+            cell.p99_ms,
+            cell.p999_ms,
+            cell.within_p99_budget(P99_BUDGET_MS),
+            cell.report.issued,
+            cell.report.acked,
+            cell.report.served_primary,
+            cell.report.served_hedge,
+            cell.report.served_failover,
+            cell.report.shed_total(),
+            cell.report.failed,
+            cell.report.hedges_fired,
+            cell.report.hedge_redundant,
+            cell.report.ejections,
+            cell.report.kills,
+            cell.report.supervision_restarts,
+            cell.report.acked_pages,
+            cell.report.reserved_from_replica,
+            cell.report.lost_acked,
+            cell.report.violations().is_empty(),
+            fingerprint_hash(cell),
+            if i + 1 == cells.len() { "" } else { "," },
+        ));
+    }
+    let bench = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"load\",\n",
+            "  \"seed\": \"{:#x}\",\n",
+            "  \"workers\": {},\n",
+            "  \"replicas\": 4,\n",
+            "  \"replication\": 2,\n",
+            "  \"ticks\": {},\n",
+            "  \"p99_budget_ms\": {:.1},\n",
+            "  \"processes\": {},\n",
+            "  \"storms\": {},\n",
+            "  \"cells\": [\n",
+            "{}",
+            "  ],\n",
+            "  \"violations\": {},\n",
+            "  \"determinism_failures\": {},\n",
+            "  \"elapsed_ms\": {:.3}\n",
+            "}}\n"
+        ),
+        seed,
+        workers,
+        TICKS,
+        P99_BUDGET_MS,
+        processes.len(),
+        FaultStorm::all(seed).len(),
+        cell_json,
+        violation_count,
+        determinism_failures,
+        elapsed.as_secs_f64() * 1e3,
+    );
+    std::fs::write(&bench_path, bench).expect("write BENCH_load.json");
+    println!("benchmark record -> {bench_path}");
+
+    if violation_count > 0 || determinism_failures > 0 {
+        eprintln!(
+            "\n{violation_count} invariant violation(s), {determinism_failures} determinism failure(s)"
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "\nall {} cells sound: every request accounted, zero acked pages lost to the kill, \
+         reports reproducible across pool sizes ({:.1} ms)",
+        cells.len(),
+        elapsed.as_secs_f64() * 1e3
+    );
+}
