@@ -40,6 +40,7 @@ mod ctl;
 pub mod litmus;
 pub mod op;
 mod race;
+pub mod replay;
 pub mod sync;
 
 use std::collections::{BTreeMap, BTreeSet};

@@ -1,0 +1,465 @@
+//! Schedule recording and deterministic replay.
+//!
+//! The explorer ([`crate::explore`]) *searches* interleavings; this
+//! module pins one down. A [`Recording`] captures a complete schedule
+//! (which thread was granted each step, and what it did) in a form
+//! that can be re-executed bit-for-bit: the controlled scheduler is
+//! virtual-time, so the same choice sequence over the same body
+//! produces the same events, observations and outcome on every run.
+//!
+//! Three entry points produce recordings:
+//!
+//! * [`record_first`] — the canonical schedule: every step grants the
+//!   lowest-id enabled thread. Deterministic without a seed.
+//! * [`record_seeded`] — a seeded random walk over the enabled sets
+//!   (`faultsim` convention: same seed ⇒ identical recording).
+//! * [`replay`] / [`replay_prefix`] — re-execute a recorded schedule,
+//!   in full or stopping after `n` steps. A prefix replay reports the
+//!   *frontier*: the set of enabled operations at the stop point,
+//!   i.e. the scheduling decisions that were available right then.
+//!   This is the primitive `parc-inspect` builds its time-travel
+//!   cursor and schedule diffing on.
+//!
+//! Replays tolerate divergence: if the recorded thread id is not
+//! enabled at some step (the body changed, or the schedule came from
+//! a different program), the replay stops there and reports
+//! [`Recording::diverged_at`] instead of panicking.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parc_util::rng::{SplitMix64, Xoshiro256};
+use parc_util::table::Table;
+
+use crate::ctl;
+use crate::op::Op;
+
+/// One granted step of a recorded execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Step {
+    /// The simulated thread the step was granted to.
+    pub tid: usize,
+    /// Human description of the operation, e.g. `lock(m)` or
+    /// `count.store(Relaxed)`.
+    pub what: String,
+}
+
+/// A recorded (or replayed) execution of a shim-instrumented body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Recording {
+    /// Name used in reports.
+    pub name: String,
+    /// The chosen thread id per step — enough to re-execute the run.
+    pub schedule: Vec<usize>,
+    /// The granted operations, resolved to human descriptions,
+    /// parallel to `schedule`.
+    pub steps: Vec<Step>,
+    /// All simulated threads ran to completion.
+    pub completed: bool,
+    /// Blocked-thread description when the run deadlocked.
+    pub deadlock: Option<String>,
+    /// A simulated thread's real panic message, if any.
+    pub panic: Option<String>,
+    /// The per-execution step bound was hit.
+    pub truncated: bool,
+    /// Replays only: the first step index at which the requested
+    /// schedule's thread was not enabled. `None` for recordings and
+    /// for replays that followed their schedule to the end.
+    pub diverged_at: Option<usize>,
+    /// Prefix replays (and diverged replays): the enabled operations
+    /// at the stop point — the scheduling choices available there.
+    /// Empty for complete runs.
+    pub frontier: Vec<Step>,
+    /// Values recorded via [`crate::record`] during the run.
+    pub observations: BTreeMap<String, i64>,
+}
+
+impl Recording {
+    /// Number of granted steps.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.schedule.len()
+    }
+
+    /// True when no step was granted.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.schedule.is_empty()
+    }
+
+    /// Deterministic digest of the execution: schedule, per-step
+    /// operation descriptions, outcome flags and observations. Two
+    /// runs of the same body under the same choices hash identically.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = 0x0BE7_u64;
+        for (tid, step) in self.schedule.iter().zip(&self.steps) {
+            h = SplitMix64::mix(h ^ (*tid as u64 + 1));
+            for b in step.what.bytes() {
+                h = SplitMix64::mix(h ^ u64::from(b));
+            }
+        }
+        h = SplitMix64::mix(h ^ u64::from(self.completed));
+        h = SplitMix64::mix(h ^ u64::from(self.deadlock.is_some()) << 1);
+        for (key, value) in &self.observations {
+            for b in key.bytes() {
+                h = SplitMix64::mix(h ^ u64::from(b));
+            }
+            h = SplitMix64::mix(h ^ (*value as u64));
+        }
+        h
+    }
+
+    /// One-word outcome for tables.
+    #[must_use]
+    pub fn verdict(&self) -> &'static str {
+        if self.panic.is_some() {
+            "panicked"
+        } else if self.deadlock.is_some() {
+            "deadlocked"
+        } else if self.diverged_at.is_some() {
+            "diverged"
+        } else if self.truncated {
+            "truncated"
+        } else if self.completed {
+            "completed"
+        } else {
+            "stopped"
+        }
+    }
+
+    /// Render the schedule as a one-column-per-thread step table, the
+    /// same layout [`crate::RaceReport::render`] uses, plus outcome
+    /// and frontier footers.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let n_threads = self.schedule.iter().map(|t| t + 1).max().unwrap_or(1);
+        let mut header: Vec<String> = vec!["step".to_string()];
+        header.extend((0..n_threads).map(|t| format!("T{t}")));
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        let mut table = Table::new(
+            &format!("recording `{}` ({})", self.name, self.verdict()),
+            &header_refs,
+        );
+        for (step, s) in self.steps.iter().enumerate() {
+            let mut row: Vec<String> = vec![step.to_string()];
+            for t in 0..n_threads {
+                row.push(if t == s.tid { s.what.clone() } else { "·".to_string() });
+            }
+            table.row(&row);
+        }
+        let mut out = table.render();
+        if let Some(d) = &self.deadlock {
+            out.push_str(&format!("deadlock: {d}\n"));
+        }
+        if let Some(at) = self.diverged_at {
+            out.push_str(&format!("diverged at step {at}\n"));
+        }
+        if !self.frontier.is_empty() {
+            let choices: Vec<String> = self
+                .frontier
+                .iter()
+                .map(|s| format!("T{}:{}", s.tid, s.what))
+                .collect();
+            out.push_str(&format!("frontier: {}\n", choices.join("  ")));
+        }
+        for (key, value) in &self.observations {
+            out.push_str(&format!("observed {key} = {value}\n"));
+        }
+        out
+    }
+}
+
+/// Resolve an outcome (plus replay-only extras) into a [`Recording`].
+fn from_outcome(
+    name: &str,
+    outcome: ctl::ExecOutcome,
+    diverged_at: Option<usize>,
+    frontier_raw: Vec<(usize, Op)>,
+) -> Recording {
+    let describe = |op: &Op| {
+        let loc_name = op.loc.map(|l| outcome.loc_names[l].as_str()).unwrap_or("");
+        op.describe(loc_name)
+    };
+    let steps = outcome
+        .events
+        .iter()
+        .map(|ev| Step { tid: ev.tid, what: describe(&ev.op) })
+        .collect();
+    let frontier = frontier_raw
+        .iter()
+        .map(|(tid, op)| Step { tid: *tid, what: describe(op) })
+        .collect();
+    Recording {
+        name: name.to_string(),
+        schedule: outcome.schedule,
+        steps,
+        completed: outcome.completed,
+        deadlock: outcome.deadlock,
+        panic: outcome.panic,
+        truncated: outcome.truncated,
+        diverged_at,
+        frontier,
+        observations: outcome.observations,
+    }
+}
+
+/// Record the canonical schedule of `body`: every step grants the
+/// lowest-id enabled thread. Fully deterministic — two calls with the
+/// same body produce bit-identical recordings.
+pub fn record_first<F>(name: &str, max_steps: usize, body: F) -> Recording
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let body: Arc<dyn Fn() + Send + Sync> = Arc::new(body);
+    let outcome = ctl::run_one(body, max_steps, |_, enabled| Some(enabled[0].0));
+    from_outcome(name, outcome, None, Vec::new())
+}
+
+/// Record a seeded random walk over `body`'s enabled sets: at every
+/// step one enabled thread is drawn uniformly from a [`Xoshiro256`]
+/// stream. Same seed ⇒ bit-identical recording; different seeds
+/// explore different interleavings of the same program.
+pub fn record_seeded<F>(name: &str, seed: u64, max_steps: usize, body: F) -> Recording
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let body: Arc<dyn Fn() + Send + Sync> = Arc::new(body);
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let outcome = ctl::run_one(body, max_steps, move |_, enabled| {
+        let pick = rng.next_below(enabled.len() as u64) as usize;
+        Some(enabled[pick].0)
+    });
+    from_outcome(name, outcome, None, Vec::new())
+}
+
+/// Re-execute `schedule` over `body` to its end. Equivalent to
+/// `replay_prefix(name, body, schedule, schedule.len())`.
+pub fn replay<F>(name: &str, body: F, schedule: &[usize]) -> Recording
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    replay_prefix(name, body, schedule, schedule.len())
+}
+
+/// Re-execute the first `prefix` steps of `schedule` over `body`,
+/// then stop and capture the frontier (the enabled operations at the
+/// stop point). If at some step the scheduled thread is not enabled,
+/// the replay stops *there* instead, with
+/// [`Recording::diverged_at`] set and the frontier describing what
+/// was actually runnable.
+pub fn replay_prefix<F>(name: &str, body: F, schedule: &[usize], prefix: usize) -> Recording
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let body: Arc<dyn Fn() + Send + Sync> = Arc::new(body);
+    let want: Vec<usize> = schedule.iter().copied().take(prefix).collect();
+    let mut frontier_raw: Vec<(usize, Op)> = Vec::new();
+    let mut diverged_at: Option<usize> = None;
+    let outcome = {
+        let frontier_raw = &mut frontier_raw;
+        let diverged_at = &mut diverged_at;
+        // The step bound is the schedule length: the chooser stops the
+        // run itself, so the bound only needs to be unreachable.
+        ctl::run_one(Arc::clone(&body), want.len() + 1, move |step, enabled| {
+            let target = want.get(step).copied();
+            match target {
+                Some(tid) if enabled.iter().any(|(t, _)| *t == tid) => Some(tid),
+                found => {
+                    // End of the requested prefix, or the scheduled
+                    // thread is not enabled here: stop and remember
+                    // what *was* runnable.
+                    *frontier_raw = enabled.to_vec();
+                    if found.is_some() {
+                        *diverged_at = Some(step);
+                    }
+                    None
+                }
+            }
+        })
+    };
+    from_outcome(name, outcome, diverged_at, frontier_raw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sync::{Barrier, Mutex, PlainCell};
+    use crate::{record, thread};
+
+    /// Two racy plain increments — the smallest body with real
+    /// schedule-dependent outcomes (final ∈ {1, 2}).
+    fn two_plain_increments() -> impl Fn() + Send + Sync + 'static {
+        || {
+            let cell = Arc::new(PlainCell::new("count", 0i64));
+            let mut handles = Vec::new();
+            for _ in 0..2 {
+                let cell = Arc::clone(&cell);
+                handles.push(thread::spawn(move || {
+                    let v = cell.get();
+                    cell.set(v + 1);
+                }));
+            }
+            for h in handles {
+                h.join();
+            }
+            record("final", cell.get());
+        }
+    }
+
+    #[test]
+    fn record_first_is_deterministic_and_complete() {
+        let a = record_first("first", 1000, two_plain_increments());
+        let b = record_first("first", 1000, two_plain_increments());
+        assert!(a.completed, "canonical schedule must finish: {}", a.verdict());
+        assert_eq!(a.schedule, b.schedule);
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let fin = a.observations["final"];
+        assert!(fin == 1 || fin == 2, "final must be a witnessed outcome: {fin}");
+        assert!(a.diverged_at.is_none());
+        assert!(a.frontier.is_empty());
+        assert!(a.render().contains("completed"));
+    }
+
+    #[test]
+    fn record_seeded_same_seed_identical_different_seed_diverges() {
+        let a = record_seeded("walk", 7, 1000, two_plain_increments());
+        let b = record_seeded("walk", 7, 1000, two_plain_increments());
+        assert!(a.completed);
+        assert_eq!(a, b, "same seed must reproduce bit-identically");
+        // Some nearby seed must pick a different interleaving of this
+        // racy body (the space has > 1 Mazurkiewicz trace).
+        let different = (8..64)
+            .map(|s| record_seeded("walk", s, 1000, two_plain_increments()))
+            .any(|c| c.schedule != a.schedule);
+        assert!(different, "no seed in 8..64 diverged from seed 7");
+    }
+
+    #[test]
+    fn replay_reproduces_a_recording_exactly() {
+        let rec = record_seeded("orig", 42, 1000, two_plain_increments());
+        let rep = replay("orig", two_plain_increments(), &rec.schedule);
+        assert!(rep.completed);
+        assert!(rep.diverged_at.is_none());
+        assert_eq!(rep.schedule, rec.schedule);
+        assert_eq!(rep.steps, rec.steps);
+        assert_eq!(rep.observations, rec.observations);
+        assert_eq!(rep.fingerprint(), rec.fingerprint());
+    }
+
+    #[test]
+    fn replay_prefix_stops_early_and_reports_the_frontier() {
+        let rec = record_first("orig", 1000, two_plain_increments());
+        assert!(rec.len() > 4);
+        let half = rec.len() / 2;
+        let partial = replay_prefix("half", two_plain_increments(), &rec.schedule, half);
+        assert_eq!(partial.len(), half);
+        assert_eq!(partial.schedule, rec.schedule[..half]);
+        assert_eq!(partial.steps, rec.steps[..half]);
+        assert!(!partial.completed);
+        assert!(partial.diverged_at.is_none(), "a true prefix never diverges");
+        assert!(
+            !partial.frontier.is_empty(),
+            "mid-run there must be at least one enabled op"
+        );
+        assert_eq!(partial.verdict(), "stopped");
+        assert!(partial.render().contains("frontier:"));
+    }
+
+    #[test]
+    fn replay_of_a_foreign_schedule_reports_divergence() {
+        let rec = record_first("orig", 1000, two_plain_increments());
+        // Corrupt one decision to a thread id that can never be
+        // enabled there.
+        let mut schedule = rec.schedule.clone();
+        let at = schedule.len() / 2;
+        schedule[at] = 99;
+        let rep = replay("corrupt", two_plain_increments(), &schedule);
+        assert_eq!(rep.diverged_at, Some(at));
+        assert_eq!(rep.len(), at, "steps before the divergence replay fine");
+        assert!(!rep.frontier.is_empty(), "divergence must describe the frontier");
+        assert_eq!(rep.verdict(), "diverged");
+        assert!(rep.render().contains(&format!("diverged at step {at}")));
+    }
+
+    #[test]
+    fn replay_pins_schedule_dependent_observations() {
+        // Find two seeds whose walks observe different finals, then
+        // check each replay reproduces *its* recording's observation.
+        let recs: Vec<Recording> = (0..64)
+            .map(|s| record_seeded("walk", s, 1000, two_plain_increments()))
+            .collect();
+        let lost = recs.iter().find(|r| r.observations.get("final") == Some(&1));
+        let clean = recs.iter().find(|r| r.observations.get("final") == Some(&2));
+        let (lost, clean) = (
+            lost.expect("some seed must witness the lost update"),
+            clean.expect("some seed must witness the correct outcome"),
+        );
+        let rl = replay("lost", two_plain_increments(), &lost.schedule);
+        let rc = replay("clean", two_plain_increments(), &clean.schedule);
+        assert_eq!(rl.observations["final"], 1);
+        assert_eq!(rc.observations["final"], 2);
+    }
+
+    #[test]
+    fn deadlock_is_recorded_not_hung() {
+        let body = || {
+            let a = Arc::new(Mutex::new("a", ()));
+            let b = Arc::new(Mutex::new("b", ()));
+            let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+            let t1 = thread::spawn(move || {
+                let ga = a2.lock();
+                let gb = b2.lock();
+                drop(gb);
+                drop(ga);
+            });
+            let (a3, b3) = (Arc::clone(&a), Arc::clone(&b));
+            let t2 = thread::spawn(move || {
+                let gb = b3.lock();
+                let ga = a3.lock();
+                drop(ga);
+                drop(gb);
+            });
+            t1.join();
+            t2.join();
+        };
+        // Hunt for a seed whose walk interleaves the two lock orders.
+        let deadlocked = (0..256)
+            .map(|s| record_seeded("ab-ba", s, 1000, body))
+            .find(|r| r.deadlock.is_some());
+        let rec = deadlocked.expect("some random walk must hit the AB-BA deadlock");
+        assert!(!rec.completed);
+        assert_eq!(rec.verdict(), "deadlocked");
+        // And the deadlock replays deterministically.
+        let rep = replay("ab-ba", body, &rec.schedule);
+        assert!(rep.deadlock.is_some(), "replay must re-hit the deadlock");
+        assert_eq!(rep.schedule, rec.schedule);
+    }
+
+    #[test]
+    fn barrier_bodies_record_and_replay() {
+        let body = || {
+            let x = Arc::new(PlainCell::new("x", 0i64));
+            let bar = Arc::new(Barrier::new("bar", 2));
+            let (xs, b) = (Arc::clone(&x), Arc::clone(&bar));
+            let t0 = thread::spawn(move || {
+                xs.set(1);
+                b.wait();
+            });
+            let (xs, b) = (Arc::clone(&x), Arc::clone(&bar));
+            let t1 = thread::spawn(move || {
+                b.wait();
+                record("seen", xs.get());
+            });
+            t0.join();
+            t1.join();
+        };
+        let rec = record_first("barrier", 1000, body);
+        assert!(rec.completed, "{}", rec.verdict());
+        assert_eq!(rec.observations.get("seen"), Some(&1));
+        let rep = replay("barrier", body, &rec.schedule);
+        assert_eq!(rep.steps, rec.steps);
+        assert!(rep.steps.iter().any(|s| s.what.contains("arrive")));
+    }
+}

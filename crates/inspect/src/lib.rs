@@ -1,0 +1,50 @@
+//! parc-inspect — after-the-fact observability for parc traces.
+//!
+//! The tracing layer ([`parc_trace`]) records flat per-thread event
+//! rings; the explorer ([`parc_explore`]) records logical schedules.
+//! This crate turns both into *answers*:
+//!
+//! * [`store::TraceStore`] — promote a [`parc_trace::Trace`] snapshot
+//!   into a queryable in-memory store, indexed by span id, track/lane,
+//!   event kind and time interval, with mark-to-span attribution and
+//!   self-time accounting.
+//! * [`graph::TaskGraph`] — reconstruct the task dependence graph
+//!   from recorded causality (spawn marks, run spans, barrier waits
+//!   and releases), with canonical spawn-tree labels that are
+//!   bit-identical across reruns and worker-pool sizes.
+//! * [`critical::CriticalReport`] — longest weighted path, per-node
+//!   slack, and the per-kind attribution table ("barrier.wait = 42%
+//!   of wall clock"), rendered as tables and exported as JSON with a
+//!   rerun-stable `deterministic` section.
+//! * [`replay::TimeTravel`] / [`replay::diff_schedules`] — drive a
+//!   recorded schedule forward and backward through the cooperative
+//!   scheduler, and pinpoint the first divergent decision between two
+//!   runs plus its downstream metric deltas.
+//!
+//! The teaching angle (the paper's E-DEBUG exercise): students
+//! *measure* where a parallel program's time went instead of guessing
+//! — the critical path names the chain that bounded the run, slack
+//! quantifies what could have been slower for free, and time-travel
+//! replay lets them walk the exact interleaving that produced a bug.
+
+#![warn(missing_docs)]
+
+pub mod critical;
+pub mod graph;
+pub mod replay;
+pub mod store;
+
+pub use critical::{AttributionRow, CriticalPath, CriticalReport, PathEntry};
+pub use graph::{Edge, EdgeKind, Node, NodeKind, TaskGraph};
+pub use replay::{diff_schedules, ScheduleDiff, TimeTravel};
+pub use store::{StoredSpan, TraceStore};
+
+/// Convenience: index a trace, rebuild its task graph and analyse the
+/// critical path in one call.
+#[must_use]
+pub fn analyze(trace: parc_trace::Trace) -> (TraceStore, TaskGraph, CriticalReport) {
+    let store = TraceStore::new(trace);
+    let graph = TaskGraph::build(&store);
+    let report = CriticalReport::analyze(&store, &graph);
+    (store, graph, report)
+}

@@ -60,7 +60,7 @@ pub mod task;
 
 pub use interim::{channel as interim_channel, InterimReceiver, InterimSender};
 pub use multi::MultiHandle;
-pub use runtime::{Builder, DrainReport, RuntimeHandle, RuntimeStats, TaskRuntime};
+pub use runtime::{Builder, DrainReport, RuntimeHandle, RuntimeLatencies, RuntimeStats, TaskRuntime};
 pub use sched::SchedulerKind;
 pub use scope::Scope;
 pub use task::{CancelToken, Cancelled, TaskError, TaskHandle, TaskId, TaskWatcher};

@@ -7,10 +7,10 @@ use std::sync::{Arc, Weak};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use parc_trace::{Counter, MarkKind, Outcome, SpanKind, TraceHandle};
+use parc_trace::{Counter, LatencyHistogram, MarkKind, Outcome, SpanKind, TraceHandle};
 use parking_lot::{Condvar, Mutex};
 
-use crate::sched::{Job, LocalQueue, SchedCounters, SchedulerKind, SharedSched};
+use crate::sched::{new_latency_hist, Job, LocalQueue, SchedCounters, SchedulerKind, SharedSched};
 use crate::task::{CancelToken, Core, TaskHandle, TaskWatcher};
 
 /// Snapshot of runtime activity counters.
@@ -39,6 +39,24 @@ pub struct RuntimeStats {
     pub timed_out: u64,
 }
 
+/// Latency distributions the runtime records alongside its counters
+/// (log-bucketed, milliseconds; query with `p50()`/`p99()`/`p999()`).
+///
+/// Kept separate from [`RuntimeStats`] on purpose: stats are compared
+/// with `==` across reruns and pool sizes in the determinism suites,
+/// while latencies are wall-clock measurements that legitimately vary.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RuntimeLatencies {
+    /// Task-body run duration, from a worker picking the job up to the
+    /// body returning (one sample per executed task).
+    pub run_ms: LatencyHistogram,
+    /// Steal latency: elapsed time from a worker's failed local pop to
+    /// the successful steal that ended its search for work (one sample
+    /// per steal; searches resolved locally or via the injector do not
+    /// record).
+    pub steal_wait_ms: LatencyHistogram,
+}
+
 pub(crate) struct RtInner {
     pub(crate) sched: SharedSched,
     pub(crate) counters: SchedCounters,
@@ -59,6 +77,9 @@ pub(crate) struct RtInner {
     timed_out: Arc<Counter>,
     pub(crate) trace: TraceHandle,
     pub(crate) pid: u32,
+    /// Task-body run durations (ms); the steal-wait histogram lives in
+    /// [`SchedCounters`] next to the steal counter it annotates.
+    run_ms: Mutex<LatencyHistogram>,
     deadlines: DeadlineWatch,
 }
 
@@ -194,6 +215,7 @@ impl Builder {
             timed_out,
             trace: self.trace,
             pid,
+            run_ms: Mutex::new(new_latency_hist()),
             deadlines: DeadlineWatch::default(),
         });
         let mut joiners = Vec::with_capacity(self.workers);
@@ -595,6 +617,17 @@ impl TaskRuntime {
         }
     }
 
+    /// Latency distributions recorded so far (task run duration and
+    /// steal-search latency). A snapshot: the histograms keep growing
+    /// in the runtime after this returns.
+    #[must_use]
+    pub fn latencies(&self) -> RuntimeLatencies {
+        RuntimeLatencies {
+            run_ms: self.inner.run_ms.lock().clone(),
+            steal_wait_ms: self.inner.counters.steal_wait_ms.lock().clone(),
+        }
+    }
+
     /// Wait for quiescence, then stop and join all workers.
     pub fn shutdown(self) {
         self.shutdown_impl();
@@ -771,11 +804,13 @@ fn make_traced_job<T: Send + 'static>(
     let job_inner = Arc::downgrade(inner);
     Box::new(move || {
         let rt = job_inner.upgrade();
+        let run_start = Instant::now();
         let was_cancelled = {
             let _span = rt.as_ref().map(|i| i.trace.span(i.pid, SpanKind::TaskRun { task }));
             job_core.run(f)
         };
         if let Some(inner) = rt {
+            inner.run_ms.lock().record(run_start.elapsed().as_secs_f64() * 1e3);
             inner.executed.inc();
             let outcome = if was_cancelled {
                 inner.cancelled.inc();

@@ -16,9 +16,10 @@
 
 use std::collections::VecDeque;
 use std::sync::Arc;
+use std::time::Instant;
 
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
-use parc_trace::{Counter, MarkKind, TraceHandle};
+use parc_trace::{Counter, LatencyHistogram, MarkKind, TraceHandle};
 use parking_lot::Mutex;
 
 /// A unit of scheduled work.
@@ -34,10 +35,16 @@ pub enum SchedulerKind {
     WorkSharing,
 }
 
+/// Bounds shared by the runtime's latency histograms: 100 ns to 100 s
+/// in milliseconds, 12 geometric buckets per decade (~21% relative
+/// bucket width — fine enough for p99/p99.9 reporting).
+pub(crate) fn new_latency_hist() -> LatencyHistogram {
+    LatencyHistogram::new(1e-4, 1e5, 12)
+}
+
 /// Counters describing where jobs were found, shared with the metrics
 /// registry when tracing is attached, plus the trace handle steal
 /// marks are emitted through.
-#[derive(Default)]
 pub(crate) struct SchedCounters {
     /// Jobs popped from the owner's local deque.
     pub local_pops: Arc<Counter>,
@@ -45,10 +52,40 @@ pub(crate) struct SchedCounters {
     pub global_pops: Arc<Counter>,
     /// Jobs stolen from another worker's deque.
     pub steals: Arc<Counter>,
+    /// Steal latency: elapsed time from a failed local pop to the
+    /// successful steal that ended the search, in milliseconds. Feeds
+    /// [`crate::RuntimeLatencies::steal_wait_ms`] and the scheduler
+    /// benches ROADMAP item 1 calls for.
+    pub steal_wait_ms: Arc<Mutex<LatencyHistogram>>,
     /// Where scheduling events are recorded (disabled by default).
     pub trace: TraceHandle,
     /// The runtime's trace track.
     pub pid: u32,
+}
+
+impl Default for SchedCounters {
+    fn default() -> Self {
+        Self {
+            local_pops: Arc::default(),
+            global_pops: Arc::default(),
+            steals: Arc::default(),
+            steal_wait_ms: Arc::new(Mutex::new(new_latency_hist())),
+            trace: TraceHandle::default(),
+            pid: 0,
+        }
+    }
+}
+
+impl SchedCounters {
+    /// Book-keeping for one successful steal: count it, record the
+    /// search latency, and emit the trace mark.
+    fn record_steal(&self, victim: usize, search_start: Instant) {
+        self.steals.inc();
+        self.steal_wait_ms
+            .lock()
+            .record(search_start.elapsed().as_secs_f64() * 1e3);
+        self.trace.mark(self.pid, MarkKind::Steal { victim: victim as u32 });
+    }
 }
 
 /// The shared (thread-safe) half of a scheduler.
@@ -124,6 +161,10 @@ impl SharedSched {
                     counters.local_pops.inc();
                     return Some(job);
                 }
+                // The local deque missed: the search for remote work
+                // starts here, and a successful *steal* records how
+                // long it took.
+                let search_start = Instant::now();
                 // Refill from the injector in a batch, then steal.
                 loop {
                     match injector.steal_batch_and_pop(w) {
@@ -142,11 +183,7 @@ impl SharedSched {
                     loop {
                         match stealer.steal() {
                             Steal::Success(job) => {
-                                counters.steals.inc();
-                                counters.trace.mark(
-                                    counters.pid,
-                                    MarkKind::Steal { victim: victim as u32 },
-                                );
+                                counters.record_steal(victim, search_start);
                                 return Some(job);
                             }
                             Steal::Empty => break,
@@ -172,6 +209,7 @@ impl SharedSched {
     pub(crate) fn pop_shared(&self, counters: &SchedCounters) -> Option<Job> {
         match self {
             SharedSched::Stealing { injector, stealers } => {
+                let search_start = Instant::now();
                 loop {
                     match injector.steal() {
                         Steal::Success(job) => {
@@ -186,11 +224,7 @@ impl SharedSched {
                     loop {
                         match stealer.steal() {
                             Steal::Success(job) => {
-                                counters.steals.inc();
-                                counters.trace.mark(
-                                    counters.pid,
-                                    MarkKind::Steal { victim: victim as u32 },
-                                );
+                                counters.record_steal(victim, search_start);
                                 return Some(job);
                             }
                             Steal::Empty => break,

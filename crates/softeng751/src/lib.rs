@@ -38,6 +38,8 @@ pub use guievent;
 pub use imaging;
 pub use kernels;
 pub use memmodel;
+pub use parc_inspect;
+pub use parc_trace;
 pub use parc_util;
 pub use parsort;
 pub use partask;

@@ -15,6 +15,8 @@
 
 pub use faultsim::{Breaker, FaultInjector, FaultPlan, RetryPolicy};
 pub use guievent::{EventLoop, GuiHandle, Probe};
+pub use parc_inspect::{diff_schedules, CriticalReport, TaskGraph, TimeTravel, TraceStore};
+pub use parc_trace::{Collector, TraceHandle};
 pub use parc_util::{Stopwatch, Summary, Table};
 pub use partask::{
     interim_channel, CancelToken, InterimReceiver, InterimSender, MultiHandle, RuntimeHandle,

@@ -60,6 +60,19 @@ pub fn to_chrome_json(trace: &Trace) -> String {
             &mut first,
         );
     }
+    // Ring-overflow metadata: one instant per overflowing lane, so a
+    // viewer shows *where* the trace is incomplete.
+    for lane in trace.lanes.iter().filter(|l| l.dropped > 0) {
+        push(
+            format!(
+                "{{\"name\":\"trace_dropped_events\",\"ph\":\"M\",\"pid\":0,\"tid\":{},\
+                 \"args\":{{\"dropped\":{}}}}}",
+                lane.tid, lane.dropped,
+            ),
+            &mut out,
+            &mut first,
+        );
+    }
 
     for ev in &trace.events {
         let ts_us = ev.ts_ns as f64 / 1000.0;
@@ -96,7 +109,13 @@ pub fn to_chrome_json(trace: &Trace) -> String {
         };
         push(entry, &mut out, &mut first);
     }
-    out.push_str("\n]}\n");
+    // `otherData` is the Chrome-format slot for document-level
+    // metadata; record the loss total so consumers need not sum lanes.
+    let _ = write!(
+        out,
+        "\n],\"otherData\":{{\"dropped_events\":{}}}}}\n",
+        trace.dropped
+    );
     out
 }
 
@@ -243,6 +262,34 @@ mod tests {
         assert!(events
             .iter()
             .any(|e| e.get("name") == Some(&Json::Str("thread_name".into()))));
+    }
+
+    #[test]
+    fn dropped_events_surface_in_metadata() {
+        let col = Collector::with_thread_capacity(2);
+        let h = col.handle();
+        for v in 0..5 {
+            h.mark(0, MarkKind::Steal { victim: v });
+        }
+        let json = to_chrome_json(&col.snapshot());
+        let doc = parse(&json).expect("valid JSON with otherData");
+        assert_eq!(
+            doc.get("otherData").unwrap().get("dropped_events").unwrap().as_f64(),
+            Some(3.0)
+        );
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let meta = events
+            .iter()
+            .find(|e| e.get("name") == Some(&Json::Str("trace_dropped_events".into())))
+            .expect("per-lane dropped metadata present");
+        assert_eq!(meta.get("args").unwrap().get("dropped").unwrap().as_f64(), Some(3.0));
+        // A clean trace carries a zero total and no per-lane entries.
+        let clean = to_chrome_json(&sample_trace());
+        let doc = parse(&clean).unwrap();
+        assert_eq!(
+            doc.get("otherData").unwrap().get("dropped_events").unwrap().as_f64(),
+            Some(0.0)
+        );
     }
 
     #[test]

@@ -340,6 +340,8 @@ pub struct Lane {
     pub tid: u32,
     /// The OS thread's name at registration.
     pub name: String,
+    /// Events this lane lost to a full ring, as of the snapshot.
+    pub dropped: u64,
 }
 
 /// One completed span reassembled from its begin/end events.
@@ -359,6 +361,10 @@ pub struct CompletedSpan {
     pub start_ns: u64,
     /// End, nanoseconds since the collector epoch.
     pub end_ns: u64,
+    /// True when the span had no end event at snapshot time and
+    /// `end_ns` is a synthetic, conservative stand-in (the last
+    /// timestamp in the trace).
+    pub open: bool,
 }
 
 impl CompletedSpan {
@@ -411,12 +417,17 @@ impl Trace {
         counts
     }
 
-    /// Reassemble completed spans from matched begin/end pairs,
-    /// ordered by start time.
+    /// Reassemble spans from begin/end pairs, ordered by start time.
+    /// A span still open at snapshot time (begin without end — e.g. a
+    /// mid-run snapshot) is emitted with a synthetic end at the
+    /// trace's last timestamp and flagged [`CompletedSpan::open`], so
+    /// downstream consumers (timelines, critical-path weights) see a
+    /// conservative duration instead of silently losing the span.
     #[must_use]
     pub fn spans(&self) -> Vec<CompletedSpan> {
         let mut open: BTreeMap<u64, (u64, SpanKind, u32, u32, u64)> = BTreeMap::new();
         let mut out = Vec::new();
+        let last_ts = self.events.last().map_or(0, |e| e.ts_ns);
         for ev in &self.events {
             match ev.kind {
                 EventKind::SpanBegin { id, parent, what } => {
@@ -432,11 +443,24 @@ impl Trace {
                             tid,
                             start_ns,
                             end_ns: ev.ts_ns,
+                            open: false,
                         });
                     }
                 }
                 EventKind::Mark { .. } => {}
             }
+        }
+        for (id, (parent, what, pid, tid, start_ns)) in open {
+            out.push(CompletedSpan {
+                id,
+                parent,
+                what,
+                pid,
+                tid,
+                start_ns,
+                end_ns: last_ts.max(start_ns),
+                open: true,
+            });
         }
         out.sort_by_key(|s| (s.start_ns, s.id));
         out
@@ -544,8 +568,9 @@ impl Collector {
         let mut dropped = 0;
         for log in threads.iter() {
             log.read_published(&mut events);
-            dropped += log.dropped.load(Ordering::Relaxed);
-            lanes.push(Lane { tid: log.tid, name: log.name.clone() });
+            let lane_dropped = log.dropped.load(Ordering::Relaxed);
+            dropped += lane_dropped;
+            lanes.push(Lane { tid: log.tid, name: log.name.clone(), dropped: lane_dropped });
         }
         drop(threads);
         // Stable sort: equal timestamps keep per-lane recording order
@@ -655,6 +680,30 @@ mod tests {
         assert_eq!(trace.len(), 4);
         assert_eq!(trace.dropped, 6);
         assert_eq!(col.dropped(), 6);
+        // The loss is attributed to the overflowing lane, not just the
+        // trace-wide total.
+        assert_eq!(trace.lanes.len(), 1);
+        assert_eq!(trace.lanes[0].dropped, 6);
+    }
+
+    #[test]
+    fn open_span_at_snapshot_is_emitted_with_open_flag() {
+        let col = Collector::new();
+        let h = col.handle();
+        let outer = h.span(1, SpanKind::Crawl { pages: 1 });
+        drop(h.span(1, SpanKind::FetchAttempt { page: 0, attempt: 1 }));
+        // Snapshot while `outer` is still open: it must appear as a
+        // synthetic-end span flagged `open`, covering the trace so far.
+        let spans = col.snapshot().spans();
+        assert_eq!(spans.len(), 2);
+        let crawl = spans.iter().find(|s| s.what.name() == "crawl").unwrap();
+        let attempt = spans.iter().find(|s| s.what.name() == "fetch.attempt").unwrap();
+        assert!(crawl.open, "unfinished span must be flagged open");
+        assert!(!attempt.open);
+        assert!(crawl.end_ns >= attempt.end_ns, "synthetic end covers the trace");
+        drop(outer);
+        let spans = col.snapshot().spans();
+        assert!(spans.iter().all(|s| !s.open), "all spans closed after drop");
     }
 
     #[test]

@@ -89,7 +89,21 @@ pub fn render_timeline(trace: &Trace, width: usize) -> String {
             bar,
         ]);
     }
-    table.render()
+    let mut out = table.render();
+    if trace.dropped > 0 {
+        let per_lane: Vec<String> = trace
+            .lanes
+            .iter()
+            .filter(|l| l.dropped > 0)
+            .map(|l| format!("{}:{}", l.name, l.dropped))
+            .collect();
+        out.push_str(&format!(
+            "warning: {} events dropped (rings full: {}) — timeline is incomplete\n",
+            trace.dropped,
+            per_lane.join(", "),
+        ));
+    }
+    out
 }
 
 /// Render per-event-name counts as a table — the "what happened, how
@@ -217,6 +231,20 @@ mod tests {
         let text = render_timeline(&trace, 8);
         assert!(text.contains("100%"));
         assert!(text.contains("########"));
+    }
+
+    #[test]
+    fn timeline_footer_warns_about_dropped_events() {
+        use crate::collector::Lane;
+        let mut trace = synthetic(&[(1, 0, 1000)]);
+        trace.dropped = 7;
+        trace.lanes = vec![Lane { tid: 1, name: "worker-0".into(), dropped: 7 }];
+        let text = render_timeline(&trace, 8);
+        assert!(text.contains("7 events dropped"), "footer missing: {text}");
+        assert!(text.contains("worker-0:7"), "per-lane attribution missing: {text}");
+        // No footer when nothing was dropped.
+        let clean = synthetic(&[(1, 0, 1000)]);
+        assert!(!render_timeline(&clean, 8).contains("dropped"));
     }
 
     #[test]

@@ -37,6 +37,18 @@ fn observability_sidebar() {
     );
     println!("{}", parc_trace::render_event_counts(&trace));
     println!("{}", collector.metrics().render());
+
+    // Critical-path view of the same run: which chain of tasks bounded
+    // the wall clock, and where the time actually went per span kind.
+    // `cargo run --release --example trace_inspect` is the full E-DEBUG
+    // driver with determinism gates and JSON export.
+    let (_store, graph, report) = parc_inspect::analyze(trace);
+    println!(
+        "reconstructed task graph: {} nodes, {} edges (spawn tree + joins)\n",
+        graph.node_count(),
+        graph.edge_count(),
+    );
+    println!("{}", report.render());
 }
 
 fn main() {

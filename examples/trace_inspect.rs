@@ -1,0 +1,406 @@
+//! Experiment E-DEBUG: queryable traces, critical paths and
+//! time-travel replay, with hard determinism gates.
+//!
+//! The driver runs the seeded quicksort + pyjama-barrier workload
+//! under the collector, promotes the trace into a
+//! [`parc_inspect::TraceStore`], rebuilds the task dependence graph
+//! and checks, gate by gate:
+//!
+//! 1. **Rerun determinism** — same seed, same pool ⇒ bit-identical
+//!    graph fingerprint and deterministic critical-path JSON.
+//! 2. **Pool-size independence** — 1, 3 and 8 partask workers all
+//!    reconstruct the *same* canonical graph and critical path.
+//! 3. **Attribution sanity** — per-kind shares sum to ≤ 100% of
+//!    capacity and the barrier demo shows a nonzero `barrier.wait`
+//!    share.
+//! 4. **Query = scan** — interval, kind and span-overlap queries
+//!    agree with naive full scans of the same trace.
+//! 5. **Replay determinism** — same explorer seed ⇒ empty
+//!    [`parc_inspect::diff_schedules`]; replaying a recorded schedule
+//!    reproduces it; a divergent seed pair pinpoints its first
+//!    divergent decision; [`parc_inspect::TimeTravel`] walks the
+//!    schedule to both ends consistently.
+//!
+//! Any violated gate makes the process exit non-zero — CI's `inspect`
+//! job runs this binary as the E-DEBUG acceptance check.
+//!
+//! Artifacts:
+//! * first argument (default `inspect_report.json`) — the full
+//!   critical-path export (`deterministic` + `wall_clock` sections);
+//! * second argument (default `BENCH_inspect.json`) — store-build,
+//!   graph-build and query throughput on a ~480k-event synthetic
+//!   trace, in events per second.
+//!
+//! Run with: `cargo run --release --example trace_inspect`
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parc_explore::replay::{record_seeded, replay};
+use parc_explore::sync::PlainCell;
+use parc_inspect::{diff_schedules, CriticalReport, TaskGraph, TimeTravel, TraceStore};
+use parc_trace::{Collector, MarkKind, SpanKind, Trace};
+use parc_util::rng::Xoshiro256;
+use parsort::{data, quicksort_partask};
+use partask::TaskRuntime;
+use pyjama::{Schedule, Team};
+
+/// The E-DEBUG workload: seeded quicksort on `workers` partask
+/// workers, then a 4-member pyjama worksharing region with an
+/// explicit barrier — all into one collector.
+fn traced_run(workers: usize) -> Trace {
+    let collector = Collector::new();
+    let handle = collector.handle();
+
+    let rt = TaskRuntime::builder()
+        .workers(workers)
+        .name("partask")
+        .trace(&handle)
+        .build();
+    let mut v = data::random(200_000, 0xC0FFEE);
+    quicksort_partask(&rt, &mut v);
+    assert!(v.windows(2).all(|w| w[0] <= w[1]), "quicksort must sort");
+    rt.shutdown();
+
+    let team = Team::with_trace(4, &handle);
+    let sums: Vec<AtomicU64> = (0..4).map(|_| AtomicU64::new(0)).collect();
+    team.parallel(|ctx| {
+        ctx.pfor(0..10_000, Schedule::Dynamic(512), |i: usize| {
+            sums[i % 4].fetch_add(i as u64, Ordering::Relaxed);
+        });
+        ctx.barrier();
+    });
+
+    collector.snapshot()
+}
+
+/// Two simulated threads racing plain increments — the schedule-
+/// sensitive body the replay gates explore.
+fn racy_body() {
+    let cell = Arc::new(PlainCell::new("count", 0i64));
+    let mut handles = Vec::new();
+    for _ in 0..2 {
+        let cell = Arc::clone(&cell);
+        handles.push(parc_explore::thread::spawn(move || {
+            let v = cell.get();
+            cell.set(v + 1);
+        }));
+    }
+    for h in handles {
+        h.join();
+    }
+    parc_explore::record("final", cell.get());
+}
+
+struct Gates {
+    failures: Vec<String>,
+}
+
+impl Gates {
+    fn check(&mut self, name: &str, ok: bool, detail: &str) {
+        if ok {
+            println!("  gate {name}: ok");
+        } else {
+            println!("  gate {name}: FAIL — {detail}");
+            self.failures.push(format!("{name}: {detail}"));
+        }
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let report_path = args.next().unwrap_or_else(|| "inspect_report.json".to_string());
+    let bench_path = args.next().unwrap_or_else(|| "BENCH_inspect.json".to_string());
+    let mut gates = Gates { failures: Vec::new() };
+
+    println!("== E-DEBUG: trace inspection, critical paths, time travel ==\n");
+
+    // --- The canonical run: 4 workers, full analysis, human report.
+    let (store, graph, report) = parc_inspect::analyze(traced_run(4));
+    println!(
+        "canonical run: {} events -> {} nodes, {} edges\n",
+        store.len(),
+        graph.node_count(),
+        graph.edge_count(),
+    );
+    println!("{}", report.render());
+
+    // --- Gate 1: rerun determinism (same seed, same pool).
+    println!("[1] rerun determinism");
+    let (_, graph2, report2) = parc_inspect::analyze(traced_run(4));
+    gates.check(
+        "fingerprint-rerun",
+        graph.fingerprint() == graph2.fingerprint(),
+        &format!("0x{:016x} != 0x{:016x}", graph.fingerprint(), graph2.fingerprint()),
+    );
+    gates.check(
+        "critical-path-rerun",
+        report.deterministic_json() == report2.deterministic_json(),
+        "deterministic JSON sections differ between reruns",
+    );
+
+    // --- Gate 2: pool-size independence.
+    println!("\n[2] pool-size independence (1, 3, 8 workers)");
+    for workers in [1usize, 3, 8] {
+        let (_, g, r) = parc_inspect::analyze(traced_run(workers));
+        gates.check(
+            &format!("fingerprint-pool-{workers}"),
+            g.fingerprint() == graph.fingerprint(),
+            &format!(
+                "workers={workers}: 0x{:016x} != canonical 0x{:016x}",
+                g.fingerprint(),
+                graph.fingerprint()
+            ),
+        );
+        gates.check(
+            &format!("critical-path-pool-{workers}"),
+            r.deterministic_json() == report.deterministic_json(),
+            &format!("workers={workers}: deterministic JSON differs"),
+        );
+    }
+
+    // --- Gate 3: attribution sanity.
+    println!("\n[3] attribution");
+    let total_pct = report.attribution_total_pct();
+    gates.check(
+        "attribution-bounded",
+        total_pct <= 100.0 + 1e-6,
+        &format!("shares sum to {total_pct:.2}% > 100%"),
+    );
+    let barrier_pct = report.share_of("barrier.wait");
+    gates.check(
+        "barrier-share-nonzero",
+        barrier_pct > 0.0,
+        "quicksort+barrier demo attributed no barrier.wait time",
+    );
+    println!("  barrier.wait = {barrier_pct:.2}% of wall clock x lanes");
+
+    // --- Gate 4: queries agree with naive scans.
+    println!("\n[4] queries vs naive scans");
+    query_gates(&mut gates, &store);
+
+    // --- Gate 5: replay + diff determinism.
+    println!("\n[5] schedule replay and diff");
+    replay_gates(&mut gates);
+
+    // --- Export the critical-path report.
+    std::fs::write(&report_path, report.to_json()).expect("write inspect report");
+    println!("\ncritical-path export -> {report_path}");
+
+    // --- Throughput benchmark on a synthetic trace.
+    let bench = bench_throughput();
+    std::fs::write(&bench_path, bench).expect("write BENCH_inspect.json");
+    println!("benchmark record -> {bench_path}");
+
+    if !gates.failures.is_empty() {
+        eprintln!("\n{} E-DEBUG gate(s) failed:", gates.failures.len());
+        for f in &gates.failures {
+            eprintln!("  - {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("\nall E-DEBUG gates passed");
+}
+
+/// Gate 4: every indexed query must equal the naive full scan.
+fn query_gates(gates: &mut Gates, store: &TraceStore) {
+    let events = store.events();
+    let first = events.first().map_or(0, |e| e.ts_ns);
+    let lo = first + store.wall_ns() / 3;
+    let hi = first + 2 * store.wall_ns() / 3;
+
+    let fast = store.events_in(lo, hi);
+    let naive: Vec<_> = events.iter().filter(|e| e.ts_ns >= lo && e.ts_ns < hi).collect();
+    gates.check(
+        "interval-query",
+        fast.len() == naive.len()
+            && fast.iter().zip(&naive).all(|(a, b)| a.ts_ns == b.ts_ns && a.tid == b.tid),
+        &format!("indexed window returned {} events, scan {}", fast.len(), naive.len()),
+    );
+
+    for kind in ["task.spawn", "barrier.wait", "sched.steal"] {
+        let indexed = store.kind_indices(kind).len();
+        let scanned = events.iter().filter(|e| e.name() == kind).count();
+        gates.check(
+            &format!("kind-query-{kind}"),
+            indexed == scanned,
+            &format!("indexed {indexed} != scanned {scanned}"),
+        );
+    }
+    let windowed = store.kind_indices_in("task.spawn", lo, hi).len();
+    let windowed_naive = events
+        .iter()
+        .filter(|e| e.name() == "task.spawn" && e.ts_ns >= lo && e.ts_ns < hi)
+        .count();
+    gates.check(
+        "kind-interval-query",
+        windowed == windowed_naive,
+        &format!("indexed {windowed} != scanned {windowed_naive}"),
+    );
+
+    let fast_spans: Vec<u64> = store.spans_overlapping(lo, hi).iter().map(|s| s.span.id).collect();
+    let mut naive_spans: Vec<(u64, u64)> = store
+        .spans()
+        .filter(|s| s.span.start_ns < hi && s.span.end_ns >= lo)
+        .map(|s| (s.span.start_ns, s.span.id))
+        .collect();
+    naive_spans.sort_unstable();
+    gates.check(
+        "overlap-query",
+        fast_spans == naive_spans.iter().map(|(_, id)| *id).collect::<Vec<_>>(),
+        &format!(
+            "overlap pruning returned {} spans, scan {}",
+            fast_spans.len(),
+            naive_spans.len()
+        ),
+    );
+}
+
+/// Gate 5: recording, replaying and diffing schedules is
+/// deterministic, and time travel is position-consistent.
+fn replay_gates(gates: &mut Gates) {
+    let a = record_seeded("seed42-a", 42, 20_000, racy_body);
+    let b = record_seeded("seed42-b", 42, 20_000, racy_body);
+    gates.check("recording-completes", a.completed, a.verdict());
+    gates.check(
+        "same-seed-fingerprint",
+        a.fingerprint() == b.fingerprint(),
+        "same seed produced different recordings",
+    );
+    let same = diff_schedules(&a, &b);
+    gates.check("same-seed-diff-empty", same.is_empty(), &same.render());
+
+    let replayed = replay("seed42-replay", racy_body, &a.schedule);
+    gates.check(
+        "replay-reproduces",
+        diff_schedules(&a, &replayed).is_empty() && replayed.completed,
+        "replaying the recorded schedule did not reproduce the run",
+    );
+
+    let divergent = (43..128)
+        .map(|seed| record_seeded("hunt", seed, 20_000, racy_body))
+        .find(|r| r.schedule != a.schedule);
+    match divergent {
+        None => gates.check("divergent-seed-found", false, "no seed in 43..128 diverged"),
+        Some(d) => {
+            let diff = diff_schedules(&a, &d);
+            let at = diff.first_divergence;
+            gates.check(
+                "diff-pinpoints-divergence",
+                !diff.is_empty()
+                    && at.is_some_and(|at| a.steps[..at] == d.steps[..at])
+                    && diff.a_step.is_some(),
+                "diff failed to locate the first divergent decision",
+            );
+            println!("{}", diff.render());
+        }
+    }
+
+    let total = a.len();
+    let mut tt = TimeTravel::new(a, racy_body);
+    tt.seek(0);
+    let start_ok = tt.at_start() && tt.state().steps.is_empty() && !tt.state().frontier.is_empty();
+    gates.check("time-travel-start", start_ok, "position 0 must be empty with a frontier");
+    for _ in 0..total {
+        tt.forward();
+    }
+    gates.check(
+        "time-travel-forward",
+        tt.at_end() && tt.state().steps.len() == total && tt.state().completed,
+        &format!("walked to {}/{} steps", tt.state().steps.len(), total),
+    );
+    tt.back();
+    gates.check(
+        "time-travel-back",
+        tt.cursor() == total - 1 && tt.state().steps.len() == total - 1,
+        "stepping back must re-execute the shorter prefix",
+    );
+    println!("\n{}", tt.render());
+}
+
+/// A synthetic ~480k-event trace: 4 lanes of spawn-marked task spans.
+fn synthetic_trace() -> Trace {
+    let collector = Collector::with_thread_capacity(1 << 19);
+    let handle = collector.handle();
+    let pid = handle.register_track("bench");
+    std::thread::scope(|scope| {
+        for lane in 0u64..4 {
+            let handle = handle.clone();
+            scope.spawn(move || {
+                for i in 0..30_000u64 {
+                    let task = (lane << 32) | i;
+                    handle.mark(pid, MarkKind::TaskSpawn { task, parent_span: 0 });
+                    let span = handle.span(pid, SpanKind::TaskRun { task });
+                    handle.mark(
+                        pid,
+                        MarkKind::Steal { victim: (lane as u32 + 1) % 4 },
+                    );
+                    drop(span);
+                }
+            });
+        }
+    });
+    collector.snapshot()
+}
+
+/// Store-build, graph-build and query throughput, recorded as JSON.
+fn bench_throughput() -> String {
+    let trace = synthetic_trace();
+    let events = trace.len();
+
+    let t0 = Instant::now();
+    let store = TraceStore::new(trace);
+    let build_s = t0.elapsed().as_secs_f64().max(1e-9);
+
+    let t1 = Instant::now();
+    let graph = TaskGraph::build(&store);
+    let _report = CriticalReport::analyze(&store, &graph);
+    let graph_s = t1.elapsed().as_secs_f64().max(1e-9);
+
+    let first = store.events().first().map_or(0, |e| e.ts_ns);
+    let wall = store.wall_ns().max(1);
+    let mut rng = Xoshiro256::seed_from_u64(0xE0_DEB6);
+    let queries = 2_000u64;
+    let mut touched = 0u64;
+    let t2 = Instant::now();
+    for _ in 0..queries {
+        let a = first + rng.next_below(wall);
+        let b = first + rng.next_below(wall);
+        let (lo, hi) = (a.min(b), a.max(b));
+        touched += store.events_in(lo, hi).len() as u64;
+        touched += store.kind_indices_in("task.spawn", lo, hi).len() as u64;
+    }
+    let query_s = t2.elapsed().as_secs_f64().max(1e-9);
+
+    let build_rate = events as f64 / build_s;
+    let graph_rate = events as f64 / graph_s;
+    let query_rate = queries as f64 / query_s;
+    let touch_rate = touched as f64 / query_s;
+    println!(
+        "\nbench: {events} events — store build {build_rate:.0} ev/s, graph+path {graph_rate:.0} ev/s, \
+         {query_rate:.0} queries/s ({touch_rate:.0} results/s)",
+    );
+
+    format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"inspect\",\n",
+            "  \"events\": {},\n",
+            "  \"graph_nodes\": {},\n",
+            "  \"store_build_events_per_sec\": {:.1},\n",
+            "  \"graph_build_events_per_sec\": {:.1},\n",
+            "  \"interval_queries\": {},\n",
+            "  \"queries_per_sec\": {:.1},\n",
+            "  \"query_results_per_sec\": {:.1}\n",
+            "}}\n"
+        ),
+        events,
+        graph.node_count(),
+        build_rate,
+        graph_rate,
+        queries,
+        query_rate,
+        touch_rate,
+    )
+}

@@ -91,6 +91,13 @@ fn main() {
         outcome.transient_errors,
         outcome.panics,
     );
+    if snapshot.dropped > 0 {
+        println!(
+            "WARNING: {} event(s) dropped to ring overflow — raise the per-thread \
+             capacity (Collector::with_thread_capacity) for complete spans\n",
+            snapshot.dropped,
+        );
+    }
     println!("{}", render_timeline(&snapshot, 64));
     println!("{}", render_event_counts(&snapshot));
     println!("{}", collector.metrics().render());
