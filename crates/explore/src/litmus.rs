@@ -25,6 +25,151 @@ use std::sync::Arc;
 use crate::ctl::record;
 use crate::sync::{thread, AtomicBool, AtomicU64, Mutex, PlainCell};
 
+/// Sentinel for a pop/steal that found the deque empty.
+const EMPTY: i64 = -1;
+/// Sentinel for a steal whose claiming CAS lost to a competitor.
+const RETRY: i64 = -2;
+
+/// A model of the workspace's Chase–Lev work-stealing deque
+/// (`crossbeam::deque`), sized down to a fixed ring so the explorer
+/// can enumerate every interleaving.
+///
+/// Port of the real deque's orderings:
+///
+/// * The ring slots are **plain memory** ([`PlainCell`]) — exactly as
+///   in the real deque, where the buffer is unsynchronised and the
+///   `top`/`bottom` protocol is the only thing ordering slot accesses.
+///   Every race the detector could find lives here.
+/// * `Relaxed`-plus-`SeqCst`-fence in the real code is ported as a
+///   `SeqCst` access: the explorer has no fence operation and reserves
+///   `Relaxed` for modelling deliberately-unsynchronised code.
+/// * Steals read the slot **speculatively, before the claiming CAS**
+///   (as the real deque must): the CAS's release then publishes the
+///   read, which is what makes slot reuse after ring wraparound safe —
+///   see `chase-lev/wraparound-reuse`.
+struct ModelDeque {
+    /// Steal frontier. Only ever incremented (by a successful claiming
+    /// CAS) — monotonicity is the ABA guard: a slot index repeats after
+    /// wraparound, but a `top` *value* never does.
+    top: AtomicU64,
+    /// Owner's push/pop end.
+    bottom: AtomicU64,
+    /// The ring; index `i % slots.len()`, plain unsynchronised memory.
+    slots: Vec<PlainCell<i64>>,
+}
+
+impl ModelDeque {
+    fn new(cap: usize) -> Self {
+        Self {
+            top: AtomicU64::new("top", 0),
+            bottom: AtomicU64::new("bottom", 0),
+            slots: (0..cap).map(|i| PlainCell::new(&format!("slot{i}"), 0)).collect(),
+        }
+    }
+
+    fn slot(&self, index: u64) -> &PlainCell<i64> {
+        &self.slots[index as usize % self.slots.len()]
+    }
+
+    /// Owner push. The `Acquire` load of `top` is the capacity check
+    /// *and* the wraparound guard: it reads-from the steal CAS that
+    /// retired the slot about to be reused, ordering the thief's
+    /// speculative read before this overwrite. Returns `false` when
+    /// the ring is full (the real deque grows; growth is not modelled).
+    fn push(&self, value: i64) -> bool {
+        let b = self.bottom.load(Ordering::Relaxed); // owner-only end
+        let t = self.top.load(Ordering::Acquire);
+        if b - t >= self.slots.len() as u64 {
+            return false;
+        }
+        self.slot(b).set(value);
+        self.bottom.store(b + 1, Ordering::Release);
+        true
+    }
+
+    /// Broken push for the racy variant: reuses the slot without the
+    /// `Acquire` top load, so nothing orders a thief's speculative
+    /// read before the overwrite.
+    fn push_skipping_capacity_check(&self, value: i64) {
+        let b = self.bottom.load(Ordering::Relaxed);
+        self.slot(b).set(value);
+        self.bottom.store(b + 1, Ordering::Release);
+    }
+
+    /// Owner pop. `SeqCst` where the real code is `Relaxed` around a
+    /// `SeqCst` fence: the store of the reserved `bottom` and the load
+    /// of `top` must not reorder, or owner and thief can both take the
+    /// last element. On `t == b` the element is also the steal
+    /// frontier and must be *claimed* with the same CAS thieves use.
+    fn pop(&self) -> i64 {
+        let b = self.bottom.load(Ordering::Relaxed) - 1;
+        self.bottom.store(b, Ordering::SeqCst);
+        let t = self.top.load(Ordering::SeqCst);
+        if t > b {
+            // Already emptied by thieves; restore the canonical state.
+            self.bottom.store(b + 1, Ordering::SeqCst);
+            return EMPTY;
+        }
+        let value = self.slot(b).get();
+        if t < b {
+            return value; // not the last element: no thief can reach it
+        }
+        let won = self
+            .top
+            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok();
+        self.bottom.store(b + 1, Ordering::SeqCst);
+        if won { value } else { EMPTY }
+    }
+
+    /// Broken pop for `chase-lev/pop-skips-cas-broken`: takes the last
+    /// element without claiming it, so a concurrent steal can take the
+    /// same value. Note every slot access is still a *read* — this bug
+    /// is a protocol-atomicity bug, not a data race.
+    fn pop_without_claiming(&self) -> i64 {
+        let b = self.bottom.load(Ordering::Relaxed) - 1;
+        self.bottom.store(b, Ordering::SeqCst);
+        let t = self.top.load(Ordering::SeqCst);
+        let value = if t > b { EMPTY } else { self.slot(b).get() };
+        self.bottom.store(b + 1, Ordering::SeqCst);
+        value
+    }
+
+    /// Thief steal: speculative slot read, then a `SeqCst` CAS to
+    /// claim. A lost CAS discards the speculated value ([`RETRY`]).
+    fn steal(&self) -> i64 {
+        let t = self.top.load(Ordering::Acquire);
+        let b = self.bottom.load(Ordering::Acquire);
+        if b as i64 - t as i64 <= 0 {
+            return EMPTY;
+        }
+        let value = self.slot(t).get();
+        match self.top.compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::SeqCst) {
+            Ok(_) => value,
+            Err(_) => RETRY,
+        }
+    }
+
+    /// Batch steal: claim up to `max` items (at least one, at most
+    /// half the observed length, as in the real deque) with a single
+    /// CAS, reading all of them speculatively first. Returns the
+    /// claimed values, oldest first; empty on [`EMPTY`]/[`RETRY`].
+    fn steal_batch(&self, max: u64) -> Vec<i64> {
+        let t = self.top.load(Ordering::Acquire);
+        let b = self.bottom.load(Ordering::Acquire);
+        let len = b as i64 - t as i64;
+        if len <= 0 {
+            return Vec::new();
+        }
+        let n = (((len + 1) / 2) as u64).min(max);
+        let values: Vec<i64> = (t..t + n).map(|i| self.slot(i).get()).collect();
+        match self.top.compare_exchange(t, t + n, Ordering::SeqCst, Ordering::SeqCst) {
+            Ok(_) => values,
+            Err(_) => Vec::new(),
+        }
+    }
+}
+
 /// A named litmus program with its ground-truth race verdict.
 #[derive(Clone)]
 pub struct Litmus {
@@ -344,6 +489,133 @@ pub fn catalogue() -> Vec<Litmus> {
             record("top", top.get());
             record("sum", slot0.get() + slot1.get());
         }),
+        // ---- chase-lev: the scheduler's work-stealing deque --------
+        litmus("chase-lev/take-vs-steal", false, || {
+            // The tentpole race of the algorithm: the owner pops the
+            // *last* element while a thief steals it. Both routes go
+            // through the same SeqCst CAS on `top`, so exactly one
+            // side gets the value — and the detector must find no data
+            // race on the plain slot in any interleaving.
+            let dq = Arc::new(ModelDeque::new(2));
+            assert!(dq.push(10));
+            let d = Arc::clone(&dq);
+            let owner = thread::spawn(move || d.pop());
+            let d = Arc::clone(&dq);
+            let thief = thread::spawn(move || d.steal());
+            let got_owner = owner.join();
+            let got_thief = thief.join();
+            assert!(
+                (got_owner == 10) ^ (got_thief == 10),
+                "last element taken exactly once: owner {got_owner}, thief {got_thief}"
+            );
+            record("owner", got_owner);
+            record("thief", got_thief);
+        }),
+        litmus("chase-lev/steal-empty-abandon", false, || {
+            // Two thieves race over one element: one claims it, the
+            // other must abandon — either seeing the deque already
+            // empty (top caught up with bottom) or losing the CAS.
+            // The loser's speculative slot read is discarded; reads
+            // never race with reads, so the space stays race-free.
+            let dq = Arc::new(ModelDeque::new(2));
+            assert!(dq.push(7));
+            let d = Arc::clone(&dq);
+            let a = thread::spawn(move || d.steal());
+            let d = Arc::clone(&dq);
+            let b = thread::spawn(move || d.steal());
+            let got_a = a.join();
+            let got_b = b.join();
+            assert!(
+                (got_a == 7) ^ (got_b == 7),
+                "one element, one winner: a {got_a}, b {got_b}"
+            );
+            record("got_a", got_a);
+            record("got_b", got_b);
+            record("abandoned", i64::from(got_a == EMPTY || got_b == EMPTY));
+        }),
+        litmus("chase-lev/batch-steal-vs-push", false, || {
+            // A batch steal overlapping an owner push. The thief
+            // claims a contiguous block from `top` with one CAS while
+            // the owner appends at `bottom`; the two touch disjoint
+            // slots, and the batch size depends on whether the thief's
+            // `bottom` load sees the in-flight push (1 of 2 queued, or
+            // 2 of 3 after the push lands — never the freshly pushed
+            // slot itself).
+            let dq = Arc::new(ModelDeque::new(4));
+            assert!(dq.push(1));
+            assert!(dq.push(2));
+            let d = Arc::clone(&dq);
+            let owner = thread::spawn(move || d.push(3));
+            let d = Arc::clone(&dq);
+            let thief = thread::spawn(move || d.steal_batch(2));
+            assert!(owner.join(), "ring has room for the third push");
+            let batch = thief.join();
+            assert!(
+                batch == [1] || batch == [1, 2],
+                "batch claims a prefix of the queue, oldest first: {batch:?}"
+            );
+            record("batch_len", batch.len() as i64);
+            record("batch_sum", batch.iter().sum::<i64>());
+        }),
+        litmus("chase-lev/wraparound-reuse", false, || {
+            // ABA territory: a full ring (cap 2), a thief steals the
+            // oldest element, and the owner pushes a third value into
+            // the *same physical slot* the thief read (index 2 % 2 =
+            // 0). Safe for two reasons the explorer checks: `top` only
+            // grows, so the claiming CAS cannot be fooled by the slot
+            // being reused (no ABA on the control word); and the push
+            // only overwrites after its Acquire `top` load reads-from
+            // the steal's CAS, ordering the thief's speculative read
+            // before the overwrite (no race on the plain slot).
+            let dq = Arc::new(ModelDeque::new(2));
+            assert!(dq.push(100));
+            assert!(dq.push(200));
+            let d = Arc::clone(&dq);
+            let owner = thread::spawn(move || d.push(300));
+            let d = Arc::clone(&dq);
+            let thief = thread::spawn(move || d.steal());
+            let pushed = owner.join();
+            let stolen = thief.join();
+            assert_eq!(stolen, 100, "the only CAS in flight cannot lose");
+            assert_eq!(dq.slots[0].get(), if pushed { 300 } else { 100 });
+            record("pushed", i64::from(pushed));
+            record("stolen", stolen);
+        }),
+        litmus("chase-lev/push-reuse-racy", true, || {
+            // The broken twin of wraparound-reuse: the push skips the
+            // capacity check (the Acquire `top` load), so nothing
+            // orders the thief's speculative read of slot 0 before the
+            // owner's overwrite of it. The detector must find the
+            // write/read race on the slot.
+            let dq = Arc::new(ModelDeque::new(2));
+            assert!(dq.push(100));
+            assert!(dq.push(200));
+            let d = Arc::clone(&dq);
+            let owner = thread::spawn(move || d.push_skipping_capacity_check(300));
+            let d = Arc::clone(&dq);
+            let thief = thread::spawn(move || d.steal());
+            owner.join();
+            record("stolen", thief.join());
+        }),
+        litmus("chase-lev/pop-skips-cas-broken", false, || {
+            // Negative control: a pop that takes the last element
+            // WITHOUT claiming it through the CAS. Every slot access is
+            // still a read, so the race detector correctly reports the
+            // space race-free — but owner and thief can both take the
+            // same value (taken_total = 20 in some schedules). The CAS
+            // is protocol atomicity, not memory ordering; only the
+            // observation set exposes this bug.
+            let dq = Arc::new(ModelDeque::new(2));
+            assert!(dq.push(10));
+            let d = Arc::clone(&dq);
+            let owner = thread::spawn(move || d.pop_without_claiming());
+            let d = Arc::clone(&dq);
+            let thief = thread::spawn(move || d.steal());
+            let got_owner = owner.join();
+            let got_thief = thief.join();
+            let taken = |v: i64| if v == 10 { v } else { 0 };
+            record("taken_total", taken(got_owner) + taken(got_thief));
+        }),
     ]
 }
 
@@ -364,9 +636,9 @@ mod tests {
         let cat = catalogue();
         let names: BTreeSet<&str> = cat.iter().map(|l| l.name).collect();
         assert_eq!(names.len(), cat.len(), "duplicate litmus names");
-        assert_eq!(cat.len(), 14);
+        assert_eq!(cat.len(), 20);
         // Every demo family has at least one racy and one fixed entry.
-        for family in ["lost-update", "message-passing", "store-buffer", "lazy-init"] {
+        for family in ["lost-update", "message-passing", "store-buffer", "lazy-init", "chase-lev"] {
             assert!(cat.iter().any(|l| l.name.starts_with(family) && l.expect_race));
             assert!(cat.iter().any(|l| l.name.starts_with(family) && !l.expect_race));
         }
@@ -419,6 +691,82 @@ mod tests {
                 "{name}: {key} not exact"
             );
         }
+    }
+
+    #[test]
+    fn chase_lev_last_element_goes_to_exactly_one_side() {
+        // Both outcomes must be reachable: schedules where the owner's
+        // pop wins the claiming CAS, and schedules where the thief's
+        // steal does. (Exclusivity itself is asserted inside the body,
+        // on every explored schedule.)
+        let entry = by_name("chase-lev/take-vs-steal").unwrap();
+        let body = Arc::clone(&entry.body);
+        let report = explore(Config::dfs(entry.name), move || body());
+        assert!(report.exhausted && report.race_free());
+        assert!(report.observations["owner"].contains(&10), "owner never won the CAS");
+        assert!(report.observations["thief"].contains(&10), "thief never won the CAS");
+        assert!(
+            report.observations["owner"].contains(&super::EMPTY),
+            "owner never lost: {:?}",
+            report.observations["owner"]
+        );
+    }
+
+    #[test]
+    fn chase_lev_losing_thief_abandons() {
+        // The losing thief must be able to exit both ways: seeing the
+        // deque already empty, and losing the claiming CAS (RETRY).
+        let entry = by_name("chase-lev/steal-empty-abandon").unwrap();
+        let body = Arc::clone(&entry.body);
+        let report = explore(Config::dfs(entry.name), move || body());
+        assert!(report.exhausted && report.race_free());
+        let all: BTreeSet<i64> = report.observations["got_a"]
+            .union(&report.observations["got_b"])
+            .copied()
+            .collect();
+        assert!(all.contains(&super::EMPTY), "no schedule saw empty-and-abandon");
+        assert!(all.contains(&super::RETRY), "no schedule lost the CAS");
+        assert!(report.observations["abandoned"].contains(&1));
+    }
+
+    #[test]
+    fn chase_lev_batch_size_tracks_the_racing_push() {
+        // Batch size 1 (bottom read before the push landed) and 2
+        // (after) must both be explored; the batch is always the
+        // oldest prefix, so its sum identifies its contents.
+        let entry = by_name("chase-lev/batch-steal-vs-push").unwrap();
+        let body = Arc::clone(&entry.body);
+        let report = explore(Config::dfs(entry.name), move || body());
+        assert!(report.exhausted && report.race_free());
+        assert_eq!(report.observations["batch_len"], BTreeSet::from([1, 2]));
+        assert_eq!(report.observations["batch_sum"], BTreeSet::from([1, 3]));
+    }
+
+    #[test]
+    fn chase_lev_wraparound_is_ordered_and_aba_free() {
+        // The steal always gets the oldest value (top is monotone — no
+        // ABA), and the push both succeeds (after the steal's CAS
+        // freed a slot) and fails (ring still full) in some schedule.
+        let entry = by_name("chase-lev/wraparound-reuse").unwrap();
+        let body = Arc::clone(&entry.body);
+        let report = explore(Config::dfs(entry.name), move || body());
+        assert!(report.exhausted && report.race_free());
+        assert_eq!(report.observations["stolen"], BTreeSet::from([100]));
+        assert_eq!(report.observations["pushed"], BTreeSet::from([0, 1]));
+    }
+
+    #[test]
+    fn chase_lev_broken_pop_double_takes_without_a_data_race() {
+        // The verdict is race-free (all slot accesses are reads) but
+        // the observation set betrays the bug: some schedule hands the
+        // same element to both the owner and the thief (total 20).
+        let entry = by_name("chase-lev/pop-skips-cas-broken").unwrap();
+        let body = Arc::clone(&entry.body);
+        let report = explore(Config::dfs(entry.name), move || body());
+        assert!(report.exhausted && report.race_free());
+        let totals = &report.observations["taken_total"];
+        assert!(totals.contains(&20), "double take never surfaced: {totals:?}");
+        assert!(totals.contains(&10), "the correct outcome must also be reachable");
     }
 
     #[test]

@@ -51,16 +51,22 @@
 //! rt.shutdown();
 //! ```
 
+pub mod batch;
 pub mod interim;
+mod job;
 pub mod multi;
 pub mod runtime;
 pub mod sched;
 pub mod scope;
 pub mod task;
 
+pub use batch::BatchHandle;
 pub use interim::{channel as interim_channel, InterimReceiver, InterimSender};
 pub use multi::MultiHandle;
-pub use runtime::{Builder, DrainReport, RuntimeHandle, RuntimeLatencies, RuntimeStats, TaskRuntime};
+pub use runtime::{
+    Builder, DrainReport, ProgressSnapshot, RuntimeHandle, RuntimeLatencies, RuntimeStats,
+    TaskRuntime,
+};
 pub use sched::SchedulerKind;
 pub use scope::Scope;
 pub use task::{CancelToken, Cancelled, TaskError, TaskHandle, TaskId, TaskWatcher};

@@ -2,7 +2,7 @@
 //! and shutdown.
 
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Weak};
 use std::thread;
 use std::time::{Duration, Instant};
@@ -10,8 +10,13 @@ use std::time::{Duration, Instant};
 use parc_trace::{Counter, LatencyHistogram, MarkKind, Outcome, SpanKind, TraceHandle};
 use parking_lot::{Condvar, Mutex};
 
-use crate::sched::{new_latency_hist, Job, LocalQueue, SchedCounters, SchedulerKind, SharedSched};
-use crate::task::{CancelToken, Core, TaskHandle, TaskWatcher};
+use crate::batch::{BatchCore, BatchHandle};
+use crate::job::SmallJob;
+use crate::sched::{
+    new_latency_hist, per_worker_hists, Job, LocalQueue, PaddedHist, SchedCounters, SchedulerKind,
+    SharedSched,
+};
+use crate::task::{CancelToken, Core, TaskHandle, TaskId, TaskWatcher};
 
 /// Snapshot of runtime activity counters.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -51,10 +56,42 @@ pub struct RuntimeLatencies {
     /// body returning (one sample per executed task).
     pub run_ms: LatencyHistogram,
     /// Steal latency: elapsed time from a worker's failed local pop to
-    /// the successful steal that ended its search for work (one sample
-    /// per steal; searches resolved locally or via the injector do not
-    /// record).
+    /// the successful steal *episode* that ended its search for work
+    /// (one sample per episode — a batch steal claiming several jobs
+    /// records once; searches resolved locally or via the injector do
+    /// not record).
     pub steal_wait_ms: LatencyHistogram,
+}
+
+/// An exactly-consistent snapshot of task progress, from one atomic
+/// load of the runtime's packed progress word:
+/// `spawned == finished + pending` holds by construction, even while
+/// workers are mid-steal or mid-completion (the old accounting summed
+/// queue lengths under separate locks, so a job in flight between
+/// queues could be double-counted or missed).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProgressSnapshot {
+    /// Tasks submitted, as of this snapshot.
+    pub spawned: u64,
+    /// Tasks finished (body executed or resolved cancelled).
+    pub finished: u64,
+    /// Tasks submitted but not yet finished — queued, mid-steal, or
+    /// currently running.
+    pub pending: usize,
+}
+
+/// Packed progress word: low 32 bits = pending jobs, high 32 bits =
+/// finished jobs (mod 2³²). Spawning adds `1`; finishing adds
+/// `(1 << 32) - 1`, atomically moving one unit from pending to
+/// finished. A single load therefore yields a consistent
+/// (pending, finished) pair. Pending is bounded by live jobs (never
+/// wraps); the finished half wraps only after 2³² completions per
+/// runtime instance, far beyond any bench here, and quiescence checks
+/// only the pending half regardless.
+const FINISH_DELTA: u64 = (1u64 << 32) - 1;
+
+fn unpack_pending(progress: u64) -> usize {
+    (progress & 0xFFFF_FFFF) as usize
 }
 
 pub(crate) struct RtInner {
@@ -65,11 +102,21 @@ pub(crate) struct RtInner {
     /// token is a child, so cancelling this cancels all of them.
     root_token: CancelToken,
     stop: AtomicBool,
-    /// Jobs submitted but not yet finished (includes dep-pending).
-    live_jobs: AtomicUsize,
+    /// Packed (finished, pending) accounting word; see [`FINISH_DELTA`].
+    progress: AtomicU64,
     idle: Mutex<()>,
     idle_cv: Condvar,
     quiescent_cv: Condvar,
+    /// Workers currently inside the idle-parking protocol (announced
+    /// *before* their final re-check for work, so a producer that
+    /// reads 0 after pushing knows the worker's re-check will see its
+    /// job — a Dekker-style handshake with [`RtInner::wake_after_push`]).
+    idle_workers: AtomicUsize,
+    /// Diagnostic: how many times a worker entered the idle-parking
+    /// path (each entry is one lock + at most one 100 ms parked wait).
+    /// Deliberately *not* part of [`RuntimeStats`], which determinism
+    /// suites compare bit-for-bit across reruns and pool sizes.
+    idle_probes: AtomicU64,
     spawned: Arc<Counter>,
     executed: Arc<Counter>,
     helped: Arc<Counter>,
@@ -77,9 +124,10 @@ pub(crate) struct RtInner {
     timed_out: Arc<Counter>,
     pub(crate) trace: TraceHandle,
     pub(crate) pid: u32,
-    /// Task-body run durations (ms); the steal-wait histogram lives in
-    /// [`SchedCounters`] next to the steal counter it annotates.
-    run_ms: Mutex<LatencyHistogram>,
+    /// Per-worker task-body run-duration histograms (ms), one slot per
+    /// worker plus a shared slot for helpers — same layout as the
+    /// steal-wait histograms in [`SchedCounters`], merged on demand.
+    run_ms: Box<[PaddedHist]>,
     deadlines: DeadlineWatch,
 }
 
@@ -177,7 +225,7 @@ impl Builder {
         let counters = SchedCounters {
             trace: self.trace.clone(),
             pid,
-            ..SchedCounters::default()
+            ..SchedCounters::for_workers(self.workers)
         };
         let spawned = Arc::new(Counter::new());
         let executed = Arc::new(Counter::new());
@@ -204,10 +252,12 @@ impl Builder {
             n_workers: self.workers,
             root_token: CancelToken::new(),
             stop: AtomicBool::new(false),
-            live_jobs: AtomicUsize::new(0),
+            progress: AtomicU64::new(0),
             idle: Mutex::new(()),
             idle_cv: Condvar::new(),
             quiescent_cv: Condvar::new(),
+            idle_workers: AtomicUsize::new(0),
+            idle_probes: AtomicU64::new(0),
             spawned,
             executed,
             helped,
@@ -215,7 +265,7 @@ impl Builder {
             timed_out,
             trace: self.trace,
             pid,
-            run_ms: Mutex::new(new_latency_hist()),
+            run_ms: per_worker_hists(self.workers),
             deadlines: DeadlineWatch::default(),
         });
         let mut joiners = Vec::with_capacity(self.workers);
@@ -242,49 +292,116 @@ impl Builder {
     }
 }
 
+/// Insurance timeout for parked idle workers. Submissions wake workers
+/// explicitly (see [`RtInner::wake_after_push`]), so this bound is
+/// never what delivers work — it only caps the damage if a wakeup were
+/// ever lost. Long enough that an idle pool is genuinely parked
+/// (compare the 1 ms poll it replaced: ~1000 spurious wakeups per
+/// worker-second), short enough that a bug degrades to latency, not a
+/// hang.
+const IDLE_PARK: Duration = Duration::from_millis(100);
+
 fn worker_loop(inner: &Arc<RtInner>, index: usize) {
-    loop {
-        let job = WORKER_CTX.with(|ctx| {
+    let pop = || {
+        WORKER_CTX.with(|ctx| {
             let borrow = ctx.borrow();
             let (_, local, _) = borrow.as_ref().expect("worker ctx set");
             inner.sched.pop_for(local, index, &inner.counters)
-        });
-        match job {
-            Some(job) => job(),
+        })
+    };
+    loop {
+        match pop() {
+            Some(job) => job.run(),
             None => {
                 if inner.stop.load(Ordering::Acquire) {
                     // Double-check nothing arrived between the failed
                     // pop and the stop check.
-                    let again = WORKER_CTX.with(|ctx| {
-                        let borrow = ctx.borrow();
-                        let (_, local, _) = borrow.as_ref().expect("worker ctx set");
-                        inner.sched.pop_for(local, index, &inner.counters)
-                    });
-                    match again {
+                    match pop() {
                         Some(job) => {
-                            job();
+                            job.run();
                             continue;
                         }
                         None => break,
                     }
                 }
+                // Park until work arrives. The handshake with
+                // `wake_after_push`: announce idleness (SeqCst), then
+                // re-check for work while holding the idle lock. A
+                // producer pushes, fences, and reads `idle_workers` —
+                // either it sees our announcement (and its notify
+                // cannot run until we release the lock into the wait,
+                // so the wakeup is not lost), or its push is ordered
+                // before our re-check (so the re-check finds the job).
+                inner.idle_probes.fetch_add(1, Ordering::Relaxed);
                 let mut guard = inner.idle.lock();
-                // Timed wait: cheap insurance against lost wakeups.
-                let _ = inner
-                    .idle_cv
-                    .wait_for(&mut guard, Duration::from_millis(1));
+                inner.idle_workers.fetch_add(1, Ordering::SeqCst);
+                match pop() {
+                    Some(job) => {
+                        inner.idle_workers.fetch_sub(1, Ordering::SeqCst);
+                        drop(guard);
+                        job.run();
+                    }
+                    None => {
+                        if inner.stop.load(Ordering::Acquire) {
+                            inner.idle_workers.fetch_sub(1, Ordering::SeqCst);
+                            continue; // loop re-pops, then exits
+                        }
+                        let _ = inner.idle_cv.wait_for(&mut guard, IDLE_PARK);
+                        inner.idle_workers.fetch_sub(1, Ordering::SeqCst);
+                    }
+                }
             }
         }
     }
 }
 
 impl RtInner {
-    fn wake_one(&self) {
-        self.idle_cv.notify_one();
+    /// Wake workers after `pushed` jobs were made visible. The `SeqCst`
+    /// fence pairs with the idle announcement in [`worker_loop`]: if we
+    /// read `idle_workers == 0`, every worker's parked-path re-check is
+    /// ordered after our push and will find the work, so skipping the
+    /// notify (and its lock + syscall — the old path paid one
+    /// `notify_one` per spawn unconditionally) is safe.
+    fn wake_after_push(&self, pushed: usize) {
+        fence(Ordering::SeqCst);
+        if self.idle_workers.load(Ordering::SeqCst) > 0 {
+            let _guard = self.idle.lock();
+            if pushed > 1 {
+                self.idle_cv.notify_all();
+            } else {
+                self.idle_cv.notify_one();
+            }
+        }
     }
 
     fn wake_all(&self) {
+        let _guard = self.idle.lock();
         self.idle_cv.notify_all();
+    }
+
+    /// The per-worker histogram slot for the calling thread (the extra
+    /// shared slot when the caller is not one of this pool's workers).
+    fn run_ms_slot(self: &Arc<Self>) -> usize {
+        let shared = self.run_ms.len() - 1;
+        WORKER_CTX.with(|ctx| {
+            ctx.borrow()
+                .as_ref()
+                .filter(|(weak, _, _)| std::ptr::eq(weak.as_ptr(), Arc::as_ptr(self)))
+                .map_or(shared, |(_, _, index)| (*index).min(shared))
+        })
+    }
+
+    pub(crate) fn record_run_ms(self: &Arc<Self>, ms: f64) {
+        self.run_ms[self.run_ms_slot()].0.lock().record(ms);
+    }
+
+    /// All per-worker run-duration histograms merged into one.
+    fn merged_run_ms(&self) -> LatencyHistogram {
+        let mut merged = new_latency_hist();
+        for slot in self.run_ms.iter() {
+            merged.merge(&slot.0.lock());
+        }
+        merged
     }
 
     /// Push a job, preferring the current worker's local deque when the
@@ -293,11 +410,9 @@ impl RtInner {
         let leftover = WORKER_CTX.with(|ctx| {
             let borrow = ctx.borrow();
             if let Some((weak, local, _index)) = borrow.as_ref() {
-                if let Some(owner) = weak.upgrade() {
-                    if Arc::ptr_eq(&owner, self) {
-                        self.sched.push_local(local, job);
-                        return None;
-                    }
+                if std::ptr::eq(weak.as_ptr(), Arc::as_ptr(self)) {
+                    self.sched.push_local(local, job);
+                    return None;
                 }
             }
             Some(job)
@@ -305,7 +420,33 @@ impl RtInner {
         if let Some(job) = leftover {
             self.sched.push_external(job);
         }
-        self.wake_one();
+        self.wake_after_push(1);
+    }
+
+    /// Push a whole batch: one shared-queue episode from external
+    /// threads, or straight into the local deque (no lock at all) when
+    /// called from one of this runtime's workers.
+    pub(crate) fn push_job_batch(self: &Arc<Self>, jobs: Vec<Job>) {
+        let pushed = jobs.len();
+        if pushed == 0 {
+            return;
+        }
+        let leftover = WORKER_CTX.with(|ctx| {
+            let borrow = ctx.borrow();
+            if let Some((weak, local, _index)) = borrow.as_ref() {
+                if std::ptr::eq(weak.as_ptr(), Arc::as_ptr(self)) {
+                    for job in jobs {
+                        self.sched.push_local(local, job);
+                    }
+                    return None;
+                }
+            }
+            Some(jobs)
+        });
+        if let Some(jobs) = leftover {
+            self.sched.push_external_batch(jobs);
+        }
+        self.wake_after_push(pushed);
     }
 
     /// One attempt at running a queued job from shared structures;
@@ -313,17 +454,32 @@ impl RtInner {
     fn help_once(self: &Arc<Self>) -> bool {
         if let Some(job) = self.sched.pop_shared(&self.counters) {
             self.helped.inc();
-            job();
+            job.run();
             true
         } else {
             false
         }
     }
 
-    fn job_finished(&self) {
-        let prev = self.live_jobs.fetch_sub(1, Ordering::AcqRel);
-        debug_assert!(prev > 0);
-        if prev == 1 {
+    /// Count one submitted job in the packed progress word.
+    pub(crate) fn job_spawned(&self) {
+        self.progress.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Count a batch of submitted jobs (one atomic op for the batch).
+    fn jobs_spawned(&self, n: usize) {
+        self.progress.fetch_add(n as u64, Ordering::AcqRel);
+    }
+
+    /// Jobs submitted but not yet finished, from one consistent load.
+    fn pending(&self) -> usize {
+        unpack_pending(self.progress.load(Ordering::Acquire))
+    }
+
+    pub(crate) fn job_finished(&self) {
+        let prev = self.progress.fetch_add(FINISH_DELTA, Ordering::AcqRel);
+        debug_assert!(unpack_pending(prev) > 0);
+        if unpack_pending(prev) == 1 {
             let _guard = self.idle.lock();
             self.quiescent_cv.notify_all();
         }
@@ -577,15 +733,44 @@ impl TaskRuntime {
         crate::multi::spawn_multi(&self.inner, self.inner.n_workers, f)
     }
 
+    /// Spawn `n` copies of a task as one *batch*: a single completion
+    /// structure, a single shared-queue submission episode, and no
+    /// per-task allocation — the fast path for fine-grained fan-outs
+    /// of thousands of tasks (websim cluster ticks, marking
+    /// pipelines). Each copy receives its index in `0..n`; results
+    /// come back from [`BatchHandle::join`] in index order.
+    ///
+    /// Compared to [`TaskRuntime::spawn_multi`], a batch has no
+    /// per-member [`TaskHandle`]/watcher machinery (and therefore no
+    /// per-member dependence edges or GUI delivery) — it trades that
+    /// generality for a spawn→run→join path that touches the
+    /// allocator a constant number of times regardless of `n`.
+    pub fn spawn_batch<T: Send + 'static>(
+        &self,
+        n: usize,
+        f: impl Fn(usize) -> T + Send + Sync + 'static,
+    ) -> BatchHandle<T> {
+        spawn_batch_on(&self.inner, n, f)
+    }
+
+    /// Join a batch spawned with [`TaskRuntime::spawn_batch`]:
+    /// equivalent to [`BatchHandle::join`], provided for symmetry.
+    pub fn join_batch<T: Send + 'static>(
+        &self,
+        batch: BatchHandle<T>,
+    ) -> Vec<Result<T, crate::task::TaskError>> {
+        batch.join()
+    }
+
     /// Block until every submitted task (including dependence-pending
     /// ones) has finished.
     pub fn wait_quiescent(&self) {
         let inner = &self.inner;
         // Help from this thread while waiting: useful on small pools.
-        while inner.live_jobs.load(Ordering::Acquire) != 0 {
+        while inner.pending() != 0 {
             if !inner.help_once() {
                 let mut guard = inner.idle.lock();
-                if inner.live_jobs.load(Ordering::Acquire) == 0 {
+                if inner.pending() == 0 {
                     break;
                 }
                 let _ = inner
@@ -595,10 +780,46 @@ impl TaskRuntime {
         }
     }
 
-    /// Rough number of jobs currently visible in queues (diagnostic).
+    /// An exactly-consistent progress snapshot, from a single atomic
+    /// load: `spawned == finished + pending` always holds within one
+    /// snapshot, under any concurrent load. (`spawned` here is derived
+    /// as `finished + pending`; it equals [`RuntimeStats::spawned`]
+    /// once submission racing the snapshot has settled.)
+    #[must_use]
+    pub fn progress(&self) -> ProgressSnapshot {
+        let word = self.inner.progress.load(Ordering::Acquire);
+        let pending = unpack_pending(word);
+        let finished = word >> 32;
+        ProgressSnapshot {
+            spawned: finished + pending as u64,
+            finished,
+            pending,
+        }
+    }
+
+    /// Number of submitted-but-unfinished jobs (queued, mid-steal, or
+    /// running), from one consistent snapshot.
+    ///
+    /// This *defines* the snapshot semantics the old implementation
+    /// lacked: it used to sum the injector and deque lengths under
+    /// separate locks, so a job in flight between queues (mid-steal)
+    /// or on a worker's stack (running) was double-counted or missed.
+    /// Counting at the accounting layer instead of the queue layer
+    /// makes the value exact: 0 if and only if the runtime is
+    /// quiescent.
     #[must_use]
     pub fn queued_hint(&self) -> usize {
-        self.inner.sched.shared_len_hint()
+        self.inner.pending()
+    }
+
+    /// Diagnostic: how many times a worker entered the idle-parking
+    /// path (lock + parked wait) since the pool started. An idle pool
+    /// accrues at most one probe per worker per 100 ms — the
+    /// regression test for the old busy-spin pins this bound. Not part
+    /// of [`RuntimeStats`] (whose fields are schedule-independent).
+    #[must_use]
+    pub fn idle_probes(&self) -> u64 {
+        self.inner.idle_probes.load(Ordering::Relaxed)
     }
 
     /// Current activity counters.
@@ -623,8 +844,8 @@ impl TaskRuntime {
     #[must_use]
     pub fn latencies(&self) -> RuntimeLatencies {
         RuntimeLatencies {
-            run_ms: self.inner.run_ms.lock().clone(),
-            steal_wait_ms: self.inner.counters.steal_wait_ms.lock().clone(),
+            run_ms: self.inner.merged_run_ms(),
+            steal_wait_ms: self.inner.counters.merged_steal_wait(),
         }
     }
 
@@ -651,10 +872,10 @@ impl TaskRuntime {
         self.inner.root_token.cancel();
         self.inner.wake_all();
         let inner = &self.inner;
-        while inner.live_jobs.load(Ordering::Acquire) != 0 && Instant::now() < deadline {
+        while inner.pending() != 0 && Instant::now() < deadline {
             if !inner.help_once() {
                 let mut guard = inner.idle.lock();
-                if inner.live_jobs.load(Ordering::Acquire) == 0 {
+                if inner.pending() == 0 {
                     break;
                 }
                 let _ = inner
@@ -662,7 +883,7 @@ impl TaskRuntime {
                     .wait_for(&mut guard, Duration::from_micros(500));
             }
         }
-        let leftover = inner.live_jobs.load(Ordering::Acquire);
+        let leftover = inner.pending();
         inner.stop.store(true, Ordering::Release);
         inner.stop_deadline_watch();
         inner.wake_all();
@@ -749,6 +970,27 @@ impl RuntimeHandle {
         }
     }
 
+    /// Spawn a batch (see [`TaskRuntime::spawn_batch`]), or run every
+    /// member inline in index order if the runtime is gone.
+    pub fn spawn_batch<T: Send + 'static>(
+        &self,
+        n: usize,
+        f: impl Fn(usize) -> T + Send + Sync + 'static,
+    ) -> BatchHandle<T> {
+        match self.inner.upgrade() {
+            Some(inner) => spawn_batch_on(&inner, n, f),
+            None => {
+                let core = BatchCore::new(n, TaskId::fresh_block(n as u64), CancelToken::new());
+                for i in 0..n {
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i)))
+                        .map_err(|p| crate::TaskError::Panicked(crate::task::panic_message(&p)));
+                    core.store(i, result);
+                }
+                BatchHandle { core, helper: None }
+            }
+        }
+    }
+
     /// Is the underlying pool still alive?
     #[must_use]
     pub fn is_alive(&self) -> bool {
@@ -799,10 +1041,12 @@ fn make_traced_job<T: Send + 'static>(
         inner.pid,
         MarkKind::TaskSpawn { task, parent_span: inner.trace.current_span() },
     );
-    inner.live_jobs.fetch_add(1, Ordering::AcqRel);
+    inner.job_spawned();
     let job_core = Arc::clone(core);
     let job_inner = Arc::downgrade(inner);
-    Box::new(move || {
+    // 16 bytes of bookkeeping captures + `f`: fits SmallJob's inline
+    // slot (no allocation) whenever `f` captures ≤ 48 bytes.
+    SmallJob::new(move || {
         let rt = job_inner.upgrade();
         let run_start = Instant::now();
         let was_cancelled = {
@@ -810,7 +1054,7 @@ fn make_traced_job<T: Send + 'static>(
             job_core.run(f)
         };
         if let Some(inner) = rt {
-            inner.run_ms.lock().record(run_start.elapsed().as_secs_f64() * 1e3);
+            inner.record_run_ms(run_start.elapsed().as_secs_f64() * 1e3);
             inner.executed.inc();
             let outcome = if was_cancelled {
                 inner.cancelled.inc();
@@ -822,6 +1066,83 @@ fn make_traced_job<T: Send + 'static>(
             inner.job_finished();
         }
     })
+}
+
+/// Build and submit the member jobs of a [`BatchHandle`] batch: ids
+/// from one block allocation, pending counted in one atomic add, and
+/// all jobs submitted in one shared-queue episode. Each member job is
+/// 32 bytes (stored inline in its [`SmallJob`]) and writes its result
+/// into the batch's preallocated slot — the whole fan-out performs a
+/// constant number of allocations regardless of `n`.
+fn spawn_batch_on<T: Send + 'static>(
+    inner: &Arc<RtInner>,
+    n: usize,
+    f: impl Fn(usize) -> T + Send + Sync + 'static,
+) -> BatchHandle<T> {
+    let base_id = TaskId::fresh_block(n as u64);
+    let core = BatchCore::new(n, base_id, inner.root_token.child());
+    inner.spawned.add(n as u64);
+    if inner.trace.enabled() {
+        let parent_span = inner.trace.current_span();
+        for i in 0..n as u64 {
+            inner
+                .trace
+                .mark(inner.pid, MarkKind::TaskSpawn { task: base_id + i, parent_span });
+        }
+    }
+    inner.jobs_spawned(n);
+    let shared_f = Arc::new(f);
+    let jobs: Vec<Job> = (0..n)
+        .map(|index| {
+            let core = Arc::clone(&core);
+            let f = Arc::clone(&shared_f);
+            let weak = Arc::downgrade(inner);
+            SmallJob::new(move || run_batch_member(&core, &f, &weak, index))
+        })
+        .collect();
+    inner.push_job_batch(jobs);
+    BatchHandle {
+        core,
+        helper: make_helper(inner),
+    }
+}
+
+/// Worker-side body of one batch member: the [`Core::run`] analogue
+/// against a batch slot (cancellation check, panic containment,
+/// outcome accounting), with no per-task completion structure.
+fn run_batch_member<T: Send + 'static>(
+    core: &Arc<BatchCore<T>>,
+    f: &Arc<impl Fn(usize) -> T + Send + Sync + 'static>,
+    weak: &Weak<RtInner>,
+    index: usize,
+) {
+    let rt = weak.upgrade();
+    let task = core.base_id() + index as u64;
+    let run_start = Instant::now();
+    let token = core.cancel_token();
+    let result = {
+        let _span = rt.as_ref().map(|i| i.trace.span(i.pid, SpanKind::TaskRun { task }));
+        if token.is_cancelled() {
+            Err(crate::task::TaskError::Cancelled)
+        } else {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(index)))
+                .map_err(|payload| crate::task::TaskError::Panicked(crate::task::panic_message(&*payload)))
+        }
+    };
+    let was_cancelled = matches!(result, Err(crate::task::TaskError::Cancelled));
+    core.store(index, result);
+    if let Some(inner) = rt {
+        inner.record_run_ms(run_start.elapsed().as_secs_f64() * 1e3);
+        inner.executed.inc();
+        let outcome = if was_cancelled {
+            inner.cancelled.inc();
+            Outcome::Cancelled
+        } else {
+            Outcome::Completed
+        };
+        inner.trace.mark(inner.pid, MarkKind::TaskOutcome { task, outcome });
+        inner.job_finished();
+    }
 }
 
 pub(crate) fn spawn_on<T: Send + 'static>(
@@ -869,7 +1190,7 @@ pub(crate) fn spawn_after_on<T: Send + 'static>(
                         if let Some(rt) = self.rt.upgrade() {
                             rt.push_job(job);
                         } else {
-                            job();
+                            job.run();
                         }
                     }
                 }

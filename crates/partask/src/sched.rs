@@ -1,14 +1,19 @@
-//! The two task schedulers: work-stealing and work-sharing.
+//! The task schedulers: work-stealing (lock-free and locked) and
+//! work-sharing.
 //!
 //! The PARC runtime exposed interchangeable scheduling policies and
 //! one SoftEng 751 project compared "different ways to schedule the
-//! workload"; experiment A1 reproduces that comparison. Both policies
+//! workload"; experiment A1 reproduces that comparison. All policies
 //! present the same interface to the runtime:
 //!
-//! * [`SchedulerKind::WorkStealing`] — per-worker Chase–Lev deques
-//!   (LIFO for the owner, FIFO for thieves) plus a global injector
-//!   queue for tasks submitted from outside the pool. This is the
-//!   classic Cilk/rayon design: good locality, distributed contention.
+//! * [`SchedulerKind::WorkStealing`] — per-worker lock-free Chase–Lev
+//!   deques (LIFO for the owner, FIFO for thieves, CAS-based steal)
+//!   plus a global injector queue for tasks submitted from outside the
+//!   pool. This is the classic Cilk/rayon design: good locality,
+//!   distributed contention, and no lock on the owner's hot path.
+//! * [`SchedulerKind::WorkStealingLocked`] — the same policy on the
+//!   previous `Mutex<VecDeque>` deque substrate, kept as the measured
+//!   baseline for the E-SCHED ablation (`examples/sched_bench.rs`).
 //! * [`SchedulerKind::WorkSharing`] — one global FIFO protected by a
 //!   mutex. Trivially fair, but every push and pop contends on a
 //!   single lock; the A1 benchmark shows the overhead gap grow with
@@ -18,19 +23,22 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Instant;
 
-use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use crossbeam::deque::{locked, Injector, Steal, Stealer, Worker};
 use parc_trace::{Counter, LatencyHistogram, MarkKind, TraceHandle};
 use parking_lot::Mutex;
 
-/// A unit of scheduled work.
-pub(crate) type Job = Box<dyn FnOnce() + Send>;
+/// A unit of scheduled work (small-closure storage, see `job.rs`).
+pub(crate) type Job = crate::job::SmallJob;
 
 /// Which scheduling policy a [`crate::TaskRuntime`] uses.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum SchedulerKind {
-    /// Per-worker deques with stealing (default).
+    /// Per-worker lock-free Chase–Lev deques with stealing (default).
     #[default]
     WorkStealing,
+    /// The stealing policy on mutex-protected deques: the pre-overhaul
+    /// substrate, selectable as the scheduler-bench baseline.
+    WorkStealingLocked,
     /// Single shared FIFO queue.
     WorkSharing,
 }
@@ -42,6 +50,26 @@ pub(crate) fn new_latency_hist() -> LatencyHistogram {
     LatencyHistogram::new(1e-4, 1e5, 12)
 }
 
+/// A latency histogram padded out to its own cache line, so per-worker
+/// instances never share a line. Each is still behind a mutex, but the
+/// mutex is effectively uncontended: slot `i` is written only by worker
+/// `i` (the final slot serves all non-worker threads), and other
+/// threads touch it only in [`SchedCounters::merged_steal_wait`].
+#[repr(align(64))]
+pub(crate) struct PaddedHist(pub(crate) Mutex<LatencyHistogram>);
+
+impl PaddedHist {
+    fn new() -> Self {
+        PaddedHist(Mutex::new(new_latency_hist()))
+    }
+}
+
+/// Build `workers + 1` padded per-thread histogram slots (one per
+/// worker plus a shared slot for helping/external threads).
+pub(crate) fn per_worker_hists(workers: usize) -> Box<[PaddedHist]> {
+    (0..=workers).map(|_| PaddedHist::new()).collect()
+}
+
 /// Counters describing where jobs were found, shared with the metrics
 /// registry when tracing is attached, plus the trace handle steal
 /// marks are emitted through.
@@ -50,13 +78,19 @@ pub(crate) struct SchedCounters {
     pub local_pops: Arc<Counter>,
     /// Jobs taken from the global injector / shared queue.
     pub global_pops: Arc<Counter>,
-    /// Jobs stolen from another worker's deque.
+    /// Jobs stolen from another worker's deque (counted per *item*:
+    /// a batch steal of n items adds n, and emits n steal marks, so
+    /// `sched.steal` marks always equal this counter).
     pub steals: Arc<Counter>,
-    /// Steal latency: elapsed time from a failed local pop to the
-    /// successful steal that ended the search, in milliseconds. Feeds
-    /// [`crate::RuntimeLatencies::steal_wait_ms`] and the scheduler
-    /// benches ROADMAP item 1 calls for.
-    pub steal_wait_ms: Arc<Mutex<LatencyHistogram>>,
+    /// Per-worker steal-latency histograms: elapsed time from a failed
+    /// local pop to the successful steal episode that ended the
+    /// search, in milliseconds (one sample per episode, not per stolen
+    /// item). Slot `i` belongs to worker `i`; the last slot serves
+    /// helping/external threads. Merged on demand by
+    /// [`SchedCounters::merged_steal_wait`] — the hot path never takes
+    /// a shared lock (the old single `Mutex<LatencyHistogram>`
+    /// serialized every thief it was measuring).
+    pub steal_wait_ms: Box<[PaddedHist]>,
     /// Where scheduling events are recorded (disabled by default).
     pub trace: TraceHandle,
     /// The runtime's trace track.
@@ -65,26 +99,62 @@ pub(crate) struct SchedCounters {
 
 impl Default for SchedCounters {
     fn default() -> Self {
-        Self {
-            local_pops: Arc::default(),
-            global_pops: Arc::default(),
-            steals: Arc::default(),
-            steal_wait_ms: Arc::new(Mutex::new(new_latency_hist())),
-            trace: TraceHandle::default(),
-            pid: 0,
-        }
+        Self::for_workers(1)
     }
 }
 
 impl SchedCounters {
-    /// Book-keeping for one successful steal: count it, record the
-    /// search latency, and emit the trace mark.
-    fn record_steal(&self, victim: usize, search_start: Instant) {
-        self.steals.inc();
-        self.steal_wait_ms
+    /// Counters with one steal-wait histogram slot per worker (plus
+    /// the shared slot).
+    pub(crate) fn for_workers(workers: usize) -> Self {
+        Self {
+            local_pops: Arc::default(),
+            global_pops: Arc::default(),
+            steals: Arc::default(),
+            steal_wait_ms: per_worker_hists(workers),
+            trace: TraceHandle::default(),
+            pid: 0,
+        }
+    }
+
+    /// The histogram slot for `thief` (`None` = not a pool worker).
+    fn slot(&self, thief: Option<usize>) -> usize {
+        let shared = self.steal_wait_ms.len() - 1;
+        match thief {
+            Some(i) if i < shared => i,
+            _ => shared,
+        }
+    }
+
+    /// Book-keeping for one successful steal episode claiming `items`
+    /// jobs: count every item, record the search latency once, and
+    /// emit one trace mark per item (keeping `sched.steal` marks equal
+    /// to the `steals` counter).
+    fn record_steal(
+        &self,
+        thief: Option<usize>,
+        victim: usize,
+        items: u64,
+        search_start: Instant,
+    ) {
+        self.steals.add(items);
+        self.steal_wait_ms[self.slot(thief)]
+            .0
             .lock()
             .record(search_start.elapsed().as_secs_f64() * 1e3);
-        self.trace.mark(self.pid, MarkKind::Steal { victim: victim as u32 });
+        for _ in 0..items {
+            self.trace.mark(self.pid, MarkKind::Steal { victim: victim as u32 });
+        }
+    }
+
+    /// All per-thread steal-wait histograms merged into one (snapshot;
+    /// exact totals once the runtime is quiescent).
+    pub(crate) fn merged_steal_wait(&self) -> LatencyHistogram {
+        let mut merged = new_latency_hist();
+        for slot in self.steal_wait_ms.iter() {
+            merged.merge(&slot.0.lock());
+        }
+        merged
     }
 }
 
@@ -94,6 +164,10 @@ pub(crate) enum SharedSched {
         injector: Injector<Job>,
         stealers: Vec<Stealer<Job>>,
     },
+    StealingLocked {
+        injector: locked::Injector<Job>,
+        stealers: Vec<locked::Stealer<Job>>,
+    },
     Sharing {
         queue: Mutex<VecDeque<Job>>,
     },
@@ -102,6 +176,7 @@ pub(crate) enum SharedSched {
 /// The per-worker (thread-local) half of a scheduler.
 pub(crate) enum LocalQueue {
     Stealing(Worker<Job>),
+    StealingLocked(locked::Worker<Job>),
     Sharing,
 }
 
@@ -120,6 +195,18 @@ impl SharedSched {
                     locals.into_iter().map(LocalQueue::Stealing).collect(),
                 )
             }
+            SchedulerKind::WorkStealingLocked => {
+                let locals: Vec<locked::Worker<Job>> =
+                    (0..workers).map(|_| locked::Worker::new_lifo()).collect();
+                let stealers = locals.iter().map(locked::Worker::stealer).collect();
+                (
+                    SharedSched::StealingLocked {
+                        injector: locked::Injector::new(),
+                        stealers,
+                    },
+                    locals.into_iter().map(LocalQueue::StealingLocked).collect(),
+                )
+            }
             SchedulerKind::WorkSharing => (
                 SharedSched::Sharing {
                     queue: Mutex::new(VecDeque::new()),
@@ -133,7 +220,24 @@ impl SharedSched {
     pub(crate) fn push_external(&self, job: Job) {
         match self {
             SharedSched::Stealing { injector, .. } => injector.push(job),
+            SharedSched::StealingLocked { injector, .. } => injector.push(job),
             SharedSched::Sharing { queue } => queue.lock().push_back(job),
+        }
+    }
+
+    /// Submit a whole batch in one shared-queue episode: a single lock
+    /// acquisition regardless of batch size (except on the locked
+    /// baseline, which deliberately keeps its historical one-lock-per-
+    /// task behaviour for the ablation).
+    pub(crate) fn push_external_batch(&self, jobs: Vec<Job>) {
+        match self {
+            SharedSched::Stealing { injector, .. } => injector.push_batch(jobs),
+            SharedSched::StealingLocked { injector, .. } => {
+                for job in jobs {
+                    injector.push(job);
+                }
+            }
+            SharedSched::Sharing { queue } => queue.lock().extend(jobs),
         }
     }
 
@@ -141,6 +245,7 @@ impl SharedSched {
     pub(crate) fn push_local(&self, local: &LocalQueue, job: Job) {
         match (self, local) {
             (SharedSched::Stealing { .. }, LocalQueue::Stealing(w)) => w.push(job),
+            (SharedSched::StealingLocked { .. }, LocalQueue::StealingLocked(w)) => w.push(job),
             (SharedSched::Sharing { queue }, LocalQueue::Sharing) => {
                 queue.lock().push_back(job);
             }
@@ -181,13 +286,57 @@ impl SharedSched {
                         continue;
                     }
                     loop {
-                        match stealer.steal() {
-                            Steal::Success(job) => {
-                                counters.record_steal(victim, search_start);
+                        // Batch steal: one CAS claims a run of jobs,
+                        // the surplus lands in our own deque for
+                        // subsequent local pops.
+                        match stealer.steal_batch_and_pop_with_count(w) {
+                            Steal::Success((job, items)) => {
+                                counters.record_steal(
+                                    Some(index),
+                                    victim,
+                                    items as u64,
+                                    search_start,
+                                );
                                 return Some(job);
                             }
                             Steal::Empty => break,
                             Steal::Retry => {}
+                        }
+                    }
+                }
+                None
+            }
+            (
+                SharedSched::StealingLocked { injector, stealers },
+                LocalQueue::StealingLocked(w),
+            ) => {
+                if let Some(job) = w.pop() {
+                    counters.local_pops.inc();
+                    return Some(job);
+                }
+                let search_start = Instant::now();
+                loop {
+                    match injector.steal_batch_and_pop(w) {
+                        locked::Steal::Success(job) => {
+                            counters.global_pops.inc();
+                            return Some(job);
+                        }
+                        locked::Steal::Empty => break,
+                        locked::Steal::Retry => {}
+                    }
+                }
+                for (victim, stealer) in stealers.iter().enumerate() {
+                    if victim == index {
+                        continue;
+                    }
+                    loop {
+                        match stealer.steal() {
+                            locked::Steal::Success(job) => {
+                                counters.record_steal(Some(index), victim, 1, search_start);
+                                return Some(job);
+                            }
+                            locked::Steal::Empty => break,
+                            locked::Steal::Retry => {}
                         }
                     }
                 }
@@ -224,11 +373,37 @@ impl SharedSched {
                     loop {
                         match stealer.steal() {
                             Steal::Success(job) => {
-                                counters.record_steal(victim, search_start);
+                                counters.record_steal(None, victim, 1, search_start);
                                 return Some(job);
                             }
                             Steal::Empty => break,
                             Steal::Retry => {}
+                        }
+                    }
+                }
+                None
+            }
+            SharedSched::StealingLocked { injector, stealers } => {
+                let search_start = Instant::now();
+                loop {
+                    match injector.steal() {
+                        locked::Steal::Success(job) => {
+                            counters.global_pops.inc();
+                            return Some(job);
+                        }
+                        locked::Steal::Empty => break,
+                        locked::Steal::Retry => {}
+                    }
+                }
+                for (victim, stealer) in stealers.iter().enumerate() {
+                    loop {
+                        match stealer.steal() {
+                            locked::Steal::Success(job) => {
+                                counters.record_steal(None, victim, 1, search_start);
+                                return Some(job);
+                            }
+                            locked::Steal::Empty => break,
+                            locked::Steal::Retry => {}
                         }
                     }
                 }
@@ -243,16 +418,6 @@ impl SharedSched {
             }
         }
     }
-
-    /// Rough count of queued jobs visible in shared structures.
-    pub(crate) fn shared_len_hint(&self) -> usize {
-        match self {
-            SharedSched::Stealing { injector, stealers } => {
-                injector.len() + stealers.iter().map(Stealer::len).sum::<usize>()
-            }
-            SharedSched::Sharing { queue } => queue.lock().len(),
-        }
-    }
 }
 
 #[cfg(test)]
@@ -261,10 +426,14 @@ mod tests {
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Arc;
 
+    fn job(f: impl FnOnce() + Send + 'static) -> Job {
+        Job::new(f)
+    }
+
     fn run_all(shared: &SharedSched, local: &LocalQueue, counters: &SchedCounters) -> usize {
         let mut n = 0;
         while let Some(job) = shared.pop_for(local, 0, counters) {
-            job();
+            job.run();
             n += 1;
         }
         n
@@ -277,7 +446,7 @@ mod tests {
         let log = Arc::new(Mutex::new(Vec::new()));
         for i in 0..3 {
             let log = Arc::clone(&log);
-            shared.push_local(&local, Box::new(move || log.lock().push(i)));
+            shared.push_local(&local, job(move || log.lock().push(i)));
         }
         let counters = SchedCounters::default();
         assert_eq!(run_all(&shared, &local, &counters), 3);
@@ -293,7 +462,7 @@ mod tests {
         let log = Arc::new(Mutex::new(Vec::new()));
         for i in 0..3 {
             let log = Arc::clone(&log);
-            shared.push_external(Box::new(move || log.lock().push(i)));
+            shared.push_external(job(move || log.lock().push(i)));
         }
         let counters = SchedCounters::default();
         assert_eq!(run_all(&shared, &local, &counters), 3);
@@ -307,7 +476,7 @@ mod tests {
         let count = Arc::new(AtomicUsize::new(0));
         for _ in 0..10 {
             let c = Arc::clone(&count);
-            shared.push_external(Box::new(move || {
+            shared.push_external(job(move || {
                 c.fetch_add(1, Ordering::Relaxed);
             }));
         }
@@ -323,25 +492,53 @@ mod tests {
         // Worker 0 queues work locally; worker 1 must steal it.
         for _ in 0..5 {
             let c = Arc::clone(&count);
-            shared.push_local(&locals[0], Box::new(move || {
+            shared.push_local(&locals[0], job(move || {
                 c.fetch_add(1, Ordering::Relaxed);
             }));
         }
-        let counters = SchedCounters::default();
+        let counters = SchedCounters::for_workers(2);
         let mut stolen = 0;
         while let Some(job) = shared.pop_for(&locals[1], 1, &counters) {
-            job();
+            job.run();
+            stolen += 1;
+        }
+        assert_eq!(stolen, 5);
+        // The steals counter counts *items*: every job left worker 0's
+        // deque via a steal (worker 0 never popped), whether it arrived
+        // one at a time or inside a claimed batch. Batch surplus that
+        // the thief later pops from its own deque shows up in
+        // local_pops *in addition* to steals.
+        assert_eq!(counters.steals.get(), 5);
+        assert!(counters.local_pops.get() <= counters.steals.get());
+        assert_eq!(count.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn locked_baseline_same_policy() {
+        let (shared, locals) = SharedSched::new(SchedulerKind::WorkStealingLocked, 2);
+        let count = Arc::new(AtomicUsize::new(0));
+        for _ in 0..5 {
+            let c = Arc::clone(&count);
+            shared.push_local(&locals[0], job(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        let counters = SchedCounters::for_workers(2);
+        let mut stolen = 0;
+        while let Some(job) = shared.pop_for(&locals[1], 1, &counters) {
+            job.run();
             stolen += 1;
         }
         assert_eq!(stolen, 5);
         assert_eq!(counters.steals.get(), 5);
+        assert_eq!(count.load(Ordering::Relaxed), 5);
     }
 
     #[test]
     fn pop_shared_sees_injector_and_deques() {
         let (shared, locals) = SharedSched::new(SchedulerKind::WorkStealing, 1);
-        shared.push_external(Box::new(|| {}));
-        shared.push_local(&locals[0], Box::new(|| {}));
+        shared.push_external(job(|| {}));
+        shared.push_local(&locals[0], job(|| {}));
         let counters = SchedCounters::default();
         assert!(shared.pop_shared(&counters).is_some());
         assert!(shared.pop_shared(&counters).is_some());
@@ -349,11 +546,34 @@ mod tests {
     }
 
     #[test]
-    fn shared_len_hint_counts() {
-        let (shared, _locals) = SharedSched::new(SchedulerKind::WorkSharing, 1);
-        assert_eq!(shared.shared_len_hint(), 0);
-        shared.push_external(Box::new(|| {}));
-        shared.push_external(Box::new(|| {}));
-        assert_eq!(shared.shared_len_hint(), 2);
+    fn batch_submit_is_one_episode_and_fifo() {
+        let (shared, mut locals) = SharedSched::new(SchedulerKind::WorkStealing, 1);
+        let local = locals.remove(0);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let jobs: Vec<Job> = (0..8)
+            .map(|i| {
+                let log = Arc::clone(&log);
+                job(move || log.lock().push(i))
+            })
+            .collect();
+        shared.push_external_batch(jobs);
+        let counters = SchedCounters::default();
+        assert_eq!(run_all(&shared, &local, &counters), 8);
+        // Injector batches preserve FIFO across the refill boundary.
+        assert_eq!(*log.lock(), (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn steal_wait_merges_per_worker_slots() {
+        let counters = SchedCounters::for_workers(2);
+        let t0 = Instant::now();
+        counters.record_steal(Some(0), 1, 1, t0);
+        counters.record_steal(Some(1), 0, 1, t0);
+        counters.record_steal(None, 0, 1, t0); // helper thread slot
+        assert_eq!(counters.steal_wait_ms[0].0.lock().total(), 1);
+        assert_eq!(counters.steal_wait_ms[1].0.lock().total(), 1);
+        assert_eq!(counters.steal_wait_ms[2].0.lock().total(), 1);
+        assert_eq!(counters.merged_steal_wait().total(), 3);
+        assert_eq!(counters.steals.get(), 3);
     }
 }

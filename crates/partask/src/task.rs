@@ -28,6 +28,12 @@ impl TaskId {
         TaskId(NEXT_TASK_ID.fetch_add(1, Ordering::Relaxed))
     }
 
+    /// Reserve a contiguous block of `n` ids with one atomic op (batch
+    /// spawn gives member `i` the id `base + i`); returns the base.
+    pub(crate) fn fresh_block(n: u64) -> u64 {
+        NEXT_TASK_ID.fetch_add(n.max(1), Ordering::Relaxed)
+    }
+
     /// The raw numeric id.
     #[must_use]
     pub fn as_u64(self) -> u64 {
@@ -214,7 +220,7 @@ impl<T: Send + 'static> Core<T> {
     }
 }
 
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {

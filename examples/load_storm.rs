@@ -81,7 +81,7 @@ fn main() {
                 .or_else(|_| s.parse::<u64>())
                 .expect("seed must be hex or decimal")
         })
-        .unwrap_or(0x10AD_6E4);
+        .unwrap_or(0x010A_D6E4);
     let workers = 4usize;
 
     println!("== E-LOAD: traffic storms against the sharded web tier ==\n");

@@ -16,7 +16,7 @@ fn main() {
 
     for n in [1_000usize, 10_000, 100_000, 1_000_000] {
         let input = data::random(n, 0x5EED ^ n as u64);
-        let median3 = |mut run: Box<dyn FnMut() -> ()>| -> f64 {
+        let median3 = |mut run: Box<dyn FnMut()>| -> f64 {
             let mut times = Vec::new();
             for _ in 0..3 {
                 let sw = Stopwatch::start();

@@ -55,7 +55,7 @@ fn main() {
         total_executions += report.schedule_log.len();
         total_steps += report.steps_total;
 
-        let ok = !report.race_free() == entry.expect_race;
+        let ok = report.race_free() != entry.expect_race;
         if !ok {
             mismatches += 1;
         }

@@ -2,218 +2,21 @@
 //!
 //! The build container has no network and an empty registry, so the
 //! real crate cannot be fetched. Three modules are provided with the
-//! same API shape and the same *correctness* semantics; the shims are
-//! lock-based rather than lock-free, so they trade peak scalability
-//! for auditability. The scheduler ablation (stealing vs sharing) and
-//! the collection comparisons remain meaningful: the *policies* are
-//! unchanged, only the queue substrate differs.
+//! same API shape and the same correctness semantics:
 //!
 //! * [`deque`] — `Worker`/`Stealer`/`Injector` work-stealing deques.
-//! * [`queue`] — `SegQueue`, an unbounded MPMC queue.
+//!   The worker deque is a real lock-free Chase–Lev deque (atomic
+//!   `top`/`bottom`, CAS-based steal); the previous mutex-based
+//!   substrate survives as [`deque::locked`], kept selectable by the
+//!   scheduler as the measured baseline for the E-SCHED ablation.
+//! * [`queue`] — `SegQueue`, an unbounded MPMC queue (lock-based).
 //! * [`epoch`] — pointer-based protected reclamation for the Treiber
 //!   stack: guards count active pins and retired garbage is freed only
-//!   when no guard is live (a coarse but sound epoch scheme).
+//!   when no guard is live (a coarse but sound epoch scheme). Note the
+//!   deque does *not* use it — pinning takes a global lock, so the
+//!   deque parks retired ring buffers until drop instead.
 
-pub mod deque {
-    //! Work-stealing deque: owner pops LIFO, thieves steal FIFO.
-
-    use std::collections::VecDeque;
-    use std::sync::{Arc, Mutex, PoisonError};
-
-    /// Result of a steal attempt.
-    pub enum Steal<T> {
-        /// Nothing to steal.
-        Empty,
-        /// A stolen item.
-        Success(T),
-        /// Lost a race; try again.
-        Retry,
-    }
-
-    struct Shared<T> {
-        items: Mutex<VecDeque<T>>,
-    }
-
-    impl<T> Shared<T> {
-        fn new() -> Arc<Self> {
-            Arc::new(Self {
-                items: Mutex::new(VecDeque::new()),
-            })
-        }
-    }
-
-    /// The owner's handle: push and pop at the back (LIFO).
-    pub struct Worker<T> {
-        shared: Arc<Shared<T>>,
-    }
-
-    impl<T> Worker<T> {
-        /// A new LIFO worker deque.
-        #[must_use]
-        pub fn new_lifo() -> Self {
-            Self {
-                shared: Shared::new(),
-            }
-        }
-
-        /// Push onto the owner's end.
-        pub fn push(&self, item: T) {
-            self.shared
-                .items
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner)
-                .push_back(item);
-        }
-
-        /// Pop from the owner's end (most recently pushed first).
-        pub fn pop(&self) -> Option<T> {
-            self.shared
-                .items
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner)
-                .pop_back()
-        }
-
-        /// A thief's handle onto this deque.
-        #[must_use]
-        pub fn stealer(&self) -> Stealer<T> {
-            Stealer {
-                shared: Arc::clone(&self.shared),
-            }
-        }
-    }
-
-    /// A thief's handle: steals from the front (FIFO).
-    pub struct Stealer<T> {
-        shared: Arc<Shared<T>>,
-    }
-
-    impl<T> Stealer<T> {
-        /// Steal the oldest item.
-        pub fn steal(&self) -> Steal<T> {
-            match self
-                .shared
-                .items
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner)
-                .pop_front()
-            {
-                Some(item) => Steal::Success(item),
-                None => Steal::Empty,
-            }
-        }
-
-        /// Number of items currently visible.
-        #[must_use]
-        pub fn len(&self) -> usize {
-            self.shared
-                .items
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner)
-                .len()
-        }
-
-        /// True when no items are visible.
-        #[must_use]
-        pub fn is_empty(&self) -> bool {
-            self.len() == 0
-        }
-    }
-
-    impl<T> Clone for Stealer<T> {
-        fn clone(&self) -> Self {
-            Self {
-                shared: Arc::clone(&self.shared),
-            }
-        }
-    }
-
-    /// Global FIFO injector for work submitted from outside the pool.
-    pub struct Injector<T> {
-        items: Mutex<VecDeque<T>>,
-    }
-
-    impl<T> Default for Injector<T> {
-        fn default() -> Self {
-            Self::new()
-        }
-    }
-
-    impl<T> Injector<T> {
-        /// A new empty injector.
-        #[must_use]
-        pub fn new() -> Self {
-            Self {
-                items: Mutex::new(VecDeque::new()),
-            }
-        }
-
-        /// Submit an item.
-        pub fn push(&self, item: T) {
-            self.items
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner)
-                .push_back(item);
-        }
-
-        /// Steal the oldest item.
-        pub fn steal(&self) -> Steal<T> {
-            match self
-                .items
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner)
-                .pop_front()
-            {
-                Some(item) => Steal::Success(item),
-                None => Steal::Empty,
-            }
-        }
-
-        /// Move a batch into `dest` and return one item immediately.
-        /// Takes up to half of the queue (at least one) like the real
-        /// implementation, amortising injector contention.
-        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
-            let mut items = self
-                .items
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner);
-            let first = match items.pop_front() {
-                Some(item) => item,
-                None => return Steal::Empty,
-            };
-            let extra = (items.len() / 2).min(16);
-            if extra > 0 {
-                // Preserve FIFO order for the batch: the worker pops
-                // LIFO, so push the batch in reverse.
-                let batch: Vec<T> = items.drain(..extra).collect();
-                let mut dest_items = dest
-                    .shared
-                    .items
-                    .lock()
-                    .unwrap_or_else(PoisonError::into_inner);
-                for item in batch.into_iter().rev() {
-                    dest_items.push_back(item);
-                }
-            }
-            Steal::Success(first)
-        }
-
-        /// Number of queued items.
-        #[must_use]
-        pub fn len(&self) -> usize {
-            self.items
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner)
-                .len()
-        }
-
-        /// True when no items are queued.
-        #[must_use]
-        pub fn is_empty(&self) -> bool {
-            self.len() == 0
-        }
-    }
-}
+pub mod deque;
 
 pub mod queue {
     //! Unbounded MPMC queue with the `SegQueue` API.
@@ -618,41 +421,9 @@ pub mod epoch {
 
 #[cfg(test)]
 mod tests {
-    use super::deque::{Injector, Steal, Worker};
     use super::epoch::{self, Atomic, Owned};
     use super::queue::SegQueue;
     use std::sync::atomic::Ordering;
-
-    #[test]
-    fn worker_lifo_stealer_fifo() {
-        let w = Worker::new_lifo();
-        let s = w.stealer();
-        w.push(1);
-        w.push(2);
-        w.push(3);
-        assert_eq!(w.pop(), Some(3));
-        match s.steal() {
-            Steal::Success(v) => assert_eq!(v, 1),
-            _ => panic!("steal failed"),
-        }
-        assert_eq!(s.len(), 1);
-    }
-
-    #[test]
-    fn injector_batch_refill() {
-        let inj = Injector::new();
-        let w = Worker::new_lifo();
-        for i in 0..10 {
-            inj.push(i);
-        }
-        match inj.steal_batch_and_pop(&w) {
-            Steal::Success(v) => assert_eq!(v, 0),
-            _ => panic!("batch pop failed"),
-        }
-        // The batch moved to the worker preserves FIFO order for its
-        // LIFO owner: next owner pop is the oldest batched item.
-        assert_eq!(w.pop(), Some(1));
-    }
 
     #[test]
     fn segqueue_fifo() {

@@ -40,8 +40,11 @@ fn crawl_policy() -> RetryPolicy {
 }
 
 /// The deterministic portion of a [`FetchOutcome`] (everything except
-/// wall time).
-fn fingerprint(o: &FetchOutcome) -> (Vec<(usize, u32, Option<u64>)>, [u64; 5], Vec<usize>) {
+/// wall time): per-page `(page, attempts, kb-bits)` rows, the totals,
+/// and the permanently-failed page list.
+type OutcomePrint = (Vec<(usize, u32, Option<u64>)>, [u64; 5], Vec<usize>);
+
+fn fingerprint(o: &FetchOutcome) -> OutcomePrint {
     let pages = o
         .pages
         .iter()

@@ -17,7 +17,7 @@ fn scoped_tasks_feed_a_pyjama_reduction() {
     let rt = TaskRuntime::builder().workers(2).build();
     let team = Team::new(2);
     let data: Vec<u64> = (0..10_000).collect();
-    let mut partials = vec![0u64; 8];
+    let mut partials = [0u64; 8];
     rt.scope(|s| {
         for (k, slot) in partials.iter_mut().enumerate() {
             let data = &data;

@@ -1,7 +1,7 @@
-//! End-to-end GUI pipelines: background work + event-dispatch thread
-//! + interim results, composed across crates — the interactive
-//! application shape every "(also available for Android)" project in
-//! the paper shares.
+//! End-to-end GUI pipelines: background work, the event-dispatch
+//! thread and interim results, composed across crates — the
+//! interactive application shape every "(also available for Android)"
+//! project in the paper shares.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;

@@ -41,7 +41,7 @@ fn cell_cfg(seed: u64, ticks: usize, outage: Option<OutageScript>) -> LoadCellCo
 /// every arrival process × storm shape combination.
 #[test]
 fn mid_storm_kill_with_supervised_restart_loses_zero_acked_pages() {
-    let seed = 0x10AD_6E4;
+    let seed = 0x010A_D6E4;
     let ticks = 30;
     let outage = OutageScript { replica: 1, kill_tick: ticks / 3, restart_tick: 2 * ticks / 3 };
     let rt = TaskRuntime::builder().workers(4).build();

@@ -181,7 +181,7 @@ proptest! {
             ..course::AllocationConfig::default()
         };
         let outcome = course::run_poll(&cfg);
-        let mut per_topic = vec![0usize; 10];
+        let mut per_topic = [0usize; 10];
         for &t in &outcome.assignment {
             per_topic[t] += 1;
         }
