@@ -151,10 +151,56 @@ impl ModelDeque {
     }
 
     /// Batch steal: claim up to `max` items (at least one, at most
-    /// half the observed length, as in the real deque) with a single
-    /// CAS, reading all of them speculatively first. Returns the
-    /// claimed values, oldest first; empty on [`EMPTY`]/[`RETRY`].
+    /// half the initially observed length, as in the real deque),
+    /// **one CAS per element**, re-reading `bottom` between claims.
+    /// Returns the claimed values, oldest first; empty on
+    /// [`EMPTY`] or a first claim lost ([`RETRY`]).
+    ///
+    /// Per-element claiming is load-bearing, not style: the owner's
+    /// [`ModelDeque::pop`] removes bottom-end elements *without* any
+    /// CAS while it sees more than one element, so a single CAS
+    /// spanning several elements can win elements the owner already
+    /// popped (see [`ModelDeque::steal_batch_single_cas`], the broken
+    /// twin `chase-lev/batch-steal-vs-pop-single-cas-broken` keeps).
     fn steal_batch(&self, max: u64) -> Vec<i64> {
+        let mut t = self.top.load(Ordering::Acquire);
+        let b = self.bottom.load(Ordering::Acquire);
+        let len = b as i64 - t as i64;
+        if len <= 0 {
+            return Vec::new();
+        }
+        let n = (((len + 1) / 2) as u64).min(max);
+        let mut values = Vec::new();
+        while (values.len() as u64) < n {
+            if !values.is_empty() {
+                // Re-validate the owner's end before each further
+                // claim (`SeqCst`, porting the real code's
+                // fence-then-Acquire preamble): either the thief sees
+                // the owner's `bottom` reservation and stops, or its
+                // claim is ordered before it and the element is ours.
+                let b = self.bottom.load(Ordering::SeqCst);
+                if b as i64 - t as i64 <= 0 {
+                    break;
+                }
+            }
+            let value = self.slot(t).get();
+            if self.top.compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::SeqCst).is_err() {
+                break;
+            }
+            values.push(value);
+            t += 1;
+        }
+        values
+    }
+
+    /// Broken batch steal for
+    /// `chase-lev/batch-steal-vs-pop-single-cas-broken`: reads the
+    /// whole run `[t, t+n)` speculatively and claims it with ONE CAS
+    /// on `top` — the algorithm the real deque shipped with before
+    /// the per-element fix. Unsound against concurrent owner pops:
+    /// the CAS only proves `top` did not move, while `pop` retires
+    /// bottom-end elements without ever touching `top`.
+    fn steal_batch_single_cas(&self, max: u64) -> Vec<i64> {
         let t = self.top.load(Ordering::Acquire);
         let b = self.bottom.load(Ordering::Acquire);
         let len = b as i64 - t as i64;
@@ -535,12 +581,12 @@ pub fn catalogue() -> Vec<Litmus> {
         }),
         litmus("chase-lev/batch-steal-vs-push", false, || {
             // A batch steal overlapping an owner push. The thief
-            // claims a contiguous block from `top` with one CAS while
-            // the owner appends at `bottom`; the two touch disjoint
-            // slots, and the batch size depends on whether the thief's
-            // `bottom` load sees the in-flight push (1 of 2 queued, or
-            // 2 of 3 after the push lands — never the freshly pushed
-            // slot itself).
+            // claims a contiguous block from `top` (element by
+            // element) while the owner appends at `bottom`; the two
+            // touch disjoint slots, and the batch size depends on
+            // whether the thief's `bottom` load sees the in-flight
+            // push (1 of 2 queued, or 2 of 3 after the push lands —
+            // never the freshly pushed slot itself).
             let dq = Arc::new(ModelDeque::new(4));
             assert!(dq.push(1));
             assert!(dq.push(2));
@@ -556,6 +602,81 @@ pub fn catalogue() -> Vec<Litmus> {
             );
             record("batch_len", batch.len() as i64);
             record("batch_sum", batch.iter().sum::<i64>());
+        }),
+        litmus("chase-lev/batch-steal-vs-pop", false, || {
+            // The interleaving a batch steal must survive — and the
+            // one a single-CAS multi-element claim gets wrong: the
+            // owner pops bottom-end elements CAS-free (it sees
+            // `top < bottom`) while a thief claims a batch from the
+            // top. With [1, 2, 4] queued the thief's claim (up to 2)
+            // and the owner's two pops both reach the middle element;
+            // per-element claiming must deliver every value exactly
+            // once, in every schedule. Power-of-two values make the
+            // sums identify exactly which elements each side got.
+            let dq = Arc::new(ModelDeque::new(4));
+            assert!(dq.push(1));
+            assert!(dq.push(2));
+            assert!(dq.push(4));
+            let taken = |v: i64| if v > 0 { v } else { 0 };
+            let d = Arc::clone(&dq);
+            let owner = thread::spawn(move || taken(d.pop()) + taken(d.pop()));
+            let d = Arc::clone(&dq);
+            let thief = thread::spawn(move || d.steal_batch(2).iter().sum::<i64>());
+            let owner_sum = owner.join();
+            let thief_sum = thief.join();
+            // Drain what neither side took (single-threaded now, so a
+            // steal can no longer lose its CAS).
+            let mut leftover = 0;
+            loop {
+                match dq.steal() {
+                    EMPTY => break,
+                    v => {
+                        assert_ne!(v, RETRY, "no competitor left to lose a CAS to");
+                        leftover += v;
+                    }
+                }
+            }
+            assert_eq!(
+                owner_sum + thief_sum + leftover,
+                7,
+                "each of 1, 2, 4 delivered exactly once: \
+                 owner {owner_sum}, thief {thief_sum}, leftover {leftover}"
+            );
+            record("owner_sum", owner_sum);
+            record("thief_sum", thief_sum);
+        }),
+        litmus("chase-lev/batch-steal-vs-pop-single-cas-broken", false, || {
+            // Negative control: the same scenario, but the thief
+            // claims its whole batch with a single CAS on `top`. All
+            // slot accesses are reads, so the space is race-free —
+            // yet the owner can pop the middle element (no CAS: it
+            // still sees top < bottom) after the thief copied it and
+            // before the thief's claim lands, and the claim still
+            // succeeds. The observation set betrays the duplicate:
+            // grand total 9 = 7 + the twice-delivered 2.
+            let dq = Arc::new(ModelDeque::new(4));
+            assert!(dq.push(1));
+            assert!(dq.push(2));
+            assert!(dq.push(4));
+            let taken = |v: i64| if v > 0 { v } else { 0 };
+            let d = Arc::clone(&dq);
+            let owner = thread::spawn(move || taken(d.pop()) + taken(d.pop()));
+            let d = Arc::clone(&dq);
+            let thief =
+                thread::spawn(move || d.steal_batch_single_cas(2).iter().sum::<i64>());
+            let owner_sum = owner.join();
+            let thief_sum = thief.join();
+            let mut leftover = 0;
+            loop {
+                match dq.steal() {
+                    EMPTY => break,
+                    v => {
+                        assert_ne!(v, RETRY, "no competitor left to lose a CAS to");
+                        leftover += v;
+                    }
+                }
+            }
+            record("grand_total", owner_sum + thief_sum + leftover);
         }),
         litmus("chase-lev/wraparound-reuse", false, || {
             // ABA territory: a full ring (cap 2), a thief steals the
@@ -636,7 +757,7 @@ mod tests {
         let cat = catalogue();
         let names: BTreeSet<&str> = cat.iter().map(|l| l.name).collect();
         assert_eq!(names.len(), cat.len(), "duplicate litmus names");
-        assert_eq!(cat.len(), 20);
+        assert_eq!(cat.len(), 22);
         // Every demo family has at least one racy and one fixed entry.
         for family in ["lost-update", "message-passing", "store-buffer", "lazy-init", "chase-lev"] {
             assert!(cat.iter().any(|l| l.name.starts_with(family) && l.expect_race));
@@ -740,6 +861,44 @@ mod tests {
         assert!(report.exhausted && report.race_free());
         assert_eq!(report.observations["batch_len"], BTreeSet::from([1, 2]));
         assert_eq!(report.observations["batch_sum"], BTreeSet::from([1, 3]));
+    }
+
+    #[test]
+    fn chase_lev_batch_steal_vs_pop_is_exact() {
+        // The regression gate for the per-element-CAS batch steal: the
+        // conservation assertion inside the body (grand total exactly
+        // 7) holds on every explored schedule, and the contended
+        // middle element (value 2) must be winnable by *both* sides —
+        // owner_sum 6 = {4, 2}, thief_sum 3 = {1, 2}.
+        let entry = by_name("chase-lev/batch-steal-vs-pop").unwrap();
+        let body = Arc::clone(&entry.body);
+        let report = explore(Config::dfs(entry.name), move || body());
+        assert!(report.exhausted && report.race_free());
+        assert!(
+            report.observations["owner_sum"].contains(&6),
+            "owner never won the contended element: {:?}",
+            report.observations["owner_sum"]
+        );
+        assert!(
+            report.observations["thief_sum"].contains(&3),
+            "thief never won the contended element: {:?}",
+            report.observations["thief_sum"]
+        );
+    }
+
+    #[test]
+    fn chase_lev_single_cas_batch_double_delivers() {
+        // The broken twin witnesses exactly the bug the per-element
+        // fix removes: race-free (all slot accesses are reads), but
+        // some schedule delivers the middle element to both the
+        // popping owner and the single-CAS batch thief (total 9).
+        let entry = by_name("chase-lev/batch-steal-vs-pop-single-cas-broken").unwrap();
+        let body = Arc::clone(&entry.body);
+        let report = explore(Config::dfs(entry.name), move || body());
+        assert!(report.exhausted && report.race_free());
+        let totals = &report.observations["grand_total"];
+        assert!(totals.contains(&9), "double delivery never surfaced: {totals:?}");
+        assert!(totals.contains(&7), "the correct outcome must also be reachable");
     }
 
     #[test]

@@ -286,8 +286,10 @@ impl SharedSched {
                         continue;
                     }
                     loop {
-                        // Batch steal: one CAS claims a run of jobs,
-                        // the surplus lands in our own deque for
+                        // Batch steal: one walk of the victim's ring
+                        // claims a run of jobs (a CAS per job — the
+                        // victim may be popping the other end), the
+                        // surplus lands in our own deque for
                         // subsequent local pops.
                         match stealer.steal_batch_and_pop_with_count(w) {
                             Steal::Success((job, items)) => {

@@ -8,8 +8,13 @@
 //!   ring buffer indexed by an atomic `top`/`bottom` pair. The owner's
 //!   `push`/`pop` touch only its own end and are lock-free; thieves
 //!   claim elements with a CAS on `top`. `steal_batch_and_pop` claims
-//!   a run of elements with a single CAS, amortising steal traffic for
-//!   fine-grained tasks.
+//!   a run of elements one CAS at a time (re-validating `bottom`
+//!   between claims), amortising the *cache traffic* of stealing —
+//!   one victim-ring walk, one destination publish — for fine-grained
+//!   tasks. The claims themselves cannot be batched into one CAS: the
+//!   owner's `pop` removes bottom-end elements *without* a CAS
+//!   whenever it sees more than one element, so a multi-element claim
+//!   could win elements the owner already popped (double delivery).
 //! * [`locked`] preserves the previous `Mutex<VecDeque>` substrate.
 //!   The scheduler keeps it selectable (`WorkStealingLocked`) as the
 //!   measured baseline for the E-SCHED ablation: identical policy,
@@ -334,9 +339,9 @@ impl<T> Stealer<T> {
         }
     }
 
-    /// Claim a run of elements with a single CAS: move up to half of
-    /// the visible items (capped) into `dest` and return the oldest
-    /// immediately. `dest` must belong to the calling thread.
+    /// Steal a run of elements: move up to half of the visible items
+    /// (capped) into `dest` and return the oldest immediately. `dest`
+    /// must belong to the calling thread.
     pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
         match self.steal_batch_and_pop_with_count(dest) {
             Steal::Success((item, _)) => Steal::Success(item),
@@ -346,7 +351,7 @@ impl<T> Stealer<T> {
     }
 
     /// [`Stealer::steal_batch_and_pop`], also reporting how many items
-    /// the CAS claimed (the returned one plus those moved into
+    /// were claimed (the returned one plus those moved into
     /// `dest`). Not part of upstream crossbeam's API — the scheduler
     /// uses the count to keep its per-item steal accounting exact.
     pub fn steal_batch_and_pop_with_count(&self, dest: &Worker<T>) -> Steal<(T, usize)> {
@@ -358,18 +363,22 @@ impl<T> Stealer<T> {
                 Steal::Retry => Steal::Retry,
             };
         }
-        let t = self.inner.top.load(Ordering::Acquire);
+        let mut t = self.inner.top.load(Ordering::Acquire);
         fence(Ordering::SeqCst);
         let b = self.inner.bottom.load(Ordering::Acquire);
         let len = b.wrapping_sub(t);
         if len <= 0 {
             return Steal::Empty;
         }
+        // Upper bound only: the owner may pop the tail out from under
+        // us, so every element is re-validated and claimed
+        // individually below.
         let n = ((len + 1) / 2).min(MAX_BATCH as isize);
         let buf = self.inner.buffer.load(Ordering::Acquire);
 
-        // Make room in `dest` first (owner-side op: the caller owns
-        // `dest`), so nothing needs to grow after the claim.
+        // Make room in `dest` up front (owner-side op: the caller owns
+        // `dest`), so its ring never grows while unpublished slots are
+        // in flight — growth copies only the published range.
         let db = dest.inner.bottom.load(Ordering::Relaxed);
         let dt = dest.inner.top.load(Ordering::Acquire);
         let mut dbuf = dest.inner.buffer.load(Ordering::Relaxed);
@@ -380,40 +389,69 @@ impl<T> Stealer<T> {
             dbuf = dest.inner.buffer.load(Ordering::Relaxed);
         }
 
-        // Speculatively copy the run: the first element is returned,
-        // the tail goes into dest's ring *unpublished* (dest.bottom is
-        // only advanced after the claim succeeds).
-        // SAFETY: as in `steal`, a successful CAS proves `top` did not
-        // move, so none of these slots were reclaimed or overwritten
-        // while we copied; on failure the copies are abandoned as raw
-        // bytes (never dropped, never published).
+        // Claim elements ONE CAS AT A TIME (as upstream
+        // crossbeam-deque does for the LIFO flavor). A single CAS over
+        // the whole range would be unsound: `pop` removes bottom-end
+        // elements without touching `top` whenever it sees more than
+        // one element, so a multi-element claim can win elements the
+        // owner already popped — double delivery. Claimed one by one,
+        // each claim is exactly the `steal` protocol, whose
+        // exclusivity against `pop` the explorer proves
+        // (`chase-lev/batch-steal-vs-pop`; the single-CAS algorithm is
+        // kept there as the broken twin that double-delivers).
+        //
+        // SAFETY: as in `steal`, each successful CAS at value `t`
+        // proves the slot for unwrapped index `t` was neither
+        // reclaimed nor overwritten while we copied it (`top` is
+        // monotone; an overwrite of that slot requires `top > t`); a
+        // failed CAS abandons the copy as raw bytes — never dropped,
+        // never published.
         let first = unsafe { (*buf).read(t) };
-        unsafe {
-            for i in 1..n {
-                let item = (*buf).read(t.wrapping_add(i));
-                (*dbuf).write(db.wrapping_add(i - 1), item);
-            }
+        if self
+            .inner
+            .top
+            .compare_exchange(t, t.wrapping_add(1), Ordering::SeqCst, Ordering::Relaxed)
+            .is_err()
+        {
+            mem::forget(first);
+            return Steal::Retry;
         }
-        match self.inner.top.compare_exchange(
-            t,
-            t.wrapping_add(n),
-            Ordering::SeqCst,
-            Ordering::Relaxed,
-        ) {
-            Ok(_) => {
-                if n > 1 {
-                    dest.inner
-                        .bottom
-                        .store(db.wrapping_add(n - 1), Ordering::Release);
-                }
-                #[allow(clippy::cast_sign_loss)]
-                Steal::Success((first, n as usize))
+        t = t.wrapping_add(1);
+        let mut moved: isize = 0;
+        while 1 + moved < n {
+            // Re-validate the owner's end before each further claim:
+            // the fence/Acquire pair is `steal`'s preamble, so either
+            // this thief sees the owner's `bottom` reservation (and
+            // stops) or its claim is ordered before the reservation
+            // (and the element is exclusively ours).
+            fence(Ordering::SeqCst);
+            let b = self.inner.bottom.load(Ordering::Acquire);
+            if b.wrapping_sub(t) <= 0 {
+                break;
             }
-            Err(_) => {
-                mem::forget(first);
-                Steal::Retry
+            let item = unsafe { (*buf).read(t) };
+            if self
+                .inner
+                .top
+                .compare_exchange(t, t.wrapping_add(1), Ordering::SeqCst, Ordering::Relaxed)
+                .is_err()
+            {
+                mem::forget(item);
+                break;
             }
+            // Ours now: bank it in dest's ring, unpublished until the
+            // whole batch is done.
+            unsafe { (*dbuf).write(db.wrapping_add(moved), item) };
+            moved += 1;
+            t = t.wrapping_add(1);
         }
+        if moved > 0 {
+            dest.inner
+                .bottom
+                .store(db.wrapping_add(moved), Ordering::Release);
+        }
+        #[allow(clippy::cast_sign_loss)]
+        Steal::Success((first, (1 + moved) as usize))
     }
 
     /// Number of items currently visible. A racy snapshot: exact only
@@ -901,6 +939,46 @@ mod tests {
                 (Some(v), None) | (None, Some(v)) => assert_eq!(v, round),
                 other => panic!("round {round}: both or neither won: {other:?}"),
             }
+        }
+    }
+
+    #[test]
+    fn batch_steal_vs_owner_pop_delivers_exactly_once() {
+        // Regression for the single-CAS batch steal: the owner pops
+        // the bottom end CAS-free (it sees top < bottom) while a
+        // thief batch-steals from the top; a multi-element claim made
+        // with one CAS can win an element the owner already popped
+        // and deliver it twice. Small deques maximise the overlap of
+        // the thief's claim range and the owner's pops.
+        for round in 0..4_000u64 {
+            let w = Worker::new_lifo();
+            for i in 0..5 {
+                w.push(round * 8 + i);
+            }
+            let s = w.stealer();
+            let thief = thread::spawn(move || {
+                let local = Worker::new_lifo();
+                let mut got = Vec::new();
+                loop {
+                    match s.steal_batch_and_pop(&local) {
+                        Steal::Success(v) => got.push(v),
+                        Steal::Retry => {}
+                        Steal::Empty => break,
+                    }
+                }
+                while let Some(v) = local.pop() {
+                    got.push(v);
+                }
+                got
+            });
+            let mut got = Vec::new();
+            while let Some(v) = w.pop() {
+                got.push(v);
+            }
+            got.extend(thief.join().unwrap());
+            got.sort_unstable();
+            let want: Vec<u64> = (0..5).map(|i| round * 8 + i).collect();
+            assert_eq!(got, want, "round {round}: lost or duplicated element");
         }
     }
 
