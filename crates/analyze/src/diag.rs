@@ -30,6 +30,10 @@ pub enum Code {
     /// Malformed region structure (unclosed block, stray `}` or
     /// `section` outside `sections`).
     E005,
+    /// Phase-ordered deterministic deadlock: the MHP engine proves a
+    /// barrier is reached by only part of the team (arrival counts
+    /// mismatch) outside the classic `E001` construct family.
+    E006,
     /// Unprotected write to a shared variable in a parallel region —
     /// potential data race.
     W101,
@@ -39,6 +43,10 @@ pub enum Code {
     /// `private` variable read before its first write (privates start
     /// uninitialised; use `firstprivate` to capture the outer value).
     W103,
+    /// Redundant `critical`: MHP proves no concurrent access ever
+    /// conflicts with anything the lock protects — the lock only adds
+    /// overhead (a teachable style diagnostic).
+    W104,
 }
 
 /// Diagnostic severity.
@@ -52,23 +60,27 @@ pub enum Severity {
 
 impl Code {
     /// Every code, in report order.
-    pub const ALL: [Code; 8] = [
+    pub const ALL: [Code; 10] = [
         Code::E001,
         Code::E002,
         Code::E003,
         Code::E004,
         Code::E005,
+        Code::E006,
         Code::W101,
         Code::W102,
         Code::W103,
+        Code::W104,
     ];
 
     /// The code's severity class.
     #[must_use]
     pub fn severity(self) -> Severity {
         match self {
-            Self::E001 | Self::E002 | Self::E003 | Self::E004 | Self::E005 => Severity::Error,
-            Self::W101 | Self::W102 | Self::W103 => Severity::Warning,
+            Self::E001 | Self::E002 | Self::E003 | Self::E004 | Self::E005 | Self::E006 => {
+                Severity::Error
+            }
+            Self::W101 | Self::W102 | Self::W103 | Self::W104 => Severity::Warning,
         }
     }
 
@@ -81,9 +93,11 @@ impl Code {
             Self::E003 => "E003",
             Self::E004 => "E004",
             Self::E005 => "E005",
+            Self::E006 => "E006",
             Self::W101 => "W101",
             Self::W102 => "W102",
             Self::W103 => "W103",
+            Self::W104 => "W104",
         }
     }
 
@@ -96,9 +110,11 @@ impl Code {
             Self::E003 => "reduction variable written outside the reduction",
             Self::E004 => "lock-order cycle across named criticals",
             Self::E005 => "malformed region structure",
+            Self::E006 => "phase-ordered deadlock: barrier unreachable for part of the team",
             Self::W101 => "unprotected shared write (potential race)",
             Self::W102 => "master without a barrier before sibling reads",
             Self::W103 => "private variable read before first write",
+            Self::W104 => "redundant critical: no concurrent conflicting access",
         }
     }
 }
@@ -210,8 +226,12 @@ pub fn summary_table(title: &str, diags: &[Diagnostic]) -> String {
     table.render()
 }
 
-/// Escape a string for embedding in a JSON literal.
-fn json_escape(s: &str) -> String {
+/// Escape a string for embedding in a JSON string literal. Covers
+/// quotes, backslashes and every control character below 0x20 —
+/// exported so drivers emitting their own JSON (fixture names, source
+/// snippets) escape identically instead of interpolating raw.
+#[must_use]
+pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -258,6 +278,41 @@ pub fn to_json(diags: &[Diagnostic]) -> String {
     out
 }
 
+/// Like [`to_json`] but each entry also carries the source line the
+/// span points at as a `"snippet"` field (escaped — snippets routinely
+/// contain quotes, backslashes and tabs).
+#[must_use]
+pub fn to_json_with_source(diags: &[Diagnostic], source: &str) -> String {
+    let lines: Vec<&str> = source.lines().collect();
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let snippet = lines.get(d.span.line.saturating_sub(1)).copied().unwrap_or("");
+        out.push_str(&format!(
+            "\n  {{\"code\": \"{}\", \"severity\": \"{}\", \"line\": {}, \"col\": {}, \"len\": {}, \"message\": \"{}\", \"snippet\": \"{}\", \"notes\": [{}]}}",
+            d.code.as_str(),
+            d.code.severity().label(),
+            d.span.line,
+            d.span.col,
+            d.span.len,
+            json_escape(&d.message),
+            json_escape(snippet),
+            d.notes
+                .iter()
+                .map(|n| format!("\"{}\"", json_escape(n)))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+    }
+    if !diags.is_empty() {
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -287,6 +342,80 @@ mod tests {
         assert!(json.contains("write to \\\"x\\\""));
         assert!(json.starts_with('['));
         assert!(json.ends_with(']'));
+    }
+
+    /// Minimal JSON string-literal unescaper for the round-trip test:
+    /// walks the export, pulls every string literal back out and
+    /// decodes the escapes `to_json*` may emit.
+    fn parse_json_strings(json: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut chars = json.chars().peekable();
+        while let Some(c) = chars.next() {
+            if c != '"' {
+                continue;
+            }
+            let mut lit = String::new();
+            loop {
+                match chars.next() {
+                    None => panic!("unterminated string literal in export"),
+                    Some('"') => break,
+                    Some('\\') => match chars.next() {
+                        Some('"') => lit.push('"'),
+                        Some('\\') => lit.push('\\'),
+                        Some('n') => lit.push('\n'),
+                        Some('t') => lit.push('\t'),
+                        Some('r') => lit.push('\r'),
+                        Some('u') => {
+                            let hex: String = (0..4).map(|_| chars.next().unwrap()).collect();
+                            let code = u32::from_str_radix(&hex, 16).unwrap();
+                            lit.push(char::from_u32(code).unwrap());
+                        }
+                        other => panic!("unexpected escape {other:?}"),
+                    },
+                    Some(raw) => {
+                        assert!(
+                            raw as u32 >= 0x20,
+                            "control character {:#x} emitted raw — invalid JSON",
+                            raw as u32
+                        );
+                        lit.push(raw);
+                    }
+                }
+            }
+            out.push(lit);
+        }
+        out
+    }
+
+    #[test]
+    fn json_round_trips_hostile_messages_and_snippets() {
+        let source = "x = 0; // \"quoted\" \\ backslash\tand tab\n";
+        let nasty = "message with \"quotes\", a \\ backslash,\na newline, \t a tab and \u{1}";
+        let d = Diagnostic::new(Code::W101, Span::new(1, 1, 6), nasty)
+            .with_note("note with \"quotes\" and \\ slashes");
+        let json = to_json_with_source(&[d], source);
+        let strings = parse_json_strings(&json);
+        assert!(strings.contains(&nasty.to_string()), "message must round-trip exactly");
+        assert!(
+            strings.contains(&"x = 0; // \"quoted\" \\ backslash\tand tab".to_string()),
+            "snippet must round-trip exactly"
+        );
+        assert!(strings.contains(&"note with \"quotes\" and \\ slashes".to_string()));
+        // The raw escape sequences must appear escaped in the byte stream.
+        assert!(json.contains("\\u0001"));
+        assert!(json.contains("\\\"quoted\\\""));
+    }
+
+    #[test]
+    fn new_codes_are_registered_in_report_order() {
+        assert_eq!(Code::ALL.len(), 10);
+        assert!(Code::E005 < Code::E006);
+        assert!(Code::E006 < Code::W101);
+        assert!(Code::W103 < Code::W104);
+        assert_eq!(Code::E006.severity(), Severity::Error);
+        assert_eq!(Code::W104.severity(), Severity::Warning);
+        assert_eq!(Code::E006.as_str(), "E006");
+        assert_eq!(Code::W104.as_str(), "W104");
     }
 
     #[test]

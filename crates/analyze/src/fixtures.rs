@@ -1,6 +1,6 @@
-//! The fixture corpus: twenty small directive programs styled on the
-//! SoftEng 751 student projects, half exhibiting the classic bugs the
-//! rule engine targets and half their fixed (or naturally clean)
+//! The fixture corpus: twenty-two small directive programs styled on
+//! the SoftEng 751 student projects, half exhibiting the classic bugs
+//! the rule engine targets and half their fixed (or naturally clean)
 //! counterparts.
 //!
 //! Every fixture carries its expected static diagnostics *and* the
@@ -160,6 +160,22 @@ sum = 0;
         dynamic: DynVerdict::Deadlock,
     },
     Fixture {
+        name: "barrier/in-gui",
+        styled_on: "GUI thread waiting on workers from the EDT",
+        source: "\
+//#omp parallel num_threads(2)
+{
+    //#omp gui
+    {
+        done = 1;
+        //#omp barrier
+    }
+}
+",
+        expect: &[Code::E006],
+        dynamic: DynVerdict::Deadlock,
+    },
+    Fixture {
         name: "barrier/phases",
         styled_on: "n-body per-step sync (fixed: barrier between phases)",
         source: "\
@@ -240,7 +256,7 @@ sum = 0;
             {
                 //#omp critical beta
                 {
-                    a = 1;
+                    a = a + 1;
                 }
             }
         }
@@ -250,7 +266,7 @@ sum = 0;
             {
                 //#omp critical alpha
                 {
-                    b = 1;
+                    a = a + 2;
                 }
             }
         }
@@ -274,7 +290,7 @@ sum = 0;
             {
                 //#omp critical beta
                 {
-                    a = 1;
+                    a = a + 1;
                 }
             }
         }
@@ -284,7 +300,7 @@ sum = 0;
             {
                 //#omp critical beta
                 {
-                    b = 1;
+                    a = a + 2;
                 }
             }
         }
@@ -372,6 +388,31 @@ seed = 3;
         dynamic: DynVerdict::Race,
     },
     Fixture {
+        name: "critical/redundant",
+        styled_on: "image-pipeline head counter locked out of habit",
+        source: "\
+//#omp parallel num_threads(2)
+{
+    //#omp sections
+    {
+        //#omp section
+        {
+            //#omp critical stats
+            {
+                head = head + 1;
+            }
+        }
+        //#omp section
+        {
+            tail = tail + 1;
+        }
+    }
+}
+",
+        expect: &[Code::W104],
+        dynamic: DynVerdict::Clean,
+    },
+    Fixture {
         name: "gui/progress",
         styled_on: "GUI progress-bar update from a parallel region",
         source: "\
@@ -421,12 +462,12 @@ mod tests {
     use super::*;
 
     #[test]
-    fn corpus_has_twenty_named_unique_fixtures() {
-        assert_eq!(corpus().len(), 20);
+    fn corpus_has_twenty_two_named_unique_fixtures() {
+        assert_eq!(corpus().len(), 22);
         let mut names: Vec<&str> = corpus().iter().map(|f| f.name).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 20, "fixture names must be unique");
+        assert_eq!(names.len(), 22, "fixture names must be unique");
     }
 
     #[test]

@@ -1,0 +1,598 @@
+//! Seeded generator of well-typed directive programs for the E-FUZZ
+//! agreement harness (`examples/fuzz_lint.rs`).
+//!
+//! Each program is built as an AST and rendered through
+//! [`Program::pretty`], so every emission is well-formed by
+//! construction; the harness re-parses the surface text to get real
+//! spans. Generation is a pure function of the seed
+//! ([`parc_util::rng::Xoshiro256`]): the same `(seed, count)` always
+//! yields byte-identical sources, which is what makes the CI
+//! bit-identity rerun check possible.
+//!
+//! The corpus cycles deterministically through twenty **families**,
+//! each pinned to a known dynamic verdict class:
+//!
+//! * genuinely racy programs (unprotected counters, conflicting
+//!   sections, reduction bypasses, `master`/`single nowait` hand-offs),
+//! * genuinely deadlocking programs (odd barrier splits, barriers
+//!   under `single`/`gui`, reversed lock orders),
+//! * genuinely clean programs (protected counters, reductions,
+//!   disjoint sections, phase-separated hand-offs),
+//! * **bait** programs that are dynamically clean but that the
+//!   syntactic PR 4 engine flags — evenly-split barriers in `for`,
+//!   single-iteration worksharing writes, and `num_threads(1)`
+//!   constructs. These guarantee the old engine's false-positive rate
+//!   is non-zero on every seed, so the "strictly fewer false
+//!   positives" gate measures something real.
+//!
+//! [`cross_validate`] runs a corpus through both static engines *and*
+//! the exhaustive explorer and tallies the agreement.
+
+use parc_explore::Config;
+use parc_util::rng::Xoshiro256;
+use proptest::test_runner::TestRng;
+use proptest::Strategy;
+
+use crate::ast::{Clause, Expr, Ident, Item, Loop, Program, RedOp, Region, RegionKind, Span};
+use crate::bridge::explore_program;
+use crate::diag::Code;
+use crate::parse::parse;
+use crate::rules;
+
+/// One generated program.
+#[derive(Clone, Debug)]
+pub struct GenProgram {
+    /// Position in the generated corpus.
+    pub index: usize,
+    /// The family that produced it (see module docs).
+    pub family: &'static str,
+    /// The canonical surface text ([`Program::pretty`] output).
+    pub source: String,
+}
+
+/// Static codes that claim "some schedule races" — must cover every
+/// explorer-witnessed race.
+pub const RACE_CLASS: [Code; 4] = [Code::E002, Code::E003, Code::W101, Code::W102];
+
+/// Static codes that claim "some/all schedules deadlock" under the
+/// MHP∩lockset engine — must cover every explorer-witnessed deadlock.
+pub const DEADLOCK_CLASS: [Code; 3] = [Code::E001, Code::E004, Code::E006];
+
+/// Codes counted as false positives for the new engine on a program
+/// the explorer proved clean (everything that claims a dynamic
+/// failure; style-only W103/W104 are excluded).
+pub const FP_CLASS_NEW: [Code; 7] =
+    [Code::E001, Code::E002, Code::E003, Code::E004, Code::E006, Code::W101, Code::W102];
+
+/// Same, for the syntactic baseline (which cannot emit E006).
+pub const FP_CLASS_OLD: [Code; 6] =
+    [Code::E001, Code::E002, Code::E003, Code::E004, Code::W101, Code::W102];
+
+// ---------------------------------------------------------------------
+// AST construction helpers (spans are irrelevant: the harness re-parses
+// the pretty output).
+// ---------------------------------------------------------------------
+
+fn id(name: &str) -> Ident {
+    Ident { name: name.to_string(), span: Span::default() }
+}
+
+fn read(name: &str) -> Expr {
+    Expr::Var(id(name))
+}
+
+fn lit(n: i64) -> Expr {
+    Expr::Num(n, Span::default())
+}
+
+/// `var = var + by;`
+fn incr(var: &str, by: i64) -> Item {
+    Item::Assign(crate::ast::Assign {
+        target: id(var),
+        expr: Expr::Bin(Box::new(read(var)), crate::ast::BinOp::Add, Box::new(lit(by))),
+        span: Span::default(),
+    })
+}
+
+/// `var = n;`
+fn set(var: &str, n: i64) -> Item {
+    Item::Assign(crate::ast::Assign { target: id(var), expr: lit(n), span: Span::default() })
+}
+
+/// `dst = src;`
+fn copy(dst: &str, src: &str) -> Item {
+    Item::Assign(crate::ast::Assign { target: id(dst), expr: read(src), span: Span::default() })
+}
+
+fn region(kind: RegionKind, name: Option<&str>, clauses: Vec<Clause>, body: Vec<Item>) -> Item {
+    Item::Region(Region { kind, name: name.map(id), clauses, span: Span::default(), body })
+}
+
+fn parallel(n: usize, extra: Vec<Clause>, body: Vec<Item>) -> Item {
+    let mut clauses = vec![Clause::NumThreads(n)];
+    clauses.extend(extra);
+    region(RegionKind::Parallel, None, clauses, body)
+}
+
+fn critical(name: Option<&str>, body: Vec<Item>) -> Item {
+    region(RegionKind::Critical, name, Vec::new(), body)
+}
+
+fn barrier() -> Item {
+    region(RegionKind::Barrier, None, Vec::new(), Vec::new())
+}
+
+fn omp_for(var: &str, lo: i64, hi: i64, clauses: Vec<Clause>, body: Vec<Item>) -> Item {
+    let looped = Item::Loop(Loop { var: id(var), lo, hi, span: Span::default(), body });
+    region(RegionKind::For, None, clauses, vec![looped])
+}
+
+fn sections(secs: Vec<Vec<Item>>) -> Item {
+    let body = secs
+        .into_iter()
+        .map(|items| region(RegionKind::Section, None, Vec::new(), items))
+        .collect();
+    region(RegionKind::Sections, None, Vec::new(), body)
+}
+
+// ---------------------------------------------------------------------
+// Families
+// ---------------------------------------------------------------------
+
+const COUNTERS: [&str; 6] = ["acc", "count", "hits", "sum", "total", "value"];
+const FLAGS: [&str; 4] = ["config", "done", "flag", "ready"];
+const LOCKS: [&str; 4] = ["alpha", "beta", "gate", "tally"];
+
+fn pick<'a>(rng: &mut Xoshiro256, pool: &[&'a str]) -> &'a str {
+    pool[rng.gen_range_usize(0..pool.len())]
+}
+
+fn small(rng: &mut Xoshiro256) -> i64 {
+    rng.gen_range_i64(1..6)
+}
+
+/// Unprotected shared counter, team of two: every schedule with
+/// interleaved read-modify-write races.
+fn racy_counter(rng: &mut Xoshiro256) -> Vec<Item> {
+    let var = pick(rng, &COUNTERS);
+    let body: Vec<Item> =
+        (0..rng.gen_range_usize(1..3)).map(|_| incr(var, small(rng))).collect();
+    vec![parallel(2, vec![], body)]
+}
+
+/// The same counter protected by one critical: clean.
+fn protected_counter(rng: &mut Xoshiro256) -> Vec<Item> {
+    let var = pick(rng, &COUNTERS);
+    let lock = if rng.gen_bool(0.5) { Some(pick(rng, &LOCKS)) } else { None };
+    let body: Vec<Item> =
+        (0..rng.gen_range_usize(1..3)).map(|_| incr(var, small(rng))).collect();
+    vec![parallel(2, vec![], vec![critical(lock, body)])]
+}
+
+/// A proper `reduction(+:sum)` worksharing loop: clean.
+fn reduction_sum(rng: &mut Xoshiro256) -> Vec<Item> {
+    let var = pick(rng, &COUNTERS);
+    let hi = rng.gen_range_i64(2..5);
+    let red = Clause::Reduction { op: RedOp::Add, var: id(var) };
+    let body = vec![incr(var, 1)];
+    vec![set(var, 0), parallel(2, vec![], vec![omp_for("i", 0, hi, vec![red], body)])]
+}
+
+/// Reduction variable also written as a plain shared variable after
+/// the loop: the stray writes race with each other (E003 bypass).
+fn reduction_stray(rng: &mut Xoshiro256) -> Vec<Item> {
+    let var = pick(rng, &COUNTERS);
+    let red = Clause::Reduction { op: RedOp::Add, var: id(var) };
+    let inner = vec![omp_for("i", 0, 2, vec![red], vec![incr(var, 1)]), incr(var, small(rng))];
+    vec![set(var, 0), parallel(2, vec![], inner)]
+}
+
+/// Two sections touching different variables: clean.
+fn sections_disjoint(rng: &mut Xoshiro256) -> Vec<Item> {
+    let a = small(rng);
+    let b = small(rng);
+    let secs = vec![vec![incr("head", a)], vec![incr("tail", b)]];
+    vec![parallel(2, vec![], vec![sections(secs)])]
+}
+
+/// Two sections writing the same variable: they run on different
+/// threads concurrently, so every schedule can race.
+fn sections_conflict(rng: &mut Xoshiro256) -> Vec<Item> {
+    let var = pick(rng, &COUNTERS);
+    let secs = vec![vec![incr(var, small(rng))], vec![incr(var, small(rng))]];
+    vec![parallel(2, vec![], vec![sections(secs)])]
+}
+
+/// `master` initialises a flag that siblings read with no barrier —
+/// `master` has no implied barrier, so the read can see the old value.
+fn master_unbarriered(rng: &mut Xoshiro256) -> Vec<Item> {
+    let flag = pick(rng, &FLAGS);
+    let inner = vec![
+        region(RegionKind::Master, None, vec![], vec![set(flag, small(rng))]),
+        copy("local", flag),
+    ];
+    vec![set(flag, 0), parallel(2, vec![Clause::Private(vec![id("local")])], inner)]
+}
+
+/// The `single` version of the same hand-off: the implied barrier
+/// orders the write before every read — clean.
+fn single_init(rng: &mut Xoshiro256) -> Vec<Item> {
+    let flag = pick(rng, &FLAGS);
+    let inner = vec![
+        region(RegionKind::Single, None, vec![], vec![set(flag, small(rng))]),
+        copy("local", flag),
+    ];
+    vec![set(flag, 0), parallel(2, vec![Clause::Private(vec![id("local")])], inner)]
+}
+
+/// `single nowait` drops the implied barrier and re-creates the race.
+fn single_nowait(rng: &mut Xoshiro256) -> Vec<Item> {
+    let flag = pick(rng, &FLAGS);
+    let inner = vec![
+        region(RegionKind::Single, None, vec![Clause::NoWait], vec![set(flag, small(rng))]),
+        copy("local", flag),
+    ];
+    vec![set(flag, 0), parallel(2, vec![Clause::Private(vec![id("local")])], inner)]
+}
+
+/// A barrier directly in the parallel body splits private work into
+/// phases: clean.
+fn barrier_direct(rng: &mut Xoshiro256) -> Vec<Item> {
+    let inner = vec![set("local", small(rng)), barrier(), incr("local", small(rng))];
+    vec![parallel(2, vec![Clause::Private(vec![id("local")])], inner)]
+}
+
+/// BAIT: barrier inside a `for` whose trip count divides evenly over
+/// the team — every thread arrives the same number of times, so the
+/// program is clean, but the syntactic engine flags E001.
+fn bait_even_barrier_for(rng: &mut Xoshiro256) -> Vec<Item> {
+    let n = rng.gen_range_usize(1..3);
+    let per = rng.gen_range_i64(1..3);
+    #[allow(clippy::cast_possible_wrap)]
+    let hi = per * n as i64;
+    vec![parallel(n, vec![], vec![omp_for("i", 0, hi, vec![], vec![barrier()])])]
+}
+
+/// Barrier inside a `for` with an odd split over two threads: thread 0
+/// arrives more often than thread 1 — a real deterministic deadlock.
+fn barrier_for_odd(rng: &mut Xoshiro256) -> Vec<Item> {
+    let hi = 2 * rng.gen_range_i64(1..3) + 1;
+    vec![parallel(2, vec![], vec![omp_for("i", 0, hi, vec![], vec![barrier()])])]
+}
+
+/// Barrier inside `single`: only the electing thread reaches it.
+fn barrier_in_single(_rng: &mut Xoshiro256) -> Vec<Item> {
+    let inner = region(RegionKind::Single, None, vec![], vec![barrier()]);
+    vec![parallel(2, vec![], vec![inner])]
+}
+
+/// BAIT: the same shape under `num_threads(1)` — a team of one always
+/// satisfies its own barrier, so the program is clean; the syntactic
+/// engine still flags E001.
+fn bait_team1_barrier_single(_rng: &mut Xoshiro256) -> Vec<Item> {
+    let inner = region(RegionKind::Single, None, vec![], vec![barrier()]);
+    vec![parallel(1, vec![], vec![inner])]
+}
+
+/// Barrier inside `gui`: only thread 0 (the EDT) reaches it. Not in
+/// the classic E001 construct family — this is E006 territory, and the
+/// syntactic engine misses it entirely.
+fn barrier_in_gui(rng: &mut Xoshiro256) -> Vec<Item> {
+    let flag = pick(rng, &FLAGS);
+    let inner = region(RegionKind::Gui, None, vec![], vec![set(flag, 1), barrier()]);
+    vec![parallel(2, vec![], vec![inner])]
+}
+
+/// Two named criticals nested in the same order everywhere: clean.
+fn lock_consistent(rng: &mut Xoshiro256) -> Vec<Item> {
+    let var = pick(rng, &COUNTERS);
+    let (a, b) = ("alpha", "beta");
+    let sec =
+        |by| vec![critical(Some(a), vec![critical(Some(b), vec![incr(var, by)])])];
+    let secs = vec![sec(small(rng)), sec(small(rng))];
+    vec![parallel(2, vec![], vec![sections(secs)])]
+}
+
+/// The two orders reversed across concurrent sections: a lock-order
+/// cycle with a real deadlocking schedule.
+fn lock_reversed(rng: &mut Xoshiro256) -> Vec<Item> {
+    let var = pick(rng, &COUNTERS);
+    let (a, b) = ("alpha", "beta");
+    let secs = vec![
+        vec![critical(Some(a), vec![critical(Some(b), vec![incr(var, small(rng))])])],
+        vec![critical(Some(b), vec![critical(Some(a), vec![incr(var, small(rng))])])],
+    ];
+    vec![parallel(2, vec![], vec![sections(secs)])]
+}
+
+/// BAIT: both orders under `num_threads(1)` — one thread acquires the
+/// locks sequentially, so no deadlock is reachable; the syntactic
+/// engine still reports the E004 cycle.
+fn bait_team1_lock_reversed(rng: &mut Xoshiro256) -> Vec<Item> {
+    let var = pick(rng, &COUNTERS);
+    let (a, b) = ("alpha", "beta");
+    let secs = vec![
+        vec![critical(Some(a), vec![critical(Some(b), vec![incr(var, small(rng))])])],
+        vec![critical(Some(b), vec![critical(Some(a), vec![incr(var, small(rng))])])],
+    ];
+    vec![parallel(1, vec![], vec![sections(secs)])]
+}
+
+/// A critical whose body conflicts with nothing concurrent: clean
+/// dynamically; the new engine adds the W104 style nudge.
+fn redundant_critical(rng: &mut Xoshiro256) -> Vec<Item> {
+    let lock = pick(rng, &LOCKS);
+    let secs = vec![
+        vec![critical(Some(lock), vec![incr("head", small(rng))])],
+        vec![incr("tail", small(rng))],
+    ];
+    vec![parallel(2, vec![], vec![sections(secs)])]
+}
+
+/// BAIT: a single-iteration worksharing loop writing shared state —
+/// only thread 0 ever executes the body, so there is no concurrent
+/// pair; the syntactic engine flags W101 anyway.
+fn bait_single_iter_for(rng: &mut Xoshiro256) -> Vec<Item> {
+    let var = pick(rng, &COUNTERS);
+    vec![parallel(2, vec![], vec![omp_for("i", 0, 1, vec![], vec![incr(var, small(rng))])])]
+}
+
+type Family = fn(&mut Xoshiro256) -> Vec<Item>;
+
+/// The family table, cycled in order by [`generate`].
+const FAMILIES: [(&str, Family); 20] = [
+    ("racy-counter", racy_counter),
+    ("protected-counter", protected_counter),
+    ("reduction-sum", reduction_sum),
+    ("reduction-stray", reduction_stray),
+    ("sections-disjoint", sections_disjoint),
+    ("sections-conflict", sections_conflict),
+    ("master-unbarriered", master_unbarriered),
+    ("single-init", single_init),
+    ("single-nowait", single_nowait),
+    ("barrier-direct", barrier_direct),
+    ("bait-even-barrier-for", bait_even_barrier_for),
+    ("barrier-for-odd", barrier_for_odd),
+    ("barrier-in-single", barrier_in_single),
+    ("bait-team1-barrier-single", bait_team1_barrier_single),
+    ("barrier-in-gui", barrier_in_gui),
+    ("lock-consistent", lock_consistent),
+    ("lock-reversed", lock_reversed),
+    ("bait-team1-lock-reversed", bait_team1_lock_reversed),
+    ("redundant-critical", redundant_critical),
+    ("bait-single-iter-for", bait_single_iter_for),
+];
+
+/// Generate `count` programs from `seed`. Pure: identical arguments
+/// yield byte-identical sources. Families are cycled round-robin so
+/// every class (racy, deadlocking, clean, bait) is represented in any
+/// corpus of at least [`family_count`] programs.
+#[must_use]
+pub fn generate(seed: u64, count: usize) -> Vec<GenProgram> {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    (0..count)
+        .map(|index| {
+            let (family, build) = FAMILIES[index % FAMILIES.len()];
+            let program = Program { items: build(&mut rng) };
+            GenProgram { index, family, source: program.pretty() }
+        })
+        .collect()
+}
+
+/// Number of distinct generator families.
+#[must_use]
+pub fn family_count() -> usize {
+    FAMILIES.len()
+}
+
+/// A proptest [`Strategy`] over generated programs, so property tests
+/// can draw directive programs like any other input.
+pub struct ProgramStrategy;
+
+impl Strategy for ProgramStrategy {
+    type Value = GenProgram;
+
+    fn generate(&self, rng: &mut TestRng) -> GenProgram {
+        let seed = rng.next_u64();
+        let index = rng.below(FAMILIES.len() as u64) as usize;
+        let mut inner = Xoshiro256::seed_from_u64(seed);
+        let (family, build) = FAMILIES[index];
+        let program = Program { items: build(&mut inner) };
+        GenProgram { index, family, source: program.pretty() }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cross-validation against the explorer
+// ---------------------------------------------------------------------
+
+/// Aggregate agreement between the static engines and the explorer.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AgreementStats {
+    /// Programs examined.
+    pub programs: usize,
+    /// Programs whose pretty output failed to re-parse (must be 0).
+    pub parse_failures: usize,
+    /// Explorer-proved clean (exhausted, race-free, no deadlock).
+    pub dynamic_clean: usize,
+    /// Explorer witnessed at least one racing schedule.
+    pub dynamic_racy: usize,
+    /// Explorer witnessed at least one deadlocked schedule.
+    pub dynamic_deadlocked: usize,
+    /// Exploration budget exhausted before the space was (excluded
+    /// from the false-positive denominators).
+    pub unexhausted: usize,
+    /// Explorer-witnessed races/deadlocks the new engine missed — the
+    /// soundness gate; must be 0.
+    pub missed_dynamic_findings: usize,
+    /// New engine flagged a dynamic-failure code on a proved-clean
+    /// program.
+    pub false_positives_new: usize,
+    /// Syntactic engine ditto — the precision baseline.
+    pub false_positives_old: usize,
+    /// Total schedules the explorer ran.
+    pub schedules_explored: usize,
+}
+
+/// One disagreement worth showing a human.
+#[derive(Clone, Debug)]
+pub struct Mismatch {
+    /// Corpus index of the offending program.
+    pub index: usize,
+    /// Its generator family.
+    pub family: &'static str,
+    /// `missed-race` | `missed-deadlock` | `false-positive-new`.
+    pub kind: &'static str,
+    /// What the new engine said.
+    pub static_codes: Vec<Code>,
+    /// The program text.
+    pub source: String,
+}
+
+/// Run a generated corpus through both static engines and the
+/// exhaustive explorer; tally agreement and collect mismatches.
+///
+/// The soundness contract: `missed_dynamic_findings == 0` (the new
+/// engine never stays silent on an explorer-witnessed race or
+/// deadlock). The precision contract:
+/// `false_positives_new < false_positives_old`.
+#[must_use]
+pub fn cross_validate(corpus: &[GenProgram]) -> (AgreementStats, Vec<Mismatch>) {
+    let mut stats = AgreementStats::default();
+    let mut mismatches = Vec::new();
+    for gp in corpus {
+        stats.programs += 1;
+        let Ok(program) = parse(&gp.source) else {
+            stats.parse_failures += 1;
+            continue;
+        };
+        let new_codes: Vec<Code> =
+            rules::check(&program).into_iter().map(|d| d.code).collect();
+        let old_codes: Vec<Code> =
+            rules::check_syntactic(&program).into_iter().map(|d| d.code).collect();
+        let report = explore_program(&program, Config::fuzz(&format!("fuzz-{}", gp.index)));
+        stats.schedules_explored += report.schedules;
+
+        let racy = !report.race_free();
+        let deadlocked = report.deadlocks > 0;
+        let clean = report.exhausted && !racy && !deadlocked;
+        if racy {
+            stats.dynamic_racy += 1;
+            if !new_codes.iter().any(|c| RACE_CLASS.contains(c)) {
+                stats.missed_dynamic_findings += 1;
+                mismatches.push(Mismatch {
+                    index: gp.index,
+                    family: gp.family,
+                    kind: "missed-race",
+                    static_codes: new_codes.clone(),
+                    source: gp.source.clone(),
+                });
+            }
+        }
+        if deadlocked {
+            stats.dynamic_deadlocked += 1;
+            if !new_codes.iter().any(|c| DEADLOCK_CLASS.contains(c)) {
+                stats.missed_dynamic_findings += 1;
+                mismatches.push(Mismatch {
+                    index: gp.index,
+                    family: gp.family,
+                    kind: "missed-deadlock",
+                    static_codes: new_codes.clone(),
+                    source: gp.source.clone(),
+                });
+            }
+        }
+        if clean {
+            stats.dynamic_clean += 1;
+            if new_codes.iter().any(|c| FP_CLASS_NEW.contains(c)) {
+                stats.false_positives_new += 1;
+                mismatches.push(Mismatch {
+                    index: gp.index,
+                    family: gp.family,
+                    kind: "false-positive-new",
+                    static_codes: new_codes.clone(),
+                    source: gp.source.clone(),
+                });
+            }
+            if old_codes.iter().any(|c| FP_CLASS_OLD.contains(c)) {
+                stats.false_positives_old += 1;
+            }
+        } else if !racy && !deadlocked {
+            stats.unexhausted += 1;
+        }
+    }
+    (stats, mismatches)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(42, 60);
+        let b = generate(42, 60);
+        assert_eq!(a.len(), 60);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.source, y.source, "family {} diverged", x.family);
+            assert_eq!(x.family, y.family);
+        }
+        let c = generate(43, 60);
+        assert!(
+            a.iter().zip(&c).any(|(x, y)| x.source != y.source),
+            "different seeds should vary the corpus"
+        );
+    }
+
+    #[test]
+    fn generated_sources_reparse_to_a_pretty_fixed_point() {
+        for gp in generate(7, 2 * family_count()) {
+            let prog = parse(&gp.source)
+                .unwrap_or_else(|e| panic!("{} #{} must parse: {e:?}", gp.family, gp.index));
+            assert_eq!(prog.pretty(), gp.source, "{} #{}", gp.family, gp.index);
+        }
+    }
+
+    #[test]
+    fn every_family_is_emitted_per_cycle() {
+        let corpus = generate(1, family_count());
+        let names: std::collections::BTreeSet<&str> =
+            corpus.iter().map(|g| g.family).collect();
+        assert_eq!(names.len(), family_count());
+    }
+
+    #[test]
+    fn bait_families_trip_only_the_syntactic_engine() {
+        // The three deterministic baits: old engine flags a dynamic
+        // failure, new engine stays silent (statically checked here;
+        // the explorer agreement is pinned in tests/analyze.rs).
+        for gp in generate(3, family_count()) {
+            if !gp.family.starts_with("bait-") {
+                continue;
+            }
+            let prog = parse(&gp.source).expect("bait parses");
+            let new: Vec<Code> = rules::check(&prog).iter().map(|d| d.code).collect();
+            let old: Vec<Code> =
+                rules::check_syntactic(&prog).iter().map(|d| d.code).collect();
+            assert!(
+                old.iter().any(|c| FP_CLASS_OLD.contains(c)),
+                "{}: bait should trip the syntactic engine, got {old:?}",
+                gp.family
+            );
+            assert!(
+                !new.iter().any(|c| FP_CLASS_NEW.contains(c)),
+                "{}: bait should not trip the MHP engine, got {new:?}",
+                gp.family
+            );
+        }
+    }
+
+    #[test]
+    fn strategy_draws_parseable_programs() {
+        let mut rng = TestRng::with_seed(99);
+        for _ in 0..20 {
+            let gp = Strategy::generate(&ProgramStrategy, &mut rng);
+            assert!(parse(&gp.source).is_ok(), "{}: {}", gp.family, gp.source);
+        }
+    }
+}

@@ -14,10 +14,18 @@
 //!
 //! 1. [`parse`](parse::parse) — lexer + recursive-descent parser
 //!    producing a spanned region tree ([`ast`]). Structural misuse is
-//!    `E005` at this stage.
-//! 2. [`check`](rules::check) — the rule engine walks the tree,
-//!    resolves every variable's data-sharing attribute, and reports
-//!    `E001`–`E005` errors and `W101`–`W103` warnings ([`diag`]).
+//!    `E005` at this stage; recoverable directive errors no longer
+//!    abort the parse ([`parse::parse_recover`]), so later regions
+//!    still get analysed.
+//! 2. [`check`](rules::check) — structural rules plus the MHP∩lockset
+//!    engine: [`mhp`] symbolically executes every thread of every team
+//!    (the language is branch-free, so the model is exact), [`lockset`]
+//!    tracks the locks held on the path to each shared access, and the
+//!    rules report races (`W101`/`W102`) only for access pairs that
+//!    may happen in parallel under disjoint locksets, deterministic
+//!    barrier deadlocks (`E001`/`E006`) from proved arrival-count
+//!    mismatches, lock-order cycles (`E004`) from concurrent nesting
+//!    edges, and redundant criticals (`W104`) where nothing conflicts.
 //! 3. [`bridge`] — the same tree lowers onto the `parc-explore` shim
 //!    runtime, the real `pyjama` runtime, and a sequential reference
 //!    interpreter, so every static verdict is *cross-validated
@@ -26,10 +34,13 @@
 //!    and clean programs must be proved race-free over the exhausted
 //!    interleaving space (see `tests/analyze.rs`).
 //!
-//! The [`fixtures`] corpus holds twenty directive programs styled on
-//! the student projects — buggy originals and fixed counterparts — and
-//! `examples/directive_lint.rs` lints the whole corpus, rendering the
-//! diagnostic table and machine-readable JSON.
+//! The [`fixtures`] corpus holds hand-written directive programs styled
+//! on the student projects — buggy originals and fixed counterparts —
+//! and [`genprog`] generates thousands more per seed for the E-FUZZ
+//! agreement harness (`examples/fuzz_lint.rs`), which gates on the
+//! static engine never missing an explorer-witnessed race or deadlock
+//! while keeping a lower false-positive rate than the old syntactic
+//! engine ([`rules::check_syntactic`]).
 
 #![warn(missing_docs)]
 
@@ -37,7 +48,10 @@ pub mod ast;
 pub mod bridge;
 pub mod diag;
 pub mod fixtures;
+pub mod genprog;
 pub mod lexer;
+pub mod lockset;
+pub mod mhp;
 pub mod parse;
 pub mod rules;
 
@@ -70,17 +84,20 @@ impl Analysis {
 
 /// Parse and check a directive program in one call.
 ///
-/// Parse failures yield `program: None` with the parser's `E005`
-/// diagnostics; otherwise the full rule engine runs over the tree.
+/// The parser recovers from malformed directives: only *fatal*
+/// structural failures (unclosed/unmatched blocks) yield
+/// `program: None`. Recoverable errors (an unknown or malformed
+/// directive) produce their `E005` and the rule engine still runs
+/// over everything after them.
 #[must_use]
 pub fn analyze(source: &str) -> Analysis {
-    match parse::parse(source) {
-        Ok(program) => {
-            let diagnostics = rules::check(&program);
-            Analysis { program: Some(program), diagnostics }
-        }
-        Err(diagnostics) => Analysis { program: None, diagnostics },
+    let (program, mut diagnostics) = parse::parse_recover(source);
+    if let Some(program) = &program {
+        diagnostics.extend(rules::check(program));
+        diag::sort_diagnostics(&mut diagnostics);
+        diagnostics.dedup_by(|a, b| a.code == b.code && a.span == b.span && a.message == b.message);
     }
+    Analysis { program, diagnostics }
 }
 
 #[cfg(test)]

@@ -1,0 +1,157 @@
+//! Eraser-style static locksets.
+//!
+//! Every shared access recorded by the MHP engine ([`crate::mhp`])
+//! carries the set of locks held on the (unique — the directive
+//! language is branch-free) path to it. A lock entry is a runtime lock
+//! key (`lock:<name>` for criticals, `red:<var>` for reduction folds)
+//! tagged with the **dynamic acquisition instance** that produced it.
+//!
+//! The tag matters for nested parallelism: two sibling threads spawned
+//! *inside* a critical both inherit the parent's lock, but that one
+//! acquisition provides no mutual exclusion between them. Two accesses
+//! are mutually excluded by a lock only when they reach it through
+//! **different** acquisitions of the same key — different acquisitions
+//! of one lock can never overlap, so the accesses are ordered.
+//!
+//! Per-statement locksets are the **intersection** over every dynamic
+//! instance of the statement (all threads, all phases, all loop
+//! iterations): a lock only protects a statement if it is held on
+//! *every* path to it, so intersection is the sound combine (this is
+//! the Eraser lattice with ⊑ = ⊇).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::ast::Span;
+
+/// The locks held at one program point: lock key → acquisition id.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Lockset {
+    held: BTreeMap<String, u64>,
+}
+
+impl Lockset {
+    /// The empty lockset.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `key` as held, acquired by dynamic acquisition `acq`.
+    pub fn acquire(&mut self, key: &str, acq: u64) {
+        self.held.insert(key.to_string(), acq);
+    }
+
+    /// Drop `key` from the set.
+    pub fn release(&mut self, key: &str) {
+        self.held.remove(key);
+    }
+
+    /// Is `key` currently held?
+    #[must_use]
+    pub fn contains(&self, key: &str) -> bool {
+        self.held.contains_key(key)
+    }
+
+    /// No locks held?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.held.is_empty()
+    }
+
+    /// Number of held locks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.held.len()
+    }
+
+    /// The held lock keys, sorted.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.held.keys().map(String::as_str)
+    }
+
+    /// Do two locksets mutually exclude the accesses they belong to?
+    /// True iff some key is present in both through **different**
+    /// acquisitions (see module docs for why same-acquisition sharing
+    /// does not count).
+    #[must_use]
+    pub fn excludes(&self, other: &Lockset) -> bool {
+        self.held
+            .iter()
+            .any(|(key, acq)| other.held.get(key).is_some_and(|o| o != acq))
+    }
+
+    /// Keys held in both sets, regardless of acquisition identity.
+    #[must_use]
+    pub fn common_keys(&self, other: &Lockset) -> Vec<String> {
+        self.held.keys().filter(|k| other.held.contains_key(*k)).cloned().collect()
+    }
+}
+
+/// Intersect the locksets of every dynamic instance of each statement
+/// span: the per-statement Eraser candidate set. Statements never
+/// executed do not appear; a statement keeps a key only if **every**
+/// instance held it.
+#[must_use]
+pub fn statement_locksets<'a>(
+    instances: impl Iterator<Item = (Span, &'a Lockset)>,
+) -> BTreeMap<Span, BTreeSet<String>> {
+    let mut out: BTreeMap<Span, Option<BTreeSet<String>>> = BTreeMap::new();
+    for (span, locks) in instances {
+        let keys: BTreeSet<String> = locks.keys().map(str::to_string).collect();
+        match out.entry(span).or_insert(None) {
+            slot @ None => *slot = Some(keys),
+            Some(acc) => acc.retain(|k| keys.contains(k)),
+        }
+    }
+    out.into_iter().filter_map(|(span, set)| set.map(|s| (span, s))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ls(pairs: &[(&str, u64)]) -> Lockset {
+        let mut l = Lockset::new();
+        for (k, a) in pairs {
+            l.acquire(k, *a);
+        }
+        l
+    }
+
+    #[test]
+    fn disjoint_locksets_do_not_exclude() {
+        assert!(!ls(&[("lock:a", 1)]).excludes(&ls(&[("lock:b", 2)])));
+        assert!(!Lockset::new().excludes(&ls(&[("lock:a", 1)])));
+    }
+
+    #[test]
+    fn different_acquisitions_of_one_lock_exclude() {
+        assert!(ls(&[("lock:a", 1)]).excludes(&ls(&[("lock:a", 2)])));
+    }
+
+    #[test]
+    fn the_same_acquisition_does_not_exclude() {
+        // Nested-parallel siblings inheriting the parent's critical:
+        // one acquisition, no mutual exclusion between them.
+        assert!(!ls(&[("lock:a", 7)]).excludes(&ls(&[("lock:a", 7)])));
+    }
+
+    #[test]
+    fn statement_locksets_intersect_across_instances() {
+        let s = Span::new(3, 1, 5);
+        let a = ls(&[("lock:a", 1), ("lock:b", 2)]);
+        let b = ls(&[("lock:a", 3)]);
+        let table = statement_locksets([(s, &a), (s, &b)].into_iter());
+        let keys: Vec<&str> = table[&s].iter().map(String::as_str).collect();
+        assert_eq!(keys, vec!["lock:a"], "only locks held on every path survive");
+    }
+
+    #[test]
+    fn release_restores_emptiness() {
+        let mut l = ls(&[("lock:a", 1)]);
+        assert!(l.contains("lock:a") && !l.is_empty() && l.len() == 1);
+        l.release("lock:a");
+        assert!(l.is_empty());
+        assert_eq!(l.common_keys(&ls(&[("lock:a", 9)])), Vec::<String>::new());
+    }
+}

@@ -1,0 +1,737 @@
+//! May-Happen-in-Parallel analysis over the region tree.
+//!
+//! The directive language is branch-free and loop bounds are literals,
+//! so the program has exactly one control-flow path per thread. That
+//! lets the analysis be *exact* instead of a lattice approximation: we
+//! symbolically execute every thread of every team with the same
+//! lowering the explorer bridge uses (cyclic `index % num_threads`
+//! worksharing splits, thread 0 for `single`/`master`/`gui`, one team
+//! barrier per parallel region serving every barrier point, reduction
+//! accumulation in a private frame folded under an internal `red:`
+//! lock) and record an event stream:
+//!
+//! * **shared accesses** — variable, read/write, the span, the held
+//!   [`Lockset`], and a stack of *context frames* `(par, tid, phase)`;
+//! * **barrier arrivals** — per `(parallel instance, tid)`, with the
+//!   locks held at the arrival and the locks acquired since the
+//!   previous arrival;
+//! * **lock-nesting edges** — `(outer, inner)` acquisitions with their
+//!   context frames, feeding E004 cycle detection.
+//!
+//! `phase` counts barrier arrivals: because the whole team shares one
+//! barrier object, episode `k` on one thread pairs with episode `k` on
+//! every other, so **two events may happen in parallel iff, at the
+//! first context frame where they diverge, they are in the same
+//! parallel instance, on different threads, in the same phase** —
+//! see [`may_happen_in_parallel`]. Everything else (same thread,
+//! different phases, or sequentially-executed sibling instances) is
+//! ordered.
+//!
+//! Barrier deadlocks fall out of the arrival records (see
+//! [`barrier_deadlocks`]): a team deadlocks deterministically iff
+//! per-thread arrival counts differ (someone waits at the region join
+//! while the rest wait at the barrier), or some episode has one thread
+//! arriving while *holding* a lock another thread still needs to
+//! *acquire* before its own arrival.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::ast::{Clause, Item, Loop, Program, Region, RegionKind, Span};
+use crate::lockset::Lockset;
+
+/// Team size when a parallel region has no `num_threads` clause
+/// (mirrors the bridge).
+pub const DEFAULT_TEAM: usize = 2;
+
+/// Symbolic-execution step budget. Loop bounds are literals, so this
+/// only trips on pathological hand-written inputs; when it does, the
+/// model is flagged [`Model::truncated`] and rule evaluation falls
+/// back to the conservative syntactic engine.
+pub const STEP_BUDGET: usize = 20_000;
+
+/// One level of execution context: which dynamic parallel-region
+/// instance, which thread of its team, and how many barrier episodes
+/// that thread has completed at this level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ThreadFrame {
+    /// Dynamic parallel-region instance id (fresh per entry, so a
+    /// parallel region inside a loop yields sequential instances).
+    pub par: usize,
+    /// Thread id within that instance's team.
+    pub tid: usize,
+    /// Barrier-arrival count at event time.
+    pub phase: usize,
+}
+
+/// A shared-memory access event.
+#[derive(Clone, Debug)]
+pub struct Access {
+    /// Variable name (resolved shared — private accesses never emit).
+    pub var: String,
+    /// Write (`true`) or read.
+    pub write: bool,
+    /// Statement span for writes, identifier span for reads.
+    pub span: Span,
+    /// Context frames, outermost first.
+    pub frames: Vec<ThreadFrame>,
+    /// Locks held on the path to this access.
+    pub locks: Lockset,
+    /// Spans of the lexically enclosing `critical` regions.
+    pub criticals: Vec<Span>,
+    /// Span of the innermost enclosing `master` region, if any.
+    pub master: Option<Span>,
+    /// Global event sequence number (distinguishes instances).
+    pub seq: usize,
+}
+
+/// One barrier arrival by one thread of one team instance.
+#[derive(Clone, Debug)]
+pub struct Arrival {
+    /// Parallel instance id.
+    pub par: usize,
+    /// Arriving thread.
+    pub tid: usize,
+    /// Arrival index for this thread (0-based episode number).
+    pub index: usize,
+    /// Span of the barrier point (explicit `barrier` statement, or the
+    /// worksharing/`single` directive for its implied join).
+    pub span: Span,
+    /// Locks held while waiting at this barrier.
+    pub held: Lockset,
+    /// Lock keys acquired (even if since released) between the
+    /// previous arrival and this one.
+    pub acquired: BTreeSet<String>,
+    /// Enclosing constructs below the parallel region at the arrival
+    /// point, innermost first.
+    pub blockers: Vec<RegionKind>,
+}
+
+/// A lock-nesting edge: `inner` acquired while `outer` was held.
+#[derive(Clone, Debug)]
+pub struct LockEdge {
+    /// Already-held lock key.
+    pub outer: String,
+    /// Newly-acquired lock key.
+    pub inner: String,
+    /// Span of the inner acquisition site.
+    pub span: Span,
+    /// Context frames of the acquiring thread.
+    pub frames: Vec<ThreadFrame>,
+}
+
+/// A `critical` region re-entered while its own lock was already held.
+#[derive(Clone, Debug)]
+pub struct SelfNest {
+    /// The lock key.
+    pub key: String,
+    /// Span of the inner (re-entrant) directive.
+    pub span: Span,
+}
+
+/// One dynamic parallel-region instance.
+#[derive(Clone, Debug)]
+pub struct TeamInstance {
+    /// Instance id.
+    pub par: usize,
+    /// Directive span.
+    pub span: Span,
+    /// Team size.
+    pub team: usize,
+}
+
+/// A lexical `critical` region the execution reached.
+#[derive(Clone, Debug)]
+pub struct CriticalSite {
+    /// Directive span (identifies the lexical region).
+    pub span: Span,
+    /// Its lock key.
+    pub key: String,
+}
+
+/// The full event model of one program.
+#[derive(Clone, Debug, Default)]
+pub struct Model {
+    /// Shared accesses in execution order.
+    pub accesses: Vec<Access>,
+    /// Barrier arrivals in execution order.
+    pub arrivals: Vec<Arrival>,
+    /// Lock-nesting edges.
+    pub lock_edges: Vec<LockEdge>,
+    /// Re-entrant critical acquisitions.
+    pub self_nests: Vec<SelfNest>,
+    /// Every dynamic parallel instance.
+    pub teams: Vec<TeamInstance>,
+    /// Every lexical critical reached (may repeat across instances).
+    pub critical_sites: Vec<CriticalSite>,
+    /// Step budget exhausted — the model is incomplete and rule
+    /// evaluation must not trust it.
+    pub truncated: bool,
+}
+
+/// May two events execute concurrently? Decided at the first context
+/// frame where the stacks diverge: same parallel instance + different
+/// thread + same barrier phase ⇒ yes; anything else (same thread,
+/// phase skew on one thread, or distinct sequential instances) ⇒ the
+/// events are ordered. A stack that is a prefix of the other belongs
+/// to the spawning thread, which is ordered against its team by
+/// spawn/join edges.
+#[must_use]
+pub fn may_happen_in_parallel(a: &[ThreadFrame], b: &[ThreadFrame]) -> bool {
+    for (fa, fb) in a.iter().zip(b.iter()) {
+        if fa.par != fb.par {
+            return false;
+        }
+        if fa.tid != fb.tid {
+            return fa.phase == fb.phase;
+        }
+        if fa.phase != fb.phase {
+            return false;
+        }
+    }
+    false
+}
+
+/// Convenience: MHP over two accesses.
+#[must_use]
+pub fn accesses_mhp(a: &Access, b: &Access) -> bool {
+    may_happen_in_parallel(&a.frames, &b.frames)
+}
+
+/// The construct family the classic structural E001 covered. Returns
+/// the innermost such construct among `blockers` (innermost-first);
+/// `None` means the deadlock is outside the old rule's reach (e.g. a
+/// barrier under `gui`) and reports as E006.
+#[must_use]
+pub fn classic_blocker(blockers: &[RegionKind]) -> Option<RegionKind> {
+    blockers.iter().copied().find(|k| {
+        matches!(
+            k,
+            RegionKind::For
+                | RegionKind::Sections
+                | RegionKind::Section
+                | RegionKind::Single
+                | RegionKind::Master
+                | RegionKind::Critical
+        )
+    })
+}
+
+/// A proved deterministic barrier deadlock in one team instance.
+#[derive(Clone, Debug)]
+pub struct Deadlock {
+    /// The team instance.
+    pub par: usize,
+    /// Anchor span: the unbalanced barrier point (count mismatch) or
+    /// the arrival where a needed lock is held (lock witness).
+    pub span: Span,
+    /// Constructs enclosing the anchor, innermost first.
+    pub blockers: Vec<RegionKind>,
+    /// How many team threads reach the anchor span at all.
+    pub arriving: usize,
+    /// Team size.
+    pub team: usize,
+    /// For lock-at-barrier deadlocks: the witnessing lock key.
+    pub lock: Option<String>,
+}
+
+/// Detect deterministic barrier deadlocks per team instance.
+///
+/// * **Count mismatch** — threads arrive at the (single, shared) team
+///   barrier different numbers of times: the low-count thread reaches
+///   the region join while the rest wait forever. Anchored at the
+///   first span (in source order) whose per-thread visit counts
+///   disagree — that lexical barrier is the asymmetry.
+/// * **Lock held at barrier** — counts match, but in some episode a
+///   thread waits while holding a lock that another thread must still
+///   acquire before its own arrival: the barrier can never fill.
+#[must_use]
+pub fn barrier_deadlocks(model: &Model) -> Vec<Deadlock> {
+    let mut by_par: BTreeMap<usize, Vec<&Arrival>> = BTreeMap::new();
+    for a in &model.arrivals {
+        by_par.entry(a.par).or_default().push(a);
+    }
+    let mut out = Vec::new();
+    for team in &model.teams {
+        let Some(arrivals) = by_par.get(&team.par) else { continue };
+        let mut counts = vec![0usize; team.team];
+        let mut per_tid: Vec<Vec<&Arrival>> = vec![Vec::new(); team.team];
+        for a in arrivals {
+            counts[a.tid] += 1;
+            per_tid[a.tid].push(a);
+        }
+        if counts.iter().any(|c| *c != counts[0]) {
+            // Per-span visit counts: the first unbalanced span is the
+            // culprit barrier (one always exists when totals differ).
+            let mut per_span: BTreeMap<Span, Vec<usize>> = BTreeMap::new();
+            let mut blockers_at: BTreeMap<Span, Vec<RegionKind>> = BTreeMap::new();
+            for a in arrivals {
+                per_span.entry(a.span).or_insert_with(|| vec![0; team.team])[a.tid] += 1;
+                blockers_at.entry(a.span).or_insert_with(|| a.blockers.clone());
+            }
+            for (span, visits) in &per_span {
+                if visits.iter().any(|v| *v != visits[0]) {
+                    out.push(Deadlock {
+                        par: team.par,
+                        span: *span,
+                        blockers: blockers_at[span].clone(),
+                        arriving: visits.iter().filter(|v| **v > 0).count(),
+                        team: team.team,
+                        lock: None,
+                    });
+                    break;
+                }
+            }
+            continue;
+        }
+        // Counts agree: pair episodes positionally and look for a lock
+        // held across one thread's arrival that another thread still
+        // needs on the way to its paired arrival.
+        'episodes: for k in 0..counts[0] {
+            for (i, holder) in per_tid.iter().enumerate() {
+                for (j, needer) in per_tid.iter().enumerate() {
+                    if i == j {
+                        continue;
+                    }
+                    let held = &holder[k].held;
+                    if let Some(key) =
+                        needer[k].acquired.iter().find(|key| held.contains(key))
+                    {
+                        out.push(Deadlock {
+                            par: team.par,
+                            span: holder[k].span,
+                            blockers: holder[k].blockers.clone(),
+                            arriving: team.team,
+                            team: team.team,
+                            lock: Some(key.clone()),
+                        });
+                        break 'episodes;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Build the event model by symbolically executing `program`.
+#[must_use]
+pub fn model(program: &Program) -> Model {
+    let mut walker = Walker {
+        model: Model::default(),
+        next_par: 0,
+        next_acq: 0,
+        next_seq: 0,
+        steps: 0,
+    };
+    let mut ctx = Ctx::serial();
+    walker.exec_items(&program.items, &mut ctx);
+    walker.model
+}
+
+/// Per-thread execution context (mirrors the bridge's `SimEnv`).
+#[derive(Clone)]
+struct Ctx {
+    tid: usize,
+    n: usize,
+    frames: Vec<ThreadFrame>,
+    locks: Lockset,
+    acquired: BTreeSet<String>,
+    constructs: Vec<RegionKind>,
+    criticals: Vec<Span>,
+    master: Option<Span>,
+    privates: Vec<BTreeSet<String>>,
+}
+
+impl Ctx {
+    fn serial() -> Self {
+        Self {
+            tid: 0,
+            n: 1,
+            frames: Vec::new(),
+            locks: Lockset::new(),
+            acquired: BTreeSet::new(),
+            constructs: Vec::new(),
+            criticals: Vec::new(),
+            master: None,
+            privates: Vec::new(),
+        }
+    }
+
+    fn is_private(&self, var: &str) -> bool {
+        self.privates.iter().any(|frame| frame.contains(var))
+    }
+}
+
+struct Walker {
+    model: Model,
+    next_par: usize,
+    next_acq: u64,
+    next_seq: usize,
+    steps: usize,
+}
+
+impl Walker {
+    fn tick(&mut self) -> bool {
+        self.steps += 1;
+        if self.steps > STEP_BUDGET {
+            self.model.truncated = true;
+            return false;
+        }
+        true
+    }
+
+    fn record_access(&mut self, ctx: &Ctx, var: &str, write: bool, span: Span) {
+        if ctx.is_private(var) {
+            return;
+        }
+        self.model.accesses.push(Access {
+            var: var.to_string(),
+            write,
+            span,
+            frames: ctx.frames.clone(),
+            locks: ctx.locks.clone(),
+            criticals: ctx.criticals.clone(),
+            master: ctx.master,
+            seq: self.next_seq,
+        });
+        self.next_seq += 1;
+    }
+
+    fn barrier_arrive(&mut self, ctx: &mut Ctx, span: Span) {
+        let Some(top) = ctx.frames.last_mut() else { return };
+        let blockers: Vec<RegionKind> = ctx.constructs.iter().rev().copied().collect();
+        self.model.arrivals.push(Arrival {
+            par: top.par,
+            tid: top.tid,
+            index: top.phase,
+            span,
+            held: ctx.locks.clone(),
+            acquired: std::mem::take(&mut ctx.acquired),
+            blockers,
+        });
+        top.phase += 1;
+    }
+
+    /// Acquire `key`, recording nesting edges against everything held.
+    fn lock_acquire(&mut self, ctx: &mut Ctx, key: &str, span: Span) {
+        for outer in ctx.locks.keys() {
+            self.model.lock_edges.push(LockEdge {
+                outer: outer.to_string(),
+                inner: key.to_string(),
+                span,
+                frames: ctx.frames.clone(),
+            });
+        }
+        ctx.locks.acquire(key, self.next_acq);
+        self.next_acq += 1;
+        ctx.acquired.insert(key.to_string());
+    }
+
+    fn exec_items(&mut self, items: &[Item], ctx: &mut Ctx) {
+        for item in items {
+            if !self.tick() {
+                return;
+            }
+            match item {
+                Item::Assign(a) => {
+                    a.expr.each_var(&mut |id| {
+                        self.record_access(ctx, &id.name, false, id.span);
+                    });
+                    self.record_access(ctx, &a.target.name, true, a.span);
+                }
+                Item::Loop(l) => self.exec_loop(l, 1, 0, ctx),
+                Item::Region(r) => self.exec_region(r, ctx),
+            }
+        }
+    }
+
+    fn exec_loop(&mut self, l: &Loop, stride: usize, offset: usize, ctx: &mut Ctx) {
+        ctx.privates.push(BTreeSet::from([l.var.name.clone()]));
+        for k in l.lo..l.hi {
+            if (k - l.lo) as usize % stride != offset {
+                continue;
+            }
+            if !self.tick() {
+                break;
+            }
+            self.exec_items(&l.body, ctx);
+        }
+        ctx.privates.pop();
+    }
+
+    fn exec_region(&mut self, r: &Region, ctx: &mut Ctx) {
+        match r.kind {
+            RegionKind::Parallel => self.exec_parallel(r, ctx),
+            RegionKind::For => self.exec_for(r, ctx),
+            RegionKind::Sections => {
+                ctx.constructs.push(RegionKind::Sections);
+                for (k, item) in r.body.iter().enumerate() {
+                    if k % ctx.n != ctx.tid {
+                        continue;
+                    }
+                    if let Item::Region(sec) = item {
+                        if sec.kind == RegionKind::Section {
+                            ctx.constructs.push(RegionKind::Section);
+                            self.exec_items(&sec.body, ctx);
+                            ctx.constructs.pop();
+                            continue;
+                        }
+                    }
+                    self.exec_items(std::slice::from_ref(item), ctx);
+                }
+                ctx.constructs.pop();
+                if !r.nowait() {
+                    self.barrier_arrive(ctx, r.span);
+                }
+            }
+            RegionKind::Section => {
+                // Stray section (statically E005): the bridge runs it
+                // as a plain block on every thread; mirror that.
+                ctx.constructs.push(RegionKind::Section);
+                self.exec_items(&r.body, ctx);
+                ctx.constructs.pop();
+            }
+            RegionKind::Single => {
+                ctx.constructs.push(RegionKind::Single);
+                if ctx.tid == 0 {
+                    self.exec_items(&r.body, ctx);
+                }
+                ctx.constructs.pop();
+                if !r.nowait() {
+                    self.barrier_arrive(ctx, r.span);
+                }
+            }
+            RegionKind::Master | RegionKind::Gui => {
+                ctx.constructs.push(r.kind);
+                if ctx.tid == 0 {
+                    let saved = ctx.master;
+                    if r.kind == RegionKind::Master {
+                        ctx.master = Some(r.span);
+                    }
+                    self.exec_items(&r.body, ctx);
+                    ctx.master = saved;
+                }
+                ctx.constructs.pop();
+            }
+            RegionKind::Critical => {
+                let name = r.name.as_ref().map(|n| n.name.as_str()).unwrap_or("");
+                let key = format!("lock:{name}");
+                self.model.critical_sites.push(CriticalSite { span: r.span, key: key.clone() });
+                let reentrant = ctx.locks.contains(&key);
+                if reentrant {
+                    self.model.self_nests.push(SelfNest { key: key.clone(), span: r.span });
+                } else {
+                    self.lock_acquire(ctx, &key, r.span);
+                }
+                ctx.constructs.push(RegionKind::Critical);
+                ctx.criticals.push(r.span);
+                self.exec_items(&r.body, ctx);
+                ctx.criticals.pop();
+                ctx.constructs.pop();
+                if !reentrant {
+                    ctx.locks.release(&key);
+                }
+            }
+            RegionKind::Barrier => self.barrier_arrive(ctx, r.span),
+        }
+    }
+
+    fn exec_for(&mut self, r: &Region, ctx: &mut Ctx) {
+        ctx.constructs.push(RegionKind::For);
+        let reds: Vec<String> = r.reductions().map(|(_, var)| var.name.clone()).collect();
+        ctx.privates.push(reds.iter().cloned().collect());
+        if let Some(Item::Loop(l)) = r.body.first() {
+            self.exec_loop(l, ctx.n, ctx.tid, ctx);
+        }
+        ctx.privates.pop();
+        // Fold each accumulator into the shared cell under the
+        // internal combiner lock, exactly like the bridge.
+        for var in &reds {
+            let key = format!("red:{var}");
+            self.lock_acquire(ctx, &key, r.span);
+            self.record_access(ctx, var, false, r.span);
+            self.record_access(ctx, var, true, r.span);
+            ctx.locks.release(&key);
+        }
+        ctx.constructs.pop();
+        if !r.nowait() {
+            self.barrier_arrive(ctx, r.span);
+        }
+    }
+
+    fn exec_parallel(&mut self, r: &Region, ctx: &mut Ctx) {
+        let n = r.num_threads().unwrap_or(DEFAULT_TEAM);
+        // Firstprivate capture: the spawning context reads the shared
+        // cell once, before the team exists.
+        let mut privates = BTreeSet::new();
+        for clause in &r.clauses {
+            match clause {
+                Clause::Private(ids) => {
+                    for id in ids {
+                        privates.insert(id.name.clone());
+                    }
+                }
+                Clause::FirstPrivate(ids) => {
+                    for id in ids {
+                        self.record_access(ctx, &id.name, false, id.span);
+                        privates.insert(id.name.clone());
+                    }
+                }
+                _ => {}
+            }
+        }
+        let par = self.next_par;
+        self.next_par += 1;
+        self.model.teams.push(TeamInstance { par, span: r.span, team: n });
+        for tid in 0..n {
+            let mut frames = ctx.frames.clone();
+            frames.push(ThreadFrame { par, tid, phase: 0 });
+            let mut child = Ctx {
+                tid,
+                n,
+                frames,
+                // The spawner's held locks transfer (it holds them for
+                // the team's whole lifetime) — with their original
+                // acquisition ids, so siblings don't count them as
+                // mutual exclusion against each other.
+                locks: ctx.locks.clone(),
+                acquired: BTreeSet::new(),
+                constructs: Vec::new(),
+                criticals: ctx.criticals.clone(),
+                master: None,
+                // The bridge resets the frame stack on spawn: outer
+                // privates and loop variables do NOT shadow inside a
+                // nested team.
+                privates: vec![privates.clone()],
+            };
+            self.exec_items(&r.body, &mut child);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    fn model_of(src: &str) -> Model {
+        model(&parse(src).expect("test source parses"))
+    }
+
+    fn frames(spec: &[(usize, usize, usize)]) -> Vec<ThreadFrame> {
+        spec.iter().map(|&(par, tid, phase)| ThreadFrame { par, tid, phase }).collect()
+    }
+
+    #[test]
+    fn mhp_predicate_truth_table() {
+        // Different threads, same instance, same phase: concurrent.
+        assert!(may_happen_in_parallel(&frames(&[(0, 0, 1)]), &frames(&[(0, 1, 1)])));
+        // Phase skew: ordered by the barrier.
+        assert!(!may_happen_in_parallel(&frames(&[(0, 0, 0)]), &frames(&[(0, 1, 1)])));
+        // Same thread: program order.
+        assert!(!may_happen_in_parallel(&frames(&[(0, 0, 0)]), &frames(&[(0, 0, 0)])));
+        // Sequential instances of the same lexical region.
+        assert!(!may_happen_in_parallel(&frames(&[(0, 0, 0)]), &frames(&[(1, 1, 0)])));
+        // Serial prefix vs team member: spawn/join ordered.
+        assert!(!may_happen_in_parallel(&frames(&[]), &frames(&[(0, 1, 0)])));
+        // Sibling thread vs a nested team under the other sibling.
+        assert!(may_happen_in_parallel(
+            &frames(&[(0, 1, 0)]),
+            &frames(&[(0, 0, 0), (1, 0, 0)])
+        ));
+    }
+
+    #[test]
+    fn barrier_splits_accesses_into_phases() {
+        let m = model_of(
+            "//#omp parallel num_threads(2)\n{\n    x = 1;\n    //#omp barrier\n    y = x;\n}\n",
+        );
+        let writes: Vec<&Access> =
+            m.accesses.iter().filter(|a| a.var == "x" && a.write).collect();
+        assert_eq!(writes.len(), 2);
+        assert!(accesses_mhp(writes[0], writes[1]), "same phase, different tids");
+        let reads: Vec<&Access> =
+            m.accesses.iter().filter(|a| a.var == "x" && !a.write).collect();
+        assert_eq!(reads.len(), 2);
+        for r in &reads {
+            assert_eq!(r.frames.last().unwrap().phase, 1);
+            for w in &writes {
+                assert!(!accesses_mhp(r, w), "barrier orders phase 0 against phase 1");
+            }
+        }
+    }
+
+    #[test]
+    fn worksharing_split_is_cyclic() {
+        let m = model_of(
+            "//#omp parallel num_threads(2)\n{\n    //#omp for\n    for i in 0..4 {\n        x = i;\n    }\n}\n",
+        );
+        let writes: Vec<&Access> = m.accesses.iter().filter(|a| a.write).collect();
+        // 4 iterations split 2/2; the loop variable itself is private.
+        assert_eq!(writes.len(), 4);
+        let tid0 = writes.iter().filter(|a| a.frames.last().unwrap().tid == 0).count();
+        assert_eq!(tid0, 2);
+    }
+
+    #[test]
+    fn gui_barrier_is_a_non_classic_deadlock() {
+        let m = model_of(
+            "//#omp parallel num_threads(2)\n{\n    //#omp gui\n    {\n        //#omp barrier\n    }\n}\n",
+        );
+        let dls = barrier_deadlocks(&m);
+        assert_eq!(dls.len(), 1);
+        assert_eq!(dls[0].arriving, 1);
+        assert_eq!(dls[0].team, 2);
+        assert_eq!(classic_blocker(&dls[0].blockers), None, "gui is outside the E001 family");
+    }
+
+    #[test]
+    fn lock_held_at_barrier_is_detected() {
+        let m = model_of(
+            "//#omp parallel num_threads(2)\n{\n    //#omp critical gate\n    {\n        //#omp barrier\n    }\n}\n",
+        );
+        let dls = barrier_deadlocks(&m);
+        assert_eq!(dls.len(), 1);
+        assert_eq!(dls[0].lock.as_deref(), Some("lock:gate"));
+        assert_eq!(classic_blocker(&dls[0].blockers), Some(RegionKind::Critical));
+    }
+
+    #[test]
+    fn even_split_barrier_in_for_is_deadlock_free() {
+        // 4 iterations over 2 threads: every thread hits the barrier
+        // twice — provably balanced, no deadlock (the old syntactic
+        // engine flagged this E001).
+        let m = model_of(
+            "//#omp parallel num_threads(2)\n{\n    //#omp for\n    for i in 0..4 {\n        //#omp barrier\n    }\n}\n",
+        );
+        assert!(barrier_deadlocks(&m).is_empty());
+    }
+
+    #[test]
+    fn team_of_one_never_deadlocks() {
+        let m = model_of(
+            "//#omp parallel num_threads(1)\n{\n    //#omp single\n    {\n        //#omp barrier\n    }\n}\n",
+        );
+        assert!(barrier_deadlocks(&m).is_empty());
+    }
+
+    #[test]
+    fn critical_acquisitions_are_distinct_per_thread() {
+        let m = model_of(
+            "//#omp parallel num_threads(2)\n{\n    //#omp critical tally\n    {\n        count = count + 1;\n    }\n}\n",
+        );
+        let writes: Vec<&Access> = m.accesses.iter().filter(|a| a.write).collect();
+        assert_eq!(writes.len(), 2);
+        assert!(accesses_mhp(writes[0], writes[1]));
+        assert!(
+            writes[0].locks.excludes(&writes[1].locks),
+            "different acquisitions of one lock mutually exclude"
+        );
+    }
+
+    #[test]
+    fn step_budget_marks_truncation() {
+        let m = model_of("for i in 0..30000 {\n    x = i;\n}\n");
+        assert!(m.truncated);
+    }
+}

@@ -22,6 +22,13 @@
 //! legal source for an unmodified compiler. Structure errors (unclosed
 //! blocks, stray `}`, a directive without its block, malformed
 //! clauses) are reported as [`Code::E005`] diagnostics with spans.
+//!
+//! The parser *recovers* from directive-level mistakes: an unknown or
+//! malformed directive reports its `E005`, skips the balanced block
+//! that follows it, and parsing continues so later regions still get
+//! analysed ([`parse_recover`]). Only structural failures that make
+//! block alignment unreliable — an unclosed block or an unmatched
+//! `}` — are fatal and withhold the tree.
 
 use crate::ast::{
     Assign, BinOp, Clause, Expr, Ident, Item, Loop, Program, RedOp, Region, RegionKind,
@@ -38,11 +45,35 @@ struct SrcLine {
     span: Span,
     /// Was this a `//#omp` directive line?
     directive: bool,
+    /// Did the lexer reject this line (tokens are empty but the error
+    /// was already reported)?
+    lex_failed: bool,
 }
 
-/// Parse a directive program. On success returns the region tree; on
-/// failure returns the (sorted) list of `E005` diagnostics.
+/// Parse a directive program. On success returns the region tree; if
+/// *any* diagnostic fires (even a recoverable one) returns the
+/// (sorted) list of `E005` diagnostics instead. Use [`parse_recover`]
+/// to keep the partial tree alongside recoverable diagnostics.
 pub fn parse(source: &str) -> Result<Program, Vec<Diagnostic>> {
+    let (program, diags) = parse_inner(source);
+    match program {
+        Some(program) if diags.is_empty() => Ok(program),
+        _ => Err(diags),
+    }
+}
+
+/// Parse with error recovery: recoverable directive mistakes (unknown
+/// directive, malformed clause or statement) report their `E005`,
+/// skip the offending construct's block, and leave the rest of the
+/// tree intact. The program is `None` only on *fatal* structural
+/// failures (unclosed block, unmatched `}`), where block alignment —
+/// and therefore every later region — is unreliable.
+#[must_use]
+pub fn parse_recover(source: &str) -> (Option<Program>, Vec<Diagnostic>) {
+    parse_inner(source)
+}
+
+fn parse_inner(source: &str) -> (Option<Program>, Vec<Diagnostic>) {
     let mut lines = Vec::new();
     let mut diags = Vec::new();
     for (idx, raw) in source.lines().enumerate() {
@@ -58,13 +89,16 @@ pub fn parse(source: &str) -> Result<Program, Vec<Diagnostic>> {
             let span = Span::new(line_no, lead + 1, text_len);
             let pad = " ".repeat(lead + "//#omp".len());
             match lex_line(line_no, &format!("{pad}{rest}")) {
-                Ok(toks) => lines.push(SrcLine { toks, span, directive: true }),
-                Err((span, c)) => {
+                Ok(toks) => lines.push(SrcLine { toks, span, directive: true, lex_failed: false }),
+                Err((err_span, c)) => {
                     diags.push(Diagnostic::new(
                         Code::E005,
-                        span,
+                        err_span,
                         format!("unrecognised character `{c}` in directive"),
                     ));
+                    // Keep a placeholder so the directive's block (if
+                    // any) is skipped instead of mis-parsed.
+                    lines.push(SrcLine { toks: Vec::new(), span, directive: true, lex_failed: true });
                 }
             }
         } else if trimmed.starts_with("//") {
@@ -74,7 +108,7 @@ pub fn parse(source: &str) -> Result<Program, Vec<Diagnostic>> {
             let span = Span::new(line_no, lead + 1, text_len);
             match lex_line(line_no, raw) {
                 Ok(toks) if toks.is_empty() => {}
-                Ok(toks) => lines.push(SrcLine { toks, span, directive: false }),
+                Ok(toks) => lines.push(SrcLine { toks, span, directive: false, lex_failed: false }),
                 Err((span, c)) => {
                     diags.push(Diagnostic::new(
                         Code::E005,
@@ -85,26 +119,83 @@ pub fn parse(source: &str) -> Result<Program, Vec<Diagnostic>> {
             }
         }
     }
-    let mut parser = Parser { lines, pos: 0, diags };
+    let mut parser = Parser { lines, pos: 0, diags, fatal: false };
     let items = parser.items(None);
+    let fatal = parser.fatal;
     let mut diags = parser.diags;
-    if diags.is_empty() {
-        Ok(Program { items })
-    } else {
-        sort_diagnostics(&mut diags);
-        Err(diags)
-    }
+    sort_diagnostics(&mut diags);
+    let program = if fatal { None } else { Some(Program { items }) };
+    (program, diags)
 }
 
 struct Parser {
     lines: Vec<SrcLine>,
     pos: usize,
     diags: Vec<Diagnostic>,
+    /// Block alignment broke: the (partial) tree must not be trusted.
+    fatal: bool,
 }
 
 impl Parser {
     fn err(&mut self, span: Span, message: impl Into<String>) {
         self.diags.push(Diagnostic::new(Code::E005, span, message));
+    }
+
+    fn fatal_err(&mut self, span: Span, message: impl Into<String>) {
+        self.fatal = true;
+        self.err(span, message);
+    }
+
+    /// Skip lines until `depth` opened braces have closed (counting
+    /// every `{`/`}` token, so loop headers and lone braces both
+    /// balance). Runs to end of input if the block never closes — the
+    /// construct that owned the block already reported its error.
+    fn skip_depth(&mut self, mut depth: i64) {
+        while depth > 0 && self.pos < self.lines.len() {
+            for t in &self.lines[self.pos].toks {
+                match t.kind {
+                    TokKind::LBrace => depth += 1,
+                    TokKind::RBrace => depth -= 1,
+                    _ => {}
+                }
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// If the next line opens a block (`{`), consume it and everything
+    /// through its matching `}` — used after a malformed directive so
+    /// its body doesn't reparse as stray top-level items.
+    fn skip_block_if_present(&mut self) {
+        let is_open = self.lines.get(self.pos).is_some_and(|l| {
+            !l.directive && l.toks.len() == 1 && l.toks[0].kind == TokKind::LBrace
+        });
+        if is_open {
+            self.pos += 1;
+            self.skip_depth(1);
+        }
+    }
+
+    /// If the next line is a loop header, consume it and its block —
+    /// used after a malformed `//#omp for` directive.
+    fn skip_loop_if_present(&mut self) {
+        let is_loop = self.lines.get(self.pos).is_some_and(|l| {
+            !l.directive
+                && matches!(l.toks.first().map(|t| &t.kind), Some(TokKind::Ident(k)) if k == "for")
+        });
+        if is_loop {
+            let depth: i64 = self.lines[self.pos]
+                .toks
+                .iter()
+                .map(|t| match t.kind {
+                    TokKind::LBrace => 1,
+                    TokKind::RBrace => -1,
+                    _ => 0,
+                })
+                .sum();
+            self.pos += 1;
+            self.skip_depth(depth.max(0));
+        }
     }
 
     /// Parse items until a closing `}` (when `until` carries the
@@ -120,7 +211,7 @@ impl Parser {
                 }
                 let span = line.toks[0].span;
                 self.pos += 1;
-                self.err(span, "unmatched `}`");
+                self.fatal_err(span, "unmatched `}`");
                 continue;
             }
             if line.directive {
@@ -137,20 +228,27 @@ impl Parser {
             }
         }
         if let Some(opener) = until {
-            self.err(opener, "unclosed block: missing `}` before end of input");
+            self.fatal_err(opener, "unclosed block: missing `}` before end of input");
         }
         items
     }
 
     /// Parse the directive at the cursor (and its block, if any).
+    /// On a recoverable error the directive's block (or loop) is
+    /// skipped so later items still parse cleanly.
     fn directive(&mut self) -> Option<Item> {
         let line = &self.lines[self.pos];
         let dir_span = line.span;
+        let lex_failed = line.lex_failed;
         let toks = line.toks.clone();
         self.pos += 1;
         let mut cur = Cursor { toks: &toks, i: 0 };
         let Some(keyword) = cur.ident() else {
-            self.err(dir_span, "expected a directive name after `//#omp`");
+            // A lex failure already reported its own diagnostic.
+            if !lex_failed {
+                self.err(dir_span, "expected a directive name after `//#omp`");
+            }
+            self.skip_block_if_present();
             return None;
         };
         let kind = match keyword.name.as_str() {
@@ -165,6 +263,7 @@ impl Parser {
             "gui" => RegionKind::Gui,
             other => {
                 self.err(keyword.span, format!("unknown directive `{other}`"));
+                self.skip_block_if_present();
                 return None;
             }
         };
@@ -177,7 +276,19 @@ impl Parser {
                 }
             }
         }
-        let clauses = self.clauses(&mut cur, dir_span)?;
+        let clauses = match self.clauses(&mut cur, dir_span) {
+            Some(clauses) => clauses,
+            None => {
+                // The directive's construct still follows — skip it so
+                // its body doesn't reparse as stray top-level items.
+                match kind {
+                    RegionKind::Barrier => {}
+                    RegionKind::For => self.skip_loop_if_present(),
+                    _ => self.skip_block_if_present(),
+                }
+                return None;
+            }
+        };
         match kind {
             RegionKind::Barrier => {
                 Some(Item::Region(Region { kind, name, clauses, span: dir_span, body: Vec::new() }))
@@ -229,8 +340,19 @@ impl Parser {
         let toks = line.toks.clone();
         self.pos += 1;
         let mut cur = Cursor { toks: &toks, i: 0 };
+        // Braces the malformed header itself opened: skip to their
+        // close so a trailing `{` doesn't orphan its `}`.
+        let header_depth: i64 = toks
+            .iter()
+            .map(|t| match t.kind {
+                TokKind::LBrace => 1,
+                TokKind::RBrace => -1,
+                _ => 0,
+            })
+            .sum();
         let bad = |p: &mut Self| {
             p.err(span, "malformed loop header: expected `for v in lo..hi {`");
+            p.skip_depth(header_depth.max(0));
             None
         };
         let Some(kw) = cur.ident() else { return bad(self) };
@@ -621,6 +743,77 @@ mod tests {
     fn unknown_directive_is_e005() {
         let diags = parse("//#omp paralel\n{\n}\n").unwrap_err();
         assert!(diags[0].message.contains("unknown directive `paralel`"));
+    }
+
+    #[test]
+    fn recovers_after_unknown_directive() {
+        // The misspelled region's whole block is skipped; the later
+        // well-formed region still parses.
+        let src = "\
+//#omp paralel num_threads(2)
+{
+    x = x + 1;
+}
+//#omp critical
+{
+    y = y + 1;
+}
+";
+        let (prog, diags) = parse_recover(src);
+        let prog = prog.expect("recoverable error keeps the tree");
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("unknown directive `paralel`"));
+        assert_eq!(prog.items.len(), 1, "only the critical survives");
+        let Item::Region(c) = &prog.items[0] else { panic!("expected the critical") };
+        assert_eq!(c.kind, RegionKind::Critical);
+    }
+
+    #[test]
+    fn recovers_after_malformed_clause_block() {
+        let src = "\
+//#omp parallel num_threads(zero)
+{
+    x = x + 1;
+}
+z = 1;
+";
+        let (prog, diags) = parse_recover(src);
+        let prog = prog.expect("clause errors are recoverable");
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("num_threads takes a positive integer"));
+        assert_eq!(prog.items.len(), 1, "the malformed region's body is skipped");
+        assert!(matches!(&prog.items[0], Item::Assign(a) if a.target.name == "z"));
+    }
+
+    #[test]
+    fn recovers_after_malformed_loop_header() {
+        let src = "\
+//#omp parallel
+{
+    for i in 0..n {
+        x = x + 1;
+    }
+    y = 2;
+}
+";
+        let (prog, diags) = parse_recover(src);
+        let prog = prog.expect("bad loop header is recoverable");
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("malformed loop header"));
+        let Item::Region(par) = &prog.items[0] else { panic!("expected the parallel") };
+        assert_eq!(par.body.len(), 1, "loop skipped, trailing assign kept");
+        assert!(matches!(&par.body[0], Item::Assign(a) if a.target.name == "y"));
+    }
+
+    #[test]
+    fn fatal_errors_yield_no_tree() {
+        let (prog, diags) = parse_recover("//#omp parallel\n{\n    x = 1;\n");
+        assert!(prog.is_none(), "unclosed block breaks alignment: no tree");
+        assert!(diags.iter().any(|d| d.message.contains("unclosed block")));
+
+        let (prog, diags) = parse_recover("x = 1;\n}\n");
+        assert!(prog.is_none(), "unmatched `}}` breaks alignment: no tree");
+        assert!(diags.iter().any(|d| d.message.contains("unmatched `}`")));
     }
 
     #[test]

@@ -1,15 +1,33 @@
-//! The static rule engine: walks the region tree, resolves each
-//! variable's data-sharing attribute, and reports the error and
-//! warning codes of [`crate::diag::Code`].
+//! The static rule engine.
 //!
-//! The rules encode the recurring mistakes in SoftEng 751 student
-//! submissions (and their Pyjama/OpenMP semantics):
+//! Two engines live here:
 //!
-//! * `E001` — `//#omp barrier` lexically inside a worksharing,
-//!   `single`, `master` or `critical` construct. Only a subset of the
-//!   team reaches that barrier, so the barrier counts mismatch and the
-//!   program deadlocks in *every* schedule. The explorer witnesses
-//!   this (see `tests/analyze.rs`).
+//! * [`check`] — the **MHP∩lockset engine**. Structural rules (E002,
+//!   E003, E005, W103) come from the syntactic walk; everything
+//!   schedule-dependent is decided on the [`crate::mhp`] event model:
+//!   W101/W102 fire only for pairs of accesses that *may happen in
+//!   parallel* with disjoint [`crate::lockset::Lockset`]s, E001/E006
+//!   come from proved barrier-arrival mismatches (E001 when a classic
+//!   construct encloses the anchor, E006 otherwise), E004 from
+//!   lock-nesting edge instances on concurrent threads, and W104
+//!   flags a `critical` whose body has no concurrent conflicting
+//!   access at all. Because the directive language is branch-free the
+//!   model is exact, which buys precision the old engine cannot have:
+//!   an evenly-split barrier-in-for, a single-iteration `for` write, or
+//!   any construct under `num_threads(1)` is provably safe and stays
+//!   silent.
+//! * [`check_syntactic`] — the original pattern-matching engine (PR 4),
+//!   kept verbatim as the false-positive baseline the E-FUZZ harness
+//!   measures the new engine against.
+//!
+//! The codes themselves are documented on [`crate::diag::Code`]; the
+//! recurring student mistakes they encode (and their Pyjama/OpenMP
+//! semantics) are:
+//!
+//! * `E001` — a barrier only part of the team reaches, under a
+//!   worksharing/`single`/`master`/`critical` construct: barrier
+//!   counts mismatch and the program deadlocks in *every* schedule.
+//!   The explorer witnesses this (see `tests/analyze.rs`).
 //! * `E002` — worksharing nested in worksharing bound to the same
 //!   parallel region (each thread re-divides its own share).
 //! * `E003` — a reduction variable assigned as an ordinary shared
@@ -18,18 +36,23 @@
 //!   (or self-nested): a lock-order cycle, so some schedule deadlocks.
 //! * `E005` — structural misuse that parses but cannot lower
 //!   (`section` outside `sections`, loose items inside `sections`).
-//! * `W101` — write to a shared variable in a parallel region without
-//!   `critical`/`single`/`master` protection: a data-race candidate.
+//! * `E006` — a proved barrier-arrival mismatch outside the classic
+//!   E001 construct family (e.g. a barrier under `gui`).
+//! * `W101` — two MHP accesses to one shared variable, at least one a
+//!   write, with disjoint locksets: a data race the explorer can show.
 //! * `W102` — `master` initialisation read by sibling code with no
 //!   intervening barrier (`master` has no implied barrier — the
 //!   classic "why is it sometimes zero" bug; `single` would have one).
 //! * `W103` — a `private` variable read before its first write
 //!   (privates start uninitialised; `firstprivate` copies in).
+//! * `W104` — a `critical` whose body conflicts with nothing
+//!   concurrent: the lock is pure overhead.
 
 use std::collections::{BTreeMap, BTreeSet};
 
 use crate::ast::{Assign, Item, Program, Region, RegionKind, Span};
 use crate::diag::{sort_diagnostics, Code, Diagnostic};
+use crate::mhp;
 
 /// How a variable name resolves at some program point.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -55,10 +78,364 @@ enum Frame {
     Loop { var: String },
 }
 
-/// Run every rule over a parsed program. The result is sorted
-/// deterministically (span, then code).
+/// Run every rule over a parsed program with the MHP∩lockset engine.
+/// The result is sorted deterministically (span, then code) and
+/// deduplicated.
 #[must_use]
 pub fn check(program: &Program) -> Vec<Diagnostic> {
+    let syntactic = check_syntactic(program);
+    let model = mhp::model(program);
+    if model.truncated {
+        // The symbolic execution ran out of budget: the event model is
+        // incomplete, so fall back to the conservative syntactic
+        // verdicts rather than claim silence we cannot prove.
+        return syntactic;
+    }
+    let mut diags = Vec::new();
+    let mut e003_spans = BTreeSet::new();
+    for d in &syntactic {
+        match d.code {
+            // Structural rules carry over unchanged.
+            Code::E002 | Code::E005 | Code::W103 => diags.push(d.clone()),
+            // E003 carries over and suppresses the race warning at the
+            // same span (the old engine returned early; we filter).
+            Code::E003 => {
+                e003_spans.insert(d.span);
+                diags.push(d.clone());
+            }
+            // Everything schedule-dependent is re-derived from the model.
+            _ => {}
+        }
+    }
+    engine_deadlocks(&model, &mut diags);
+    engine_lock_cycles(&model, &mut diags);
+    engine_races(&model, &e003_spans, &mut diags);
+    engine_redundant_criticals(&model, &mut diags);
+    sort_diagnostics(&mut diags);
+    diags.dedup_by(|a, b| a.code == b.code && a.span == b.span && a.message == b.message);
+    diags
+}
+
+/// A lock key as shown to students: criticals lose their `lock:`
+/// prefix (the empty name prints `<unnamed>`), internal reduction
+/// combiner locks keep their `red:` spelling.
+fn display_lock(key: &str) -> String {
+    match key.strip_prefix("lock:") {
+        Some("") => "<unnamed>".to_string(),
+        Some(name) => name.to_string(),
+        None => key.to_string(),
+    }
+}
+
+/// E001/E006 from proved barrier-arrival mismatches.
+fn engine_deadlocks(model: &mhp::Model, diags: &mut Vec<Diagnostic>) {
+    for dl in mhp::barrier_deadlocks(model) {
+        let mut d = if let Some(blocker) = mhp::classic_blocker(&dl.blockers) {
+            Diagnostic::new(
+                Code::E001,
+                dl.span,
+                format!(
+                    "barrier inside `{}`: only part of the team reaches it",
+                    blocker.keyword()
+                ),
+            )
+            .with_note(
+                "threads that skip this construct wait at the region's end while \
+                 the thread inside waits here — a guaranteed deadlock",
+            )
+        } else {
+            Diagnostic::new(
+                Code::E006,
+                dl.span,
+                format!(
+                    "barrier is reached by only {} of {} team threads: deterministic \
+                     phase-ordering deadlock",
+                    dl.arriving, dl.team
+                ),
+            )
+            .with_note(
+                "every thread must arrive at the team barrier the same number of \
+                 times; the missing threads wait at the region join forever",
+            )
+        };
+        if let Some(key) = &dl.lock {
+            d = d.with_note(format!(
+                "while waiting here the thread holds `{}`, which the rest of the \
+                 team must acquire before they can arrive",
+                display_lock(key)
+            ));
+        }
+        diags.push(d);
+    }
+}
+
+/// E004 from lock-nesting edge instances: a pair of locks acquired in
+/// both orders by concurrent (MHP) threads, a re-entered critical, or
+/// a longer cycle over the nesting graph.
+fn engine_lock_cycles(model: &mhp::Model, diags: &mut Vec<Diagnostic>) {
+    let mut seen_self = BTreeSet::new();
+    for sn in &model.self_nests {
+        if seen_self.insert(sn.span) {
+            let shown = display_lock(&sn.key);
+            diags.push(
+                Diagnostic::new(
+                    Code::E004,
+                    sn.span,
+                    format!("critical region `{shown}` is nested inside itself"),
+                )
+                .with_note("Pyjama criticals are not reentrant: re-entry deadlocks"),
+            );
+        }
+    }
+
+    let mut by_pair: BTreeMap<(&str, &str), Vec<&mhp::LockEdge>> = BTreeMap::new();
+    for e in &model.lock_edges {
+        by_pair.entry((&e.outer, &e.inner)).or_default().push(e);
+    }
+    let report = |a: &str, b: &str, anchor: Span, diags: &mut Vec<Diagnostic>| {
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        diags.push(
+            Diagnostic::new(
+                Code::E004,
+                anchor,
+                format!(
+                    "critical regions `{}` and `{}` are nested in both orders \
+                     (lock-order cycle)",
+                    display_lock(lo),
+                    display_lock(hi)
+                ),
+            )
+            .with_note(
+                "two threads can each hold one lock while waiting for the other: \
+                 deadlock; acquire named criticals in one global order",
+            ),
+        );
+    };
+    let mut reported: BTreeSet<(String, String)> = BTreeSet::new();
+    // Direct 2-cycles: the reverse edge must exist on an instance that
+    // may happen in parallel with a forward instance (this is what
+    // silences both-order nesting under num_threads(1)).
+    for ((a, b), fwd) in &by_pair {
+        if a >= b {
+            continue;
+        }
+        let Some(rev) = by_pair.get(&(b, a)) else { continue };
+        let feasible = fwd.iter().any(|e1| {
+            rev.iter().any(|e2| mhp::may_happen_in_parallel(&e1.frames, &e2.frames))
+        });
+        if !feasible {
+            continue;
+        }
+        let anchor = fwd.iter().chain(rev.iter()).map(|e| e.span).min().unwrap();
+        reported.insert((a.to_string(), b.to_string()));
+        report(a, b, anchor, diags);
+    }
+    // Longer cycles (a→b→…→a): reachability over the nesting graph,
+    // feasible when any two distinct edges of the cycle's component
+    // can run concurrently.
+    let edges: BTreeSet<(&str, &str)> = by_pair.keys().copied().collect();
+    for (a, b) in &edges {
+        if a == b {
+            continue;
+        }
+        let (lo, hi) = if a < b { (*a, *b) } else { (*b, *a) };
+        if reported.contains(&(lo.to_string(), hi.to_string())) {
+            continue;
+        }
+        if !reaches_over(&edges, b, a) {
+            continue;
+        }
+        let component: Vec<&mhp::LockEdge> = model
+            .lock_edges
+            .iter()
+            .filter(|e| {
+                reaches_over(&edges, a, &e.outer) && reaches_over(&edges, &e.inner, a)
+            })
+            .collect();
+        let feasible = component.iter().enumerate().any(|(i, e1)| {
+            component[i + 1..]
+                .iter()
+                .any(|e2| mhp::may_happen_in_parallel(&e1.frames, &e2.frames))
+        });
+        if !feasible {
+            continue;
+        }
+        reported.insert((lo.to_string(), hi.to_string()));
+        let anchor = component.iter().map(|e| e.span).min().unwrap_or(Span::new(1, 1, 1));
+        report(lo, hi, anchor, diags);
+    }
+}
+
+/// Is `to` reachable from `from` over the nesting edges?
+fn reaches_over(edges: &BTreeSet<(&str, &str)>, from: &str, to: &str) -> bool {
+    if from == to {
+        return true;
+    }
+    let mut seen = BTreeSet::new();
+    let mut stack = vec![from];
+    while let Some(node) = stack.pop() {
+        if node == to {
+            return true;
+        }
+        if !seen.insert(node) {
+            continue;
+        }
+        for (a, b) in edges {
+            if *a == node && !seen.contains(b) {
+                stack.push(b);
+            }
+        }
+    }
+    false
+}
+
+/// Cap on per-variable access events considered for pairing; beyond
+/// this the engine has already seen every lexical site many times
+/// over (the cap exists for pathological hand-written loops — the
+/// step budget keeps the total well below it in practice).
+const MAX_PAIR_EVENTS: usize = 2_000;
+
+/// W101/W102 from MHP access pairs with disjoint locksets.
+fn engine_races(
+    model: &mhp::Model,
+    e003_spans: &BTreeSet<Span>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let mut by_var: BTreeMap<&str, Vec<&mhp::Access>> = BTreeMap::new();
+    for a in &model.accesses {
+        by_var.entry(&a.var).or_default().push(a);
+    }
+    // Racing write sites: (statement span, var) → did the write itself
+    // hold any lock (picks the message wording).
+    let mut w101: BTreeMap<(Span, String), bool> = BTreeMap::new();
+    let mut w102: BTreeSet<(Span, String)> = BTreeSet::new();
+    for (var, events) in &by_var {
+        let events = &events[..events.len().min(MAX_PAIR_EVENTS)];
+        for (i, a) in events.iter().enumerate() {
+            for b in &events[i + 1..] {
+                if !a.write && !b.write {
+                    continue;
+                }
+                if !mhp::accesses_mhp(a, b) {
+                    continue;
+                }
+                if a.locks.excludes(&b.locks) {
+                    continue;
+                }
+                for (w, other) in [(a, b), (b, a)] {
+                    if !w.write {
+                        continue;
+                    }
+                    if let (Some(mspan), false) = (w.master, other.write) {
+                        // A master-side write racing with a read is the
+                        // classic missing-barrier idiom: report W102 at
+                        // the master directive.
+                        w102.insert((mspan, (*var).to_string()));
+                    } else if !e003_spans.contains(&w.span) {
+                        let locked = !w.locks.is_empty();
+                        w101.entry((w.span, (*var).to_string()))
+                            .and_modify(|l| *l |= locked)
+                            .or_insert(locked);
+                    }
+                }
+            }
+        }
+    }
+    for ((span, var), locked) in w101 {
+        let d = if locked {
+            Diagnostic::new(
+                Code::W101,
+                span,
+                format!(
+                    "write to shared variable `{var}` races despite `critical`: a \
+                     concurrent access shares no lock with it"
+                ),
+            )
+            .with_note(
+                "the conflicting access runs under a disjoint lockset; both \
+                 accesses must agree on one named critical",
+            )
+        } else {
+            Diagnostic::new(
+                Code::W101,
+                span,
+                format!("unprotected write to shared variable `{var}` in a parallel region"),
+            )
+            .with_note(
+                "another thread can access it concurrently — protect it with \
+                 `critical`, make it a reduction, or privatise it",
+            )
+        };
+        diags.push(d);
+    }
+    for (span, var) in w102 {
+        diags.push(
+            Diagnostic::new(
+                Code::W102,
+                span,
+                format!(
+                    "`master` writes `{var}` but sibling code reads it with no \
+                     barrier in between"
+                ),
+            )
+            .with_note(
+                "`master` has no implied barrier — non-master threads may read \
+                 before the write; use `single` or add `//#omp barrier`",
+            ),
+        );
+    }
+}
+
+/// W104: a `critical` region whose body contains shared accesses, none
+/// of which has *any* concurrent conflicting access — with or without
+/// locks, nothing can race with it, so the lock is pure overhead.
+/// Criticals with no shared accesses at all stay silent (they usually
+/// guard something else, like a barrier misuse already reported).
+fn engine_redundant_criticals(model: &mhp::Model, diags: &mut Vec<Diagnostic>) {
+    let mut sites: BTreeMap<Span, &str> = BTreeMap::new();
+    for s in &model.critical_sites {
+        sites.entry(s.span).or_insert(&s.key);
+    }
+    for (span, key) in sites {
+        let inside: Vec<&mhp::Access> =
+            model.accesses.iter().filter(|a| a.criticals.contains(&span)).collect();
+        if inside.is_empty() {
+            continue;
+        }
+        let conflict = inside.iter().any(|a| {
+            model.accesses.iter().any(|b| {
+                b.seq != a.seq
+                    && b.var == a.var
+                    && (a.write || b.write)
+                    && mhp::accesses_mhp(a, b)
+            })
+        });
+        if !conflict {
+            let shown = display_lock(key);
+            diags.push(
+                Diagnostic::new(
+                    Code::W104,
+                    span,
+                    format!(
+                        "critical region `{shown}` is redundant: no concurrent access \
+                         conflicts with its body"
+                    ),
+                )
+                .with_note(
+                    "MHP analysis proves every access in this block is thread-local \
+                     or ordered; the lock only adds overhead — remove it",
+                ),
+            );
+        }
+    }
+}
+
+/// Run the original PR 4 syntactic rules over a parsed program. Kept
+/// byte-for-byte as the precision baseline the E-FUZZ harness compares
+/// the MHP∩lockset engine against. The result is sorted
+/// deterministically (span, then code).
+#[must_use]
+pub fn check_syntactic(program: &Program) -> Vec<Diagnostic> {
     let mut ck = Checker::default();
     ck.walk_items(&program.items);
     ck.report_lock_cycles();
@@ -779,14 +1156,14 @@ sum = 0;
     {
         //#omp critical beta
         {
-            a = 1;
+            a = a + 1;
         }
     }
     //#omp critical alpha
     {
         //#omp critical beta
         {
-            b = 2;
+            a = a + 2;
         }
     }
 }
@@ -905,5 +1282,169 @@ seed = 3;
 }
 ";
         assert_eq!(codes(src), vec![Code::E005, Code::W101]);
+    }
+
+    // -- MHP∩lockset engine ------------------------------------------
+
+    fn codes_syntactic(src: &str) -> Vec<Code> {
+        let prog = parse(src).expect("test sources parse");
+        check_syntactic(&prog).into_iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn barrier_in_gui_is_e006() {
+        let src = "\
+//#omp parallel num_threads(2)
+{
+    //#omp gui
+    {
+        done = 1;
+        //#omp barrier
+    }
+}
+";
+        assert_eq!(codes(src), vec![Code::E006]);
+        // The syntactic engine's E001 family never covered `gui`.
+        assert!(codes_syntactic(src).is_empty());
+    }
+
+    #[test]
+    fn redundant_critical_is_w104() {
+        let src = "\
+//#omp parallel num_threads(2)
+{
+    //#omp sections
+    {
+        //#omp section
+        {
+            //#omp critical stats
+            {
+                head = head + 1;
+            }
+        }
+        //#omp section
+        {
+            tail = tail + 1;
+        }
+    }
+}
+";
+        assert_eq!(codes(src), vec![Code::W104]);
+    }
+
+    #[test]
+    fn contested_critical_is_not_w104() {
+        let src = "\
+//#omp parallel num_threads(2)
+{
+    //#omp critical tally
+    {
+        count = count + 1;
+    }
+}
+";
+        assert!(codes(src).is_empty());
+    }
+
+    #[test]
+    fn even_barrier_split_in_for_is_proved_clean() {
+        // 4 iterations across 2 threads: each thread meets the barrier
+        // twice. The syntactic engine flags E001; the MHP engine
+        // proves the arrival counts balance.
+        let src = "\
+//#omp parallel num_threads(2)
+{
+    //#omp for
+    for i in 0..4 {
+        //#omp barrier
+    }
+}
+";
+        assert!(codes(src).is_empty());
+        assert_eq!(codes_syntactic(src), vec![Code::E001]);
+    }
+
+    #[test]
+    fn single_iteration_for_write_is_proved_clean() {
+        // Only thread 0 ever executes the body: no MHP pair exists.
+        let src = "\
+//#omp parallel num_threads(2)
+{
+    //#omp for
+    for i in 0..1 {
+        x = x + 1;
+    }
+}
+";
+        assert!(codes(src).is_empty());
+        assert_eq!(codes_syntactic(src), vec![Code::W101]);
+    }
+
+    #[test]
+    fn team_of_one_lock_cycle_is_proved_clean() {
+        let src = "\
+//#omp parallel num_threads(1)
+{
+    //#omp critical alpha
+    {
+        //#omp critical beta
+        {
+            u = u + 1;
+        }
+    }
+    //#omp critical beta
+    {
+        //#omp critical alpha
+        {
+            u = u + 2;
+        }
+    }
+}
+";
+        // One thread acquires both orders sequentially: no deadlock is
+        // reachable. The locks are also genuinely redundant on a team
+        // of one, so W104 fires instead of the old false E004.
+        let got = codes(src);
+        assert!(!got.contains(&Code::E004));
+        assert!(got.iter().all(|c| *c == Code::W104));
+        assert_eq!(codes_syntactic(src), vec![Code::E004]);
+    }
+
+    #[test]
+    fn disjoint_locks_still_race_w101() {
+        let src = "\
+//#omp parallel num_threads(2)
+{
+    //#omp critical alpha
+    {
+        x = x + 1;
+    }
+    //#omp critical beta
+    {
+        x = x + 2;
+    }
+}
+";
+        assert_eq!(codes(src), vec![Code::W101, Code::W101]);
+    }
+
+    #[test]
+    fn lockset_message_mentions_the_disjoint_lock() {
+        let src = "\
+//#omp parallel num_threads(2)
+{
+    //#omp critical alpha
+    {
+        x = x + 1;
+    }
+    x = x + 2;
+}
+";
+        let prog = parse(src).expect("parses");
+        let diags = check(&prog);
+        let locked: Vec<&Diagnostic> =
+            diags.iter().filter(|d| d.message.contains("races despite")).collect();
+        assert_eq!(locked.len(), 1, "the locked write gets the lockset wording: {diags:?}");
+        assert!(diags.iter().any(|d| d.message.starts_with("unprotected write")));
     }
 }

@@ -2,7 +2,7 @@
 //! auto-marking hook that maps `parc-analyze` static diagnostics onto
 //! the project-implementation rubric.
 
-use parc_analyze::diag::Severity;
+use parc_analyze::diag::{Code, Severity};
 
 /// One assessed component.
 #[derive(Clone, Debug, PartialEq)]
@@ -153,8 +153,29 @@ pub struct AutoMarkRubric {
     pub error_deduction: f64,
     /// Deduction per `W`-class (style/hazard) diagnostic.
     pub warning_deduction: f64,
+    /// Deduction per `E006` phase-ordering deadlock. A proved
+    /// deterministic deadlock is as severe as any correctness defect,
+    /// so it defaults to the error weight.
+    pub e006_deduction: f64,
+    /// Deduction per `W104` redundant critical. A lock that protects
+    /// nothing is an efficiency nit, not a hazard, so it costs less
+    /// than the other warnings.
+    pub w104_deduction: f64,
     /// Upper bound on the mark when the submission fails to parse.
     pub parse_failure_cap: f64,
+}
+
+impl AutoMarkRubric {
+    /// The marks removed for one diagnostic of the given code.
+    #[must_use]
+    pub fn deduction_for(&self, code: Code) -> f64 {
+        match code {
+            Code::E006 => self.e006_deduction,
+            Code::W104 => self.w104_deduction,
+            c if c.severity() == Severity::Error => self.error_deduction,
+            _ => self.warning_deduction,
+        }
+    }
 }
 
 impl Default for AutoMarkRubric {
@@ -166,6 +187,8 @@ impl Default for AutoMarkRubric {
             full_marks: 100.0,
             error_deduction: 15.0,
             warning_deduction: 5.0,
+            e006_deduction: 15.0,
+            w104_deduction: 2.0,
             parse_failure_cap: 40.0,
         }
     }
@@ -195,6 +218,7 @@ pub fn auto_mark(source: &str, rubric: &AutoMarkRubric) -> AutoMarkOutcome {
     let parsed = analysis.program.is_some();
     let mut errors = 0usize;
     let mut warnings = 0usize;
+    let mut deducted = 0.0;
     let mut notes = Vec::new();
     for d in &analysis.diagnostics {
         let treatment = match d.code.severity() {
@@ -207,6 +231,7 @@ pub fn auto_mark(source: &str, rubric: &AutoMarkRubric) -> AutoMarkOutcome {
                 "style"
             }
         };
+        deducted += rubric.deduction_for(d.code);
         notes.push(format!(
             "{treatment}: {} (line {}) — {}",
             d.code.as_str(),
@@ -214,9 +239,7 @@ pub fn auto_mark(source: &str, rubric: &AutoMarkRubric) -> AutoMarkOutcome {
             d.code.title()
         ));
     }
-    let mut mark = rubric.full_marks
-        - errors as f64 * rubric.error_deduction
-        - warnings as f64 * rubric.warning_deduction;
+    let mut mark = rubric.full_marks - deducted;
     if !parsed {
         mark = mark.min(rubric.parse_failure_cap);
         notes.push("submission did not parse; mark capped".to_string());
@@ -312,6 +335,32 @@ mod tests {
             &rubric,
         );
         assert_eq!(racy.mark, 0.0);
+    }
+
+    #[test]
+    fn e006_deducts_at_error_weight() {
+        let rubric = AutoMarkRubric::default();
+        assert_eq!(rubric.deduction_for(Code::E006), rubric.error_deduction);
+        let gui = auto_mark(
+            parc_analyze::fixtures::by_name("barrier/in-gui").unwrap().source,
+            &rubric,
+        );
+        assert_eq!(gui.errors, 1, "E006 counts as a correctness defect");
+        assert_eq!(gui.mark, rubric.full_marks - rubric.e006_deduction);
+        assert!(gui.notes[0].starts_with("correctness: E006"));
+    }
+
+    #[test]
+    fn w104_deducts_at_the_nit_weight() {
+        let rubric = AutoMarkRubric::default();
+        assert!(rubric.deduction_for(Code::W104) < rubric.warning_deduction);
+        let redundant = auto_mark(
+            parc_analyze::fixtures::by_name("critical/redundant").unwrap().source,
+            &rubric,
+        );
+        assert_eq!(redundant.warnings, 1);
+        assert_eq!(redundant.mark, rubric.full_marks - rubric.w104_deduction);
+        assert!(redundant.notes[0].starts_with("style: W104"));
     }
 
     #[test]

@@ -97,6 +97,20 @@ impl Config {
         }
     }
 
+    /// DFS configuration tuned for fuzzing corpora: tight bounds (the
+    /// generated programs are tiny) and early exit on the first
+    /// witnessed race, so thousands of programs stay affordable.
+    #[must_use]
+    pub fn fuzz(name: &str) -> Self {
+        Config {
+            name: name.to_string(),
+            strategy: Strategy::Dfs,
+            max_steps: 2_000,
+            max_schedules: 4_000,
+            stop_at_first_race: true,
+        }
+    }
+
     /// Seeded PCT configuration.
     #[must_use]
     pub fn pct(name: &str, seed: u64, iterations: usize, depth: usize) -> Self {

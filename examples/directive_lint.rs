@@ -1,5 +1,6 @@
 //! Experiment E-LINT: static diagnostics for the whole directive
-//! fixture corpus, plus the analyser's throughput benchmark.
+//! fixture corpus, plus the analyser's throughput benchmark on both
+//! the hand-written and the generated corpora.
 //!
 //! For every entry in `parc_analyze::fixtures::corpus()` this runs the
 //! full front end (lex → parse → rule engine) and checks the emitted
@@ -9,25 +10,31 @@
 //! `tests/analyze.rs`, where each verdict is cross-validated against
 //! the exhaustive explorer and the pyjama runtime.
 //!
-//! Artifacts:
-//! * first argument (default `directive_lint.json`) — every fixture's
-//!   diagnostics as JSON;
-//! * second argument (default `BENCH_analyze.json`) — the
-//!   programs-linted-per-second benchmark record.
+//! On top of the fixtures, a seeded `genprog` corpus is linted for
+//! throughput and cross-validated against the exhaustive explorer,
+//! recording the agreement counts and the false-positive rate of the
+//! MHP engine next to the old syntactic engine's on the same programs.
 //!
-//! Run with: `cargo run --release --example directive_lint`
+//! Artifacts (all under `--out`, default `target/artifacts/`):
+//! * `directive_lint.json` — every fixture's diagnostics as JSON,
+//!   snippets included;
+//! * `BENCH_analyze.json` — the programs-linted-per-second benchmark
+//!   record for both corpora. The copy committed at the repo root is a
+//!   reference snapshot of this file.
+//!
+//! Run with: `cargo run --release --example directive_lint -- [--out DIR]`
 
 use std::fmt::Write as _;
+use std::path::PathBuf;
 use std::time::Instant;
 
-use parc_analyze::diag::to_json;
-use parc_analyze::fixtures;
+use parc_analyze::diag::{json_escape, to_json_with_source};
+use parc_analyze::{fixtures, genprog};
 use parc_util::Table;
 
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let json_path = args.next().unwrap_or_else(|| "directive_lint.json".to_string());
-    let bench_path = args.next().unwrap_or_else(|| "BENCH_analyze.json".to_string());
+    let out_dir = parse_out_dir();
+    std::fs::create_dir_all(&out_dir).expect("create artifact directory");
 
     println!("== E-LINT: static analysis of the directive corpus ==\n");
 
@@ -68,18 +75,19 @@ fn main() {
         }
 
         json_entries.push(format!(
-            "  {{\"fixture\": \"{}\", \"diagnostics\": {}}}",
-            fx.name,
-            indent_json(&to_json(&analysis.diagnostics))
+            "  {{\"fixture\": \"{}\", \"styled_on\": \"{}\", \"diagnostics\": {}}}",
+            json_escape(fx.name),
+            json_escape(fx.styled_on),
+            indent_json(&to_json_with_source(&analysis.diagnostics, fx.source))
         ));
     }
 
     println!("{}", table.render());
     println!("sample rendering (first diagnosed fixture):\n\n{sample_render}");
 
-    // Benchmark: re-lint the corpus in a tight loop. The front end is
-    // pure (no I/O, no threads), so iteration count just needs to
-    // outlast timer noise.
+    // Benchmark 1: re-lint the fixture corpus in a tight loop. The
+    // front end is pure (no I/O, no threads), so iteration count just
+    // needs to outlast timer noise.
     const ROUNDS: usize = 200;
     let started = Instant::now();
     let mut bench_diags = 0usize;
@@ -93,15 +101,54 @@ fn main() {
     let programs_per_sec = programs as f64 / elapsed.as_secs_f64().max(1e-9);
     let diags_per_sec = bench_diags as f64 / elapsed.as_secs_f64().max(1e-9);
     println!(
-        "linted {programs} programs / {bench_diags} diagnostics in {:.1} ms  ({:.0} programs/s, {:.0} diagnostics/s)",
+        "linted {programs} fixture programs / {bench_diags} diagnostics in {:.1} ms  ({:.0} programs/s, {:.0} diagnostics/s)",
         elapsed.as_secs_f64() * 1e3,
         programs_per_sec,
         diags_per_sec
     );
 
+    // Benchmark 2: the generated corpus. Lint throughput first, then
+    // the full static↔dynamic cross-validation with the agreement
+    // counts and the old-vs-new false-positive comparison.
+    const GEN_SEED: u64 = 1;
+    let gen_count = 20 * genprog::family_count();
+    let corpus = genprog::generate(GEN_SEED, gen_count);
+    let gen_started = Instant::now();
+    let mut gen_diags = 0usize;
+    for gp in &corpus {
+        gen_diags += parc_analyze::analyze(&gp.source).diagnostics.len();
+    }
+    let gen_elapsed = gen_started.elapsed();
+    let gen_programs_per_sec = corpus.len() as f64 / gen_elapsed.as_secs_f64().max(1e-9);
+    println!(
+        "linted {} generated programs / {gen_diags} diagnostics in {:.1} ms  ({:.0} programs/s)",
+        corpus.len(),
+        gen_elapsed.as_secs_f64() * 1e3,
+        gen_programs_per_sec
+    );
+
+    let (stats, gen_mismatches) = genprog::cross_validate(&corpus);
+    for m in &gen_mismatches {
+        eprintln!("[{}] {} #{}: {:?}\n{}", m.kind, m.family, m.index, m.static_codes, m.source);
+    }
+    println!(
+        "cross-validated {} generated programs against the explorer: \
+         {} clean / {} racy / {} deadlocked, {} schedules explored",
+        stats.programs,
+        stats.dynamic_clean,
+        stats.dynamic_racy,
+        stats.dynamic_deadlocked,
+        stats.schedules_explored
+    );
+    println!(
+        "false positives on dynamically-clean programs: MHP engine {} vs syntactic engine {}",
+        stats.false_positives_new, stats.false_positives_old
+    );
+
     let json = format!("[\n{}\n]\n", json_entries.join(",\n"));
+    let json_path = out_dir.join("directive_lint.json");
     std::fs::write(&json_path, json).expect("write directive_lint.json");
-    println!("diagnostic export -> {json_path}");
+    println!("diagnostic export -> {}", json_path.display());
 
     let bench = format!(
         concat!(
@@ -112,7 +159,22 @@ fn main() {
             "  \"programs_linted\": {},\n",
             "  \"elapsed_ms\": {:.3},\n",
             "  \"programs_per_sec\": {:.1},\n",
-            "  \"diagnostics_per_sec\": {:.1}\n",
+            "  \"diagnostics_per_sec\": {:.1},\n",
+            "  \"generated\": {{\n",
+            "    \"seed\": {},\n",
+            "    \"programs\": {},\n",
+            "    \"lint_elapsed_ms\": {:.3},\n",
+            "    \"lint_programs_per_sec\": {:.1},\n",
+            "    \"parse_failures\": {},\n",
+            "    \"dynamic_clean\": {},\n",
+            "    \"dynamic_racy\": {},\n",
+            "    \"dynamic_deadlocked\": {},\n",
+            "    \"unexhausted\": {},\n",
+            "    \"schedules_explored\": {},\n",
+            "    \"missed_dynamic_findings\": {},\n",
+            "    \"false_positives_new\": {},\n",
+            "    \"false_positives_old\": {}\n",
+            "  }}\n",
             "}}\n"
         ),
         fixtures::corpus().len(),
@@ -120,19 +182,61 @@ fn main() {
         programs,
         elapsed.as_secs_f64() * 1e3,
         programs_per_sec,
-        diags_per_sec
+        diags_per_sec,
+        GEN_SEED,
+        stats.programs,
+        gen_elapsed.as_secs_f64() * 1e3,
+        gen_programs_per_sec,
+        stats.parse_failures,
+        stats.dynamic_clean,
+        stats.dynamic_racy,
+        stats.dynamic_deadlocked,
+        stats.unexhausted,
+        stats.schedules_explored,
+        stats.missed_dynamic_findings,
+        stats.false_positives_new,
+        stats.false_positives_old
     );
+    let bench_path = out_dir.join("BENCH_analyze.json");
     std::fs::write(&bench_path, bench).expect("write BENCH_analyze.json");
-    println!("benchmark record -> {bench_path}");
+    println!("benchmark record -> {}", bench_path.display());
 
     if mismatches > 0 {
         eprintln!("\n{mismatches} fixture(s) disagreed with their expected diagnostic codes");
         std::process::exit(1);
     }
+    if stats.missed_dynamic_findings > 0 {
+        eprintln!(
+            "\nthe static engine missed {} explorer-witnessed finding(s) on the generated corpus",
+            stats.missed_dynamic_findings
+        );
+        std::process::exit(1);
+    }
+    if stats.false_positives_new >= stats.false_positives_old {
+        eprintln!(
+            "\nMHP engine is not strictly more precise: {} FPs vs syntactic {}",
+            stats.false_positives_new, stats.false_positives_old
+        );
+        std::process::exit(1);
+    }
     println!(
-        "\nall {} fixtures match their expected diagnostics",
+        "\nall {} fixtures match their expected diagnostics; generated corpus agrees",
         fixtures::corpus().len()
     );
+}
+
+fn parse_out_dir() -> PathBuf {
+    let mut out = PathBuf::from("target/artifacts");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => {
+                out = PathBuf::from(args.next().expect("--out needs a directory"));
+            }
+            other => panic!("unknown argument {other:?} (expected --out DIR)"),
+        }
+    }
+    out
 }
 
 fn join_or_dash(codes: &[&str]) -> String {

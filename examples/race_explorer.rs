@@ -8,15 +8,16 @@
 //! mismatch exits non-zero, which is what the CI `explore` job gates
 //! on.
 //!
-//! Artifacts:
-//! * first argument (default `race_explorer.traces.txt`) — the full
-//!   racing-schedule interleaving diagrams, uploaded by CI;
-//! * second argument (default `BENCH_explore.json`) — the
-//!   schedules-explored-per-second benchmark record.
+//! Artifacts (all under `--out`, default `target/artifacts/`):
+//! * `race_explorer.traces.txt` — the full racing-schedule
+//!   interleaving diagrams, uploaded by CI;
+//! * `BENCH_explore.json` — the schedules-explored-per-second
+//!   benchmark record.
 //!
-//! Run with: `cargo run --release --example race_explorer`
+//! Run with: `cargo run --release --example race_explorer -- [--out DIR]`
 
 use std::fmt::Write as _;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -24,9 +25,10 @@ use parc_explore::{explore, litmus, Config};
 use parc_util::Table;
 
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let traces_path = args.next().unwrap_or_else(|| "race_explorer.traces.txt".to_string());
-    let bench_path = args.next().unwrap_or_else(|| "BENCH_explore.json".to_string());
+    let out_dir = parse_out_dir();
+    std::fs::create_dir_all(&out_dir).expect("create artifact directory");
+    let traces_path = out_dir.join("race_explorer.traces.txt");
+    let bench_path = out_dir.join("BENCH_explore.json");
 
     println!("== E-RACE: deterministic interleaving exploration ==\n");
 
@@ -106,7 +108,7 @@ fn main() {
     );
 
     std::fs::write(&traces_path, &traces).expect("write racing-schedule traces");
-    println!("racing-schedule traces -> {traces_path}");
+    println!("racing-schedule traces -> {}", traces_path.display());
 
     let bench = format!(
         concat!(
@@ -128,11 +130,25 @@ fn main() {
         steps_per_sec
     );
     std::fs::write(&bench_path, bench).expect("write BENCH_explore.json");
-    println!("benchmark record -> {bench_path}");
+    println!("benchmark record -> {}", bench_path.display());
 
     if mismatches > 0 {
         eprintln!("\n{mismatches} litmus verdict(s) disagreed with ground truth");
         std::process::exit(1);
     }
     println!("\nall {} verdicts match ground truth", litmus::catalogue().len());
+}
+
+fn parse_out_dir() -> PathBuf {
+    let mut out = PathBuf::from("target/artifacts");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => {
+                out = PathBuf::from(args.next().expect("--out needs a directory"));
+            }
+            other => panic!("unknown argument {other:?} (expected --out DIR)"),
+        }
+    }
+    out
 }

@@ -65,6 +65,16 @@ pub mod test_runner {
             }
         }
 
+        /// Seed from an explicit numeric seed — for harnesses (like
+        /// corpus generators) that take seeds on the command line
+        /// rather than deriving them from a test name.
+        #[must_use]
+        pub fn with_seed(seed: u64) -> Self {
+            Self {
+                inner: Xoshiro256::seed_from_u64(seed),
+            }
+        }
+
         /// Next raw 64-bit value.
         pub fn next_u64(&mut self) -> u64 {
             self.inner.next_u64()

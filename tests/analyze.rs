@@ -14,7 +14,8 @@ use std::collections::BTreeMap;
 use parc_analyze::bridge::{explore_program, interpret_seq, run_on_pyjama};
 use parc_analyze::diag::{to_json, Code};
 use parc_analyze::fixtures::{corpus, DynVerdict};
-use parc_analyze::parse::parse;
+use parc_analyze::genprog;
+use parc_analyze::parse::{parse, parse_recover};
 use parc_explore::Config;
 use pyjama::Team;
 
@@ -63,8 +64,8 @@ fn fixtures_emit_expected_codes() {
 /// The static↔dynamic agreement matrix (EXPERIMENTS.md E-LINT):
 ///
 /// * `Deadlock` fixtures must carry a deadlock-class static error
-///   (E001/E004) AND the explorer must witness a concrete deadlocked
-///   schedule;
+///   (E001/E004/E006) AND the explorer must witness a concrete
+///   deadlocked schedule;
 /// * `Race` fixtures must carry a race-class static diagnostic
 ///   (E002/E003/W101/W102) AND the explorer must witness a concrete
 ///   racing schedule;
@@ -97,7 +98,7 @@ fn static_and_dynamic_verdicts_agree() {
         match fx.dynamic {
             DynVerdict::Deadlock => {
                 assert!(
-                    fx.expect.iter().any(|c| matches!(c, Code::E001 | Code::E004)),
+                    fx.expect.iter().any(|c| matches!(c, Code::E001 | Code::E004 | Code::E006)),
                     "{}: deadlocking fixture lacks a deadlock-class error",
                     fx.name
                 );
@@ -133,13 +134,70 @@ fn static_and_dynamic_verdicts_agree() {
             DynVerdict::Unlowered => unreachable!(),
         }
     }
-    // The corpus shape itself is part of the record: 20 fixtures,
+    // The corpus shape itself is part of the record: 22 fixtures,
     // every dynamic class populated.
-    assert_eq!(matrix.values().sum::<usize>(), 20);
-    assert_eq!(matrix["clean"], 9);
+    assert_eq!(matrix.values().sum::<usize>(), 22);
+    assert_eq!(matrix["clean"], 10);
     assert_eq!(matrix["race"], 5);
-    assert_eq!(matrix["deadlock"], 4);
+    assert_eq!(matrix["deadlock"], 5);
     assert_eq!(matrix["unlowered"], 2);
+}
+
+/// Parser error recovery keeps later regions analysable: a malformed
+/// directive mid-file yields its E005 *and* the diagnostics of the
+/// well-formed regions after it, in pinned span order.
+#[test]
+fn parser_recovery_reports_later_regions() {
+    let src = "\
+//#omp parallell num_threads(2)
+{
+    lost = lost + 1;
+}
+//#omp parallel num_threads(2)
+{
+    count = count + 1;
+    //#omp single
+    {
+        //#omp barrier
+    }
+}
+";
+    let (program, parse_diags) = parse_recover(src);
+    assert!(program.is_some(), "recoverable error must keep the tree");
+    assert_eq!(parse_diags.len(), 1);
+    assert_eq!(parse_diags[0].code, Code::E005);
+
+    let analysis = parc_analyze::analyze(src);
+    let codes: Vec<Code> = analysis.diagnostics.iter().map(|d| d.code).collect();
+    // Pinned order: the E005 at line 1, then the later region's W101
+    // (racy counter) and E001 (barrier under single), span-sorted.
+    assert_eq!(codes, vec![Code::E005, Code::W101, Code::E001]);
+    assert_eq!(analysis.diagnostics[0].span.line, 1);
+    assert!(analysis.diagnostics[1].span.line > 4, "W101 comes from the recovered region");
+}
+
+/// A slice of the E-FUZZ gate runs in-tree on every `cargo test`: a
+/// generated corpus where the MHP engine must miss no
+/// explorer-witnessed race/deadlock and must beat the syntactic
+/// engine's false-positive count. The full 3-seed × 2000-program run
+/// lives in `examples/fuzz_lint.rs` (CI `fuzz-lint` job).
+#[test]
+fn generated_corpus_agreement_holds() {
+    let corpus = genprog::generate(1, 7 * genprog::family_count() + 3);
+    let (stats, mismatches) = genprog::cross_validate(&corpus);
+    for m in &mismatches {
+        eprintln!("[{}] {} #{}: {:?}\n{}", m.kind, m.family, m.index, m.static_codes, m.source);
+    }
+    assert_eq!(stats.parse_failures, 0, "generated programs must re-parse");
+    assert_eq!(
+        stats.missed_dynamic_findings, 0,
+        "the static engine missed explorer-witnessed findings: {stats:?}"
+    );
+    assert!(
+        stats.false_positives_new < stats.false_positives_old,
+        "the MHP engine must be strictly more precise: {stats:?}"
+    );
+    assert!(stats.dynamic_clean > 0 && stats.dynamic_racy > 0 && stats.dynamic_deadlocked > 0);
 }
 
 /// Clean fixtures mean the same thing on the real pyjama runtime as
