@@ -197,7 +197,9 @@ impl Default for AutoMarkRubric {
 /// What [`auto_mark`] concluded about one submission.
 #[derive(Clone, Debug)]
 pub struct AutoMarkOutcome {
-    /// The awarded mark (clamped to `[0, full_marks]`).
+    /// The awarded mark, always in `[0, min(full_marks, 100)]` so it
+    /// satisfies [`AssessmentScheme::final_mark`]'s percentage
+    /// contract whatever the rubric says.
     pub mark: f64,
     /// Did the submission parse at all?
     pub parsed: bool,
@@ -209,29 +211,67 @@ pub struct AutoMarkOutcome {
     pub notes: Vec<String>,
 }
 
+/// The allocation-free core of [`auto_mark`]: just the awarded mark
+/// and the diagnostic tallies, no notes. This is what the marking
+/// pipeline calls per submission (millions of times per run) on an
+/// analysis it already has in hand for the lint stage.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MarkScore {
+    /// The awarded mark, in `[0, min(full_marks, 100)]`.
+    pub mark: f64,
+    /// Did the submission parse at all?
+    pub parsed: bool,
+    /// Number of `E`-class diagnostics.
+    pub errors: u32,
+    /// Number of `W`-class diagnostics.
+    pub warnings: u32,
+}
+
+/// Score an already-run analysis through the rubric without
+/// allocating notes. [`auto_mark`] delegates here, so the two can
+/// never disagree on arithmetic.
+///
+/// The awarded mark is clamped into `[0, min(full_marks, 100)]`: a
+/// pile of deductions cannot push it below zero, and a rubric marked
+/// out of more than 100 cannot leak a value that
+/// [`AssessmentScheme::final_mark`] would reject as a percentage. The
+/// clamp is a max/min chain (never `f64::clamp`) so a pathological
+/// rubric with negative `full_marks` degrades to 0 instead of
+/// panicking.
+#[must_use]
+pub fn score_analysis(analysis: &parc_analyze::Analysis, rubric: &AutoMarkRubric) -> MarkScore {
+    let parsed = analysis.program.is_some();
+    let mut errors = 0u32;
+    let mut warnings = 0u32;
+    let mut deducted = 0.0;
+    for d in &analysis.diagnostics {
+        match d.code.severity() {
+            Severity::Error => errors += 1,
+            Severity::Warning => warnings += 1,
+        }
+        deducted += rubric.deduction_for(d.code);
+    }
+    let mut mark = rubric.full_marks - deducted;
+    if !parsed {
+        mark = mark.min(rubric.parse_failure_cap);
+    }
+    let ceiling = rubric.full_marks.min(100.0);
+    MarkScore { mark: mark.min(ceiling).max(0.0), parsed, errors, warnings }
+}
+
 /// Auto-mark a directive-program submission: run the static analyser
 /// and fold its diagnostics through the rubric. The notes carry the
 /// code, line and title, prefixed by how the rubric treated them.
 #[must_use]
 pub fn auto_mark(source: &str, rubric: &AutoMarkRubric) -> AutoMarkOutcome {
     let analysis = parc_analyze::analyze(source);
-    let parsed = analysis.program.is_some();
-    let mut errors = 0usize;
-    let mut warnings = 0usize;
-    let mut deducted = 0.0;
-    let mut notes = Vec::new();
+    let score = score_analysis(&analysis, rubric);
+    let mut notes = Vec::with_capacity(analysis.diagnostics.len());
     for d in &analysis.diagnostics {
         let treatment = match d.code.severity() {
-            Severity::Error => {
-                errors += 1;
-                "correctness"
-            }
-            Severity::Warning => {
-                warnings += 1;
-                "style"
-            }
+            Severity::Error => "correctness",
+            Severity::Warning => "style",
         };
-        deducted += rubric.deduction_for(d.code);
         notes.push(format!(
             "{treatment}: {} (line {}) — {}",
             d.code.as_str(),
@@ -239,12 +279,16 @@ pub fn auto_mark(source: &str, rubric: &AutoMarkRubric) -> AutoMarkOutcome {
             d.code.title()
         ));
     }
-    let mut mark = rubric.full_marks - deducted;
-    if !parsed {
-        mark = mark.min(rubric.parse_failure_cap);
+    if !score.parsed {
         notes.push("submission did not parse; mark capped".to_string());
     }
-    AutoMarkOutcome { mark: mark.clamp(0.0, rubric.full_marks), parsed, errors, warnings, notes }
+    AutoMarkOutcome {
+        mark: score.mark,
+        parsed: score.parsed,
+        errors: score.errors as usize,
+        warnings: score.warnings as usize,
+        notes,
+    }
 }
 
 #[cfg(test)]
@@ -335,6 +379,42 @@ mod tests {
             &rubric,
         );
         assert_eq!(racy.mark, 0.0);
+    }
+
+    #[test]
+    fn auto_mark_never_exceeds_100_even_on_generous_rubrics() {
+        // Regression: a rubric marked out of 120 used to award 120 to
+        // a clean submission, which `AssessmentScheme::final_mark`
+        // then rejected as "marks must be percentages".
+        let generous = AutoMarkRubric { full_marks: 120.0, ..AutoMarkRubric::default() };
+        let clean = auto_mark(
+            parc_analyze::fixtures::by_name("counter/critical").unwrap().source,
+            &generous,
+        );
+        assert_eq!(clean.mark, 100.0, "marks are percentages, whatever the rubric says");
+        let scheme = AssessmentScheme::softeng751();
+        // Must be accepted by the percentage contract, not panic.
+        let _ = scheme.final_mark(&[clean.mark; 5]);
+
+        // A pathological negative-full-marks rubric degrades to 0
+        // instead of panicking in `f64::clamp`.
+        let broken = AutoMarkRubric { full_marks: -10.0, ..AutoMarkRubric::default() };
+        let out = auto_mark("x = 1;\n", &broken);
+        assert_eq!(out.mark, 0.0);
+    }
+
+    #[test]
+    fn score_analysis_agrees_with_auto_mark() {
+        let rubric = AutoMarkRubric::default();
+        for name in ["counter/racy", "counter/critical", "lock-order/cycle", "barrier/in-gui"] {
+            let src = parc_analyze::fixtures::by_name(name).unwrap().source;
+            let full = auto_mark(src, &rubric);
+            let light = score_analysis(&parc_analyze::analyze(src), &rubric);
+            assert_eq!(full.mark, light.mark, "{name}");
+            assert_eq!(full.errors, light.errors as usize, "{name}");
+            assert_eq!(full.warnings, light.warnings as usize, "{name}");
+            assert_eq!(full.parsed, light.parsed, "{name}");
+        }
     }
 
     #[test]

@@ -21,17 +21,28 @@
 //!   agreement rates;
 //! * [`repo`] — the version-control contribution assessment of
 //!   §III-C/IV-A: commit logs, contribution shares, peer-evaluation
-//!   aggregation and the equal-or-adjusted marking decision.
+//!   aggregation and the equal-or-adjusted marking decision;
+//! * [`pipeline`] — the fault-tolerant parallel auto-marking pipeline:
+//!   exactly-once marking of cohort-scale submission streams under
+//!   seeded fault storms, with supervised marker workers, a
+//!   claim/complete checkpoint ledger, explicit quantified
+//!   degradation, and reports whose fingerprints are bit-identical
+//!   across reruns and worker-pool sizes.
 
 pub mod allocation;
 pub mod assessment;
 pub mod nexus;
+pub mod pipeline;
 pub mod repo;
 pub mod structure;
 pub mod survey;
 
 pub use allocation::{run_poll, AllocationConfig, AllocationOutcome};
-pub use assessment::{auto_mark, AssessmentScheme, AutoMarkOutcome, AutoMarkRubric, GradeLedger};
+pub use assessment::{
+    auto_mark, score_analysis, AssessmentScheme, AutoMarkOutcome, AutoMarkRubric, GradeLedger,
+    MarkScore,
+};
+pub use pipeline::{run_cell, CellReport, PipelineConfig};
 pub use nexus::{Activity, NexusQuadrant};
 pub use repo::{decide_marks, Commit, CommitLog, MarkDecision, PeerEvaluation};
 pub use structure::{course_plan, WeekRole};

@@ -148,6 +148,10 @@ pub enum SupEventKind {
     },
     /// The child exhausted its restart budget.
     Escalate,
+    /// A restart was due but the supervisor's token was cancelled (or
+    /// its deadline expired) during the backoff; the child stays down
+    /// without being charged or escalated.
+    RestartAborted,
 }
 
 /// One supervision event, addressed by `(child, seq)`.
@@ -178,6 +182,9 @@ impl SupEvent {
             SupEventKind::Escalate => {
                 format!("{child_name}[{}] escalate", self.child)
             }
+            SupEventKind::RestartAborted => {
+                format!("{child_name}[{}] restart aborted (cancelled)", self.child)
+            }
         }
     }
 }
@@ -200,6 +207,11 @@ pub struct ChildReport {
     pub exits: Vec<ChildOutcome>,
     /// True when the child exhausted its budget and escalated.
     pub escalated: bool,
+    /// True when a due restart was abandoned because the supervisor's
+    /// token was cancelled (or its deadline expired) during the
+    /// backoff — the child's last exit is then a failure even though
+    /// it neither completed nor escalated.
+    pub restart_aborted: bool,
 }
 
 impl ChildReport {
@@ -238,6 +250,20 @@ impl SupervisionReport {
         self.children
             .iter()
             .all(|c| c.final_outcome() == ChildOutcome::Completed)
+    }
+
+    /// Did any child exhaust its restart budget? Degradation logic
+    /// keys off this directly instead of parsing the event log.
+    #[must_use]
+    pub fn has_escalations(&self) -> bool {
+        self.escalations > 0
+    }
+
+    /// The children that exhausted their restart budget and escalated,
+    /// in child-index order. Empty when the tree ran within budget.
+    #[must_use]
+    pub fn escalated_children(&self) -> Vec<&ChildReport> {
+        self.children.iter().filter(|c| c.escalated).collect()
     }
 
     /// The canonical event log as text: one line per event, ordered by
@@ -301,6 +327,17 @@ impl SupervisionReport {
                 check(
                     c.final_outcome().is_failure(),
                     format!("child {i}: escalated but final outcome {}", c.final_outcome().name()),
+                );
+            } else if c.restart_aborted {
+                // A cancellation that lands during the backoff leaves
+                // the child down with its failure exit on record; the
+                // abort event accounts for the missing restart.
+                check(
+                    c.final_outcome().is_failure(),
+                    format!(
+                        "child {i}: restart aborted but final outcome {}",
+                        c.final_outcome().name()
+                    ),
                 );
             } else {
                 check(
@@ -515,6 +552,7 @@ impl SupervisorBuilder {
             exits: Vec<ChildOutcome>,
             events: Vec<SupEventKind>,
             escalated: bool,
+            restart_aborted: bool,
             running: bool,
             token: CancelToken,
             handle: Option<thread::JoinHandle<()>>,
@@ -527,6 +565,7 @@ impl SupervisorBuilder {
                 exits: Vec::new(),
                 events: Vec::new(),
                 escalated: false,
+                restart_aborted: false,
                 running: false,
                 token: sup_token.child(),
                 handle: None,
@@ -642,14 +681,29 @@ impl SupervisorBuilder {
             );
             let delay = self.restart.delay_after(k, child_seed);
             if self.backoff_time_scale > 0.0 && delay > Duration::ZERO {
-                thread::sleep(Duration::from_secs_f64(
-                    delay.as_secs_f64() * self.backoff_time_scale,
-                ));
+                // Sleep in short slices polling the supervisor token,
+                // so a cancellation — or the token's deadline expiring
+                // — interrupts a long backoff promptly instead of
+                // holding the tree hostage for the full delay.
+                let scaled =
+                    Duration::from_secs_f64(delay.as_secs_f64() * self.backoff_time_scale);
+                let wake = std::time::Instant::now() + scaled;
+                while !sup_token.is_cancelled() {
+                    let now = std::time::Instant::now();
+                    if now >= wake {
+                        break;
+                    }
+                    thread::sleep((wake - now).min(Duration::from_millis(5)));
+                }
             }
             if sup_token.is_cancelled() {
                 // Shut down while backing off: do not restart into a
                 // cancelled tree; the child stays down with its
-                // failure exit on record (not an escalation).
+                // failure exit on record (not an escalation). The
+                // abort is recorded so the report stays
+                // conservation-clean.
+                states[idx].restart_aborted = true;
+                states[idx].events.push(SupEventKind::RestartAborted);
                 continue;
             }
 
@@ -722,6 +776,7 @@ impl SupervisorBuilder {
                 budget_used: st.budget_used,
                 exits: st.exits.clone(),
                 escalated: st.escalated,
+                restart_aborted: st.restart_aborted,
             })
             .collect();
         let restarts_total = children.iter().map(|c| c.restarts).sum();
@@ -829,6 +884,27 @@ mod tests {
         assert_eq!(c.final_outcome(), ChildOutcome::Failed);
         assert_eq!(report.escalations, 1);
         assert!(report.conservation_violations().is_empty());
+    }
+
+    #[test]
+    fn escalation_accessors_name_the_exhausted_children() {
+        let report = Supervisor::builder("sup")
+            .restart_policy(fast_restarts(2))
+            .child("doomed", |_| Err(ChildError::Failed("always".into())))
+            .child("fine", |_| Ok(()))
+            .run();
+        assert!(report.has_escalations());
+        let escalated = report.escalated_children();
+        assert_eq!(escalated.len(), 1);
+        assert_eq!(escalated[0].name, "doomed");
+        assert!(escalated[0].escalated);
+
+        let clean = Supervisor::builder("sup")
+            .restart_policy(fast_restarts(2))
+            .child("fine", |_| Ok(()))
+            .run();
+        assert!(!clean.has_escalations());
+        assert!(clean.escalated_children().is_empty());
     }
 
     #[test]

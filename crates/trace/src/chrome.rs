@@ -138,6 +138,9 @@ fn span_args(what: SpanKind) -> String {
         SpanKind::RetryOp { key } => {
             let _ = write!(s, ",\"key\":{key}");
         }
+        SpanKind::MarkingTick { tick } => {
+            let _ = write!(s, ",\"tick\":{tick}");
+        }
     }
     s
 }
@@ -186,6 +189,9 @@ fn mark_args(what: MarkKind) -> String {
             format!("\"child\":{child},\"incarnation\":{incarnation}")
         }
         MarkKind::ChildEscalate { child } => format!("\"child\":{child}"),
+        MarkKind::MarkingStage { stage, lane, count } => {
+            format!("\"stage\":\"{}\",\"lane\":{lane},\"count\":{count}", stage.name())
+        }
     }
 }
 

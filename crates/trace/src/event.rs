@@ -161,6 +161,45 @@ impl ChildTag {
     }
 }
 
+/// Which marking-pipeline ledger transition a `mark.*` observation
+/// records (see `course::pipeline`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum MarkingTag {
+    /// A marker claimed a batch of submissions from its shard queue.
+    Claim,
+    /// A marker acknowledged (completed) marked submissions.
+    Ack,
+    /// A storm kill interrupted a marker mid-batch; unacked claims
+    /// return to the ledger.
+    Reclaim,
+    /// A restarted marker re-marked submissions whose first marking
+    /// was lost with the killed incarnation.
+    Redone,
+    /// Submissions shed at admission (queue full or drain overrun).
+    Shed,
+    /// Explorer spot-checks skipped under pressure (degraded, never
+    /// silent).
+    Degraded,
+    /// Explorer spot-checks actually executed.
+    Spot,
+}
+
+impl MarkingTag {
+    /// Stable label for export and counting.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            MarkingTag::Claim => "claim",
+            MarkingTag::Ack => "ack",
+            MarkingTag::Reclaim => "reclaim",
+            MarkingTag::Redone => "redone",
+            MarkingTag::Shed => "shed",
+            MarkingTag::Degraded => "degraded",
+            MarkingTag::Spot => "spot",
+        }
+    }
+}
+
 /// A duration-carrying activity: begins, does work, ends. Span begin
 /// and end events share an `id` and always land on the same thread, so
 /// Chrome `B`/`E` pairs nest correctly per lane.
@@ -198,6 +237,12 @@ pub enum SpanKind {
         /// Caller-chosen operation key.
         key: u64,
     },
+    /// One simulated tick of the marking pipeline (arrivals through
+    /// acks; see `course::pipeline`).
+    MarkingTick {
+        /// Model tick number.
+        tick: u64,
+    },
 }
 
 impl SpanKind {
@@ -211,6 +256,7 @@ impl SpanKind {
             SpanKind::FetchAttempt { .. } => "fetch.attempt",
             SpanKind::Crawl { .. } => "crawl",
             SpanKind::RetryOp { .. } => "retry.op",
+            SpanKind::MarkingTick { .. } => "mark.tick",
         }
     }
 }
@@ -329,6 +375,17 @@ pub enum MarkKind {
         /// Supervisor-local child index.
         child: u64,
     },
+    /// One marking-pipeline ledger transition (see `course::pipeline`).
+    MarkingStage {
+        /// Which transition.
+        stage: MarkingTag,
+        /// The shard or marker the observation is scoped to (claims,
+        /// acks, kills and reclaims are marker-scoped; sheds are
+        /// shard-scoped).
+        lane: u32,
+        /// How many submissions the observation covers.
+        count: u32,
+    },
 }
 
 impl MarkKind {
@@ -351,6 +408,15 @@ impl MarkKind {
             MarkKind::ChildExit { .. } => "sup.child_exit",
             MarkKind::ChildRestart { .. } => "sup.restart",
             MarkKind::ChildEscalate { .. } => "sup.escalate",
+            MarkKind::MarkingStage { stage, .. } => match stage {
+                MarkingTag::Claim => "mark.claim",
+                MarkingTag::Ack => "mark.ack",
+                MarkingTag::Reclaim => "mark.reclaim",
+                MarkingTag::Redone => "mark.redone",
+                MarkingTag::Shed => "mark.shed",
+                MarkingTag::Degraded => "mark.degraded",
+                MarkingTag::Spot => "mark.spot",
+            },
         }
     }
 }

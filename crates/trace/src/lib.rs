@@ -66,8 +66,8 @@ pub use collector::{
     Collector, CompletedSpan, Lane, Span, Trace, TraceHandle, Track, DEFAULT_THREAD_CAPACITY,
 };
 pub use event::{
-    BreakerPhase, ChildTag, Event, EventKind, FaultTag, FetchTag, MarkKind, Outcome, SchedTag,
-    SpanKind,
+    BreakerPhase, ChildTag, Event, EventKind, FaultTag, FetchTag, MarkKind, MarkingTag, Outcome,
+    SchedTag, SpanKind,
 };
 pub use json::{escape as json_escape, parse as parse_json, Json, JsonError};
 pub use metrics::{Counter, Gauge, LatencyHistogram, MetricHistogram, MetricsRegistry};

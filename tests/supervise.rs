@@ -198,6 +198,40 @@ fn same_seed_supervision_event_logs_are_bit_identical() {
 // ------------------------------------------------------------- soak cells
 
 #[test]
+fn deadline_expiring_during_restart_backoff_interrupts_it_promptly() {
+    // The root deadline expires while the supervisor is sleeping off a
+    // 2-second restart backoff. The sliced backoff must notice the
+    // expiry within milliseconds — not hold the tree for the full
+    // delay — and the report must record the aborted restart so the
+    // conservation identities still close.
+    let root = CancelToken::with_deadline(Duration::from_millis(60));
+    let started = std::time::Instant::now();
+    let report = Supervisor::builder("sup")
+        .restart_policy(RetryPolicy::fixed(Duration::from_secs(2)).with_max_attempts(5))
+        .backoff_time_scale(1.0)
+        .child("fails-once", |_| Err(ChildError::Failed("boom".into())))
+        .run_under(&root);
+    let elapsed = started.elapsed();
+
+    assert!(
+        elapsed < Duration::from_secs(1),
+        "backoff was not interrupted: took {elapsed:?} against a 60ms deadline"
+    );
+    let c = &report.children[0];
+    assert_eq!(c.incarnations, 1, "no restart into a dead tree");
+    assert_eq!(c.restarts, 0);
+    assert!(c.restart_aborted, "the skipped restart must be on record");
+    assert!(!c.escalated, "a cancelled backoff is not an escalation");
+    assert!(!report.has_escalations());
+    assert!(
+        report.conservation_violations().is_empty(),
+        "violations: {:?}",
+        report.conservation_violations()
+    );
+    assert!(report.event_log().contains("fails-once[0] restart aborted (cancelled)"));
+}
+
+#[test]
 fn soak_fingerprints_are_identical_across_reruns_and_pool_sizes() {
     faultsim::silence_injected_panics();
     let storm = FaultStorm::burst(0xB0B0);
